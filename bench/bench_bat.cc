@@ -1,0 +1,137 @@
+// Kernel microbenchmarks (E8): throughput of the column-store bulk
+// operators the algebra executes on — the back-end viability argument
+// of paper Sec. 2 ("very efficiently implementable on any relational
+// DBMS").
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "bat/kernel.h"
+
+namespace pathfinder::bat {
+namespace {
+
+ColumnPtr RandomInts(size_t n, int64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  auto c = Column::MakeInt(n);
+  for (size_t i = 0; i < n; ++i) {
+    c->ints().push_back(
+        static_cast<int64_t>(rng.Below(static_cast<uint64_t>(domain))));
+  }
+  return c;
+}
+
+ColumnPtr RandomItems(size_t n, int64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  auto c = Column::MakeItem(n);
+  for (size_t i = 0; i < n; ++i) {
+    c->items().push_back(Item::Int(
+        static_cast<int64_t>(rng.Below(static_cast<uint64_t>(domain)))));
+  }
+  return c;
+}
+
+void BM_FilterGather(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  auto pred = Column::MakeBool(n);
+  for (size_t i = 0; i < n; ++i) pred->bools().push_back(rng.Chance(0.5));
+  auto vals = RandomInts(n, 1000, 2);
+  for (auto _ : state) {
+    IdxVec idx = FilterIndices(*pred);
+    benchmark::DoNotOptimize(Gather(*vals, idx));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_FilterGather)->Range(1 << 10, 1 << 20);
+
+void BM_HashJoinInt(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  StringPool pool;
+  auto l = RandomInts(n, static_cast<int64_t>(n), 3);
+  auto r = RandomInts(n, static_cast<int64_t>(n), 4);
+  IdxVec li, ri;
+  for (auto _ : state) {
+    auto st = HashJoinIndices(*l, *r, pool, &li, &ri);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_HashJoinInt)->Range(1 << 10, 1 << 19);
+
+void BM_HashJoinItems(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  StringPool pool;
+  auto l = RandomItems(n, static_cast<int64_t>(n), 5);
+  auto r = RandomItems(n, static_cast<int64_t>(n), 6);
+  IdxVec li, ri;
+  for (auto _ : state) {
+    auto st = HashJoinIndices(*l, *r, pool, &li, &ri);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_HashJoinItems)->Range(1 << 10, 1 << 18);
+
+void BM_MarkPartitioned(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  StringPool pool;
+  Table t;
+  t.AddCol("part", RandomInts(n, 64, 7));
+  t.AddCol("key", RandomInts(n, 1 << 20, 8));
+  for (auto _ : state) {
+    auto col = Mark(t, {"part"}, {"key"}, pool);
+    benchmark::DoNotOptimize(col);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_MarkPartitioned)->Range(1 << 10, 1 << 18);
+
+void BM_MarkPresorted(benchmark::State& state) {
+  // The sorted fast path the staircase join output hits.
+  size_t n = static_cast<size_t>(state.range(0));
+  StringPool pool;
+  Table t;
+  auto c = Column::MakeInt(n);
+  for (size_t i = 0; i < n; ++i) {
+    c->ints().push_back(static_cast<int64_t>(i / 16));
+  }
+  t.AddCol("part", std::move(c));
+  for (auto _ : state) {
+    auto col = Mark(t, {"part"}, {}, pool);
+    benchmark::DoNotOptimize(col);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_MarkPresorted)->Range(1 << 10, 1 << 18);
+
+void BM_DistinctInts(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Table t;
+  t.AddCol("k", RandomInts(n, 256, 9));
+  for (auto _ : state) {
+    auto idx = DistinctIndices(t, {"k"});
+    benchmark::DoNotOptimize(idx);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_DistinctInts)->Range(1 << 10, 1 << 18);
+
+void BM_GroupAggSum(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  StringPool pool;
+  Table t;
+  t.AddCol("g", RandomInts(n, 1024, 10));
+  t.AddCol("v", RandomItems(n, 100, 11));
+  for (auto _ : state) {
+    auto r = GroupAgg(t, "g", "v", AggKind::kSum, pool, "g", "s");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_GroupAggSum)->Range(1 << 10, 1 << 18);
+
+}  // namespace
+}  // namespace pathfinder::bat
+
+BENCHMARK_MAIN();

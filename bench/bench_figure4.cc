@@ -1,0 +1,76 @@
+// Reproduces paper Figure 4: Pathfinder scalability. Execution times of
+// the 20 XMark queries across instance sizes, normalized to the
+// second-smallest instance (the paper normalizes to the 110 MB one).
+//
+// Expected shape: near-linear scaling (normalized time ~ sf ratio) for
+// all queries except Q11/Q12, whose theta-join output grows
+// quadratically (paper Sec. 3.4: "any XQuery implementation will face
+// this complexity").
+
+#include <cstdio>
+#include <vector>
+
+#include "api/pathfinder.h"
+#include "bench/bench_util.h"
+#include "xmark/queries.h"
+
+namespace pathfinder::bench {
+namespace {
+
+int Main() {
+  std::vector<double> sfs = ScaleFactors();
+  if (sfs.size() < 2) {
+    std::printf("need at least two scale factors\n");
+    return 1;
+  }
+  size_t norm_idx = 1;  // second-smallest, like the paper's 110 MB
+
+  std::printf("Figure 4 reproduction: Pathfinder execution times "
+              "normalized to sf=%g\n\n", sfs[norm_idx]);
+  std::printf("%-4s", "Q");
+  for (double sf : sfs) {
+    char head[32];
+    std::snprintf(head, sizeof(head), "sf=%g", sf);
+    std::printf(" %10s", head);
+  }
+  std::printf("   note\n");
+
+  for (const auto& q : xmark::XMarkQueries()) {
+    std::vector<double> times;
+    for (double sf : sfs) {
+      xml::Database* db = XMarkDb(sf);
+      Pathfinder pf(db);
+      QueryOptions o;
+      o.context_doc = "auction.xml";
+      times.push_back(BestOfMs(2, [&] {
+        auto r = pf.Run(q.text, o);
+        if (!r.ok()) {
+          std::fprintf(stderr, "Q%d failed: %s\n", q.number,
+                       r.status().ToString().c_str());
+          std::exit(1);
+        }
+      }));
+    }
+    double norm = times[norm_idx];
+    std::printf("%-4d", q.number);
+    for (double t : times) {
+      std::printf(" %10s", FmtFactor(t / norm).c_str());
+    }
+    std::printf("   %s\n",
+                (q.number == 11 || q.number == 12)
+                    ? "quadratic theta-join output (expected)"
+                    : "");
+    std::fflush(stdout);
+  }
+
+  double sf_ratio = sfs.back() / sfs[norm_idx];
+  std::printf(
+      "\nLinear scaling corresponds to a last-column factor of ~%.0f "
+      "(the sf ratio); constant-time queries sit near 1.\n", sf_ratio);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathfinder::bench
+
+int main() { return pathfinder::bench::Main(); }

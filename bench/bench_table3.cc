@@ -1,0 +1,109 @@
+// Reproduces paper Table 3: XMark query evaluation times for Pathfinder
+// (the relational engine) vs the navigational baseline (X-Hive stand-in)
+// across XMark instance sizes.
+//
+// Expected shape (paper Sec. 3.3): Pathfinder wins 2-20x on path
+// queries, ~2 orders of magnitude on the value-join queries Q8-Q12,
+// where the nested-loop baseline degrades quadratically and eventually
+// DNFs (here: exceeds the PF_BASELINE_BUDGET_MS budget, default 30s).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/pathfinder.h"
+#include "baseline/interp.h"
+#include "bench/bench_util.h"
+#include "xmark/queries.h"
+
+namespace pathfinder::bench {
+namespace {
+
+double BaselineBudgetMs() {
+  const char* env = std::getenv("PF_BASELINE_BUDGET_MS");
+  return env ? std::atof(env) : 30000.0;
+}
+
+int Main() {
+  std::vector<double> sfs = ScaleFactors();
+  double budget = BaselineBudgetMs();
+
+  std::printf("Table 3 reproduction: XMark query times (ms), "
+              "baseline ('X-Hive') vs Pathfinder (PF)\n");
+  std::printf("baseline budget per query: %.0f ms (exceeding => DNF at "
+              "larger scales)\n\n", budget);
+
+  std::printf("%-4s", "Q");
+  for (double sf : sfs) {
+    char head[64];
+    std::snprintf(head, sizeof(head), "sf=%g", sf);
+    std::printf(" | %22s", head);
+  }
+  std::printf("\n%-4s", "");
+  for (size_t i = 0; i < sfs.size(); ++i) {
+    std::printf(" | %10s %10s", "baseline", "PF");
+  }
+  std::printf("\n");
+
+  // DNF propagation: once the baseline exceeds its budget for a query,
+  // larger instances are not attempted (the paper's X-Hive DNFs).
+  std::vector<bool> baseline_dnf(21, false);
+
+  for (const auto& q : xmark::XMarkQueries()) {
+    std::printf("%-4d", q.number);
+    for (double sf : sfs) {
+      xml::Database* db = XMarkDb(sf);
+
+      double pf_ms = -1;
+      {
+        Pathfinder pf(db);
+        QueryOptions o;
+        o.context_doc = "auction.xml";
+        pf_ms = BestOfMs(2, [&] {
+          auto r = pf.Run(q.text, o);
+          if (!r.ok()) {
+            std::fprintf(stderr, "PF Q%d failed: %s\n", q.number,
+                         r.status().ToString().c_str());
+            std::exit(1);
+          }
+        });
+      }
+
+      double bl_ms = -1;
+      if (!baseline_dnf[static_cast<size_t>(q.number)]) {
+        baseline::Baseline bl(db);
+        baseline::BaselineOptions o;
+        o.context_doc = "auction.xml";
+        bl_ms = TimeMs([&] {
+          auto r = bl.Run(q.text, o);
+          if (!r.ok()) {
+            std::fprintf(stderr, "BL Q%d failed: %s\n", q.number,
+                         r.status().ToString().c_str());
+            std::exit(1);
+          }
+        });
+        if (bl_ms > budget) {
+          baseline_dnf[static_cast<size_t>(q.number)] = true;
+        }
+      }
+      std::printf(" | %10s %10s", FmtMs(bl_ms).c_str(),
+                  FmtMs(pf_ms).c_str());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nShape checks vs the paper: PF should win on the value-join "
+      "queries Q8-Q12 by 1-2 orders of magnitude at the larger scales, "
+      "and on most path queries; Q11/Q12 grow quadratically on BOTH "
+      "engines (the theta-join output itself is quadratic, paper "
+      "Sec. 3.4).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathfinder::bench
+
+int main() { return pathfinder::bench::Main(); }

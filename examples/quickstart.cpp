@@ -1,0 +1,59 @@
+// Quickstart: load an XML document, run XQuery on the relational
+// engine, inspect results.
+//
+//   ./quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "api/pathfinder.h"
+
+int main() {
+  using namespace pathfinder;
+
+  // 1. A database holds shredded documents (pre|size|level encoding)
+  //    plus the shared string pool.
+  xml::Database db;
+  auto doc = db.LoadXml("library.xml", R"(
+    <library>
+      <book year="1994"><title>TCP/IP Illustrated</title><price>65.95</price></book>
+      <book year="2000"><title>Data on the Web</title><price>39.95</price></book>
+      <book year="1999"><title>XML Query</title><price>49.90</price></book>
+    </library>)");
+  if (!doc.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. The Pathfinder facade compiles XQuery to relational algebra and
+  //    executes it on the column-store kernel.
+  Pathfinder pf(&db);
+  QueryOptions opts;
+  opts.context_doc = "library.xml";  // what a leading "/" refers to
+
+  const char* queries[] = {
+      "count(//book)",
+      "for $b in //book where $b/price > 45 return $b/title/text()",
+      "for $b in //book order by $b/price return "
+      "<cheap title=\"{ $b/title/text() }\">{ $b/price/text() }</cheap>",
+      "sum(//book/price)",
+      "let $y := max(//book/@year) return //book[@year = $y]/title/text()",
+  };
+
+  for (const char* q : queries) {
+    auto result = pf.Run(q, opts);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n  %s\n", q,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    auto text = result->Serialize();
+    std::printf("query : %s\nresult: %s\n", q,
+                text.ok() ? text->c_str() : "<serialize error>");
+    std::printf("        (%zu items, plan %zu -> %zu operators)\n\n",
+                result->items.size(), result->opt_stats.ops_before,
+                result->opt_stats.ops_after);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// XMark explorer — the demonstration setup of paper Sec. 4: an XMark
+// instance is pre-loaded, the 20 benchmark query texts are ready to
+// run, and ad-hoc queries are accepted too.
+//
+//   ./xmark_explorer                   # run all 20 queries at sf=0.005
+//   ./xmark_explorer 0.02 8           # run Q8 at sf=0.02
+//   ./xmark_explorer 0.01 'count(//item)'   # ad-hoc query
+//   PF_COMPARE_BASELINE=1 ./xmark_explorer  # cross-check both engines
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "api/pathfinder.h"
+#include "baseline/interp.h"
+#include "bench/bench_util.h"
+#include "xmark/queries.h"
+
+namespace {
+
+void RunOne(pathfinder::xml::Database* db, const std::string& text,
+            const char* label, bool compare_baseline) {
+  using namespace pathfinder;
+  Pathfinder pf(db);
+  QueryOptions opts;
+  opts.context_doc = "auction.xml";
+
+  double ms = 0;
+  auto r = [&] {
+    auto t0 = std::chrono::steady_clock::now();
+    auto res = pf.Run(text, opts);
+    auto t1 = std::chrono::steady_clock::now();
+    ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return res;
+  }();
+  if (!r.ok()) {
+    std::printf("%-4s FAILED: %s\n", label, r.status().ToString().c_str());
+    return;
+  }
+  auto s = r->Serialize();
+  std::string out = s.ok() ? *s : "<serialize error>";
+  if (out.size() > 160) out = out.substr(0, 157) + "...";
+  std::printf("%-4s %8.1f ms  %6zu items  scj(ctx=%zu scanned=%zu)  %s\n",
+              label, ms, r->items.size(), r->scj_stats.contexts_in,
+              r->scj_stats.nodes_scanned, out.c_str());
+
+  if (compare_baseline) {
+    baseline::Baseline bl(db);
+    baseline::BaselineOptions bo;
+    bo.context_doc = "auction.xml";
+    auto br = bl.Run(text, bo);
+    if (!br.ok()) {
+      std::printf("     baseline FAILED: %s\n",
+                  br.status().ToString().c_str());
+      return;
+    }
+    auto bs = br->Serialize();
+    std::printf("     baseline %s\n",
+                (bs.ok() && s.ok() && *bs == *s) ? "agrees"
+                                                 : "DISAGREES (bug!)");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pathfinder;
+
+  double sf = 0.005;
+  std::string what;  // empty = all 20
+  if (argc > 1) sf = std::atof(argv[1]);
+  if (argc > 2) what = argv[2];
+  bool compare = std::getenv("PF_COMPARE_BASELINE") != nullptr;
+
+  std::printf("generating XMark instance sf=%g ...\n", sf);
+  xml::Database* db = bench::XMarkDb(sf);
+  std::printf("loaded: %u nodes, %zu bytes encoding + %zu bytes pool\n\n",
+              db->doc(0).num_nodes(), db->EncodingBytes(),
+              db->PoolPayloadBytes());
+
+  if (!what.empty() && !std::isdigit(static_cast<unsigned char>(what[0]))) {
+    RunOne(db, what, "adhoc", compare);
+    return 0;
+  }
+  if (!what.empty()) {
+    int n = std::atoi(what.c_str());
+    const auto& q = xmark::GetXMarkQuery(n);
+    std::printf("Q%d: %s\n%s\n\n", q.number, q.title, q.text);
+    RunOne(db, q.text, ("Q" + std::to_string(n)).c_str(), compare);
+    return 0;
+  }
+  for (const auto& q : xmark::XMarkQueries()) {
+    RunOne(db, q.text, ("Q" + std::to_string(q.number)).c_str(), compare);
+  }
+  return 0;
+}

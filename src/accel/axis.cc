@@ -1,0 +1,99 @@
+#include "accel/axis.h"
+
+namespace pathfinder::accel {
+
+const char* AxisName(Axis a) {
+  switch (a) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kPreceding:
+      return "preceding";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+    case Axis::kAttribute:
+      return "attribute";
+  }
+  return "?";
+}
+
+bool AxisIsForward(Axis a) {
+  switch (a) {
+    case Axis::kParent:
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+    case Axis::kPreceding:
+    case Axis::kPrecedingSibling:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::string NodeTest::ToString(const StringPool& pool) const {
+  switch (kind) {
+    case Kind::kAnyKind:
+      return "node()";
+    case Kind::kElement:
+      return "*";
+    case Kind::kText:
+      return "text()";
+    case Kind::kComment:
+      return "comment()";
+    case Kind::kPi:
+      return "processing-instruction()";
+    case Kind::kName:
+      return std::string(pool.Get(name));
+  }
+  return "?";
+}
+
+bool MatchesTest(const xml::Document& doc, xml::Pre v, Axis axis,
+                 const NodeTest& test) {
+  xml::NodeKind k = doc.kind(v);
+  if (axis == Axis::kAttribute) {
+    if (k != xml::NodeKind::kAttr) return false;
+    switch (test.kind) {
+      case NodeTest::Kind::kAnyKind:
+      case NodeTest::Kind::kElement:  // attribute::* selects attributes
+        return true;
+      case NodeTest::Kind::kName:
+        return doc.prop(v) == test.name;
+      default:
+        return false;
+    }
+  }
+  if (k == xml::NodeKind::kAttr) return false;
+  switch (test.kind) {
+    case NodeTest::Kind::kAnyKind:
+      return true;
+    case NodeTest::Kind::kElement:
+      return k == xml::NodeKind::kElem;
+    case NodeTest::Kind::kText:
+      return k == xml::NodeKind::kText;
+    case NodeTest::Kind::kComment:
+      return k == xml::NodeKind::kComment;
+    case NodeTest::Kind::kPi:
+      return k == xml::NodeKind::kPi;
+    case NodeTest::Kind::kName:
+      return k == xml::NodeKind::kElem && doc.prop(v) == test.name;
+  }
+  return false;
+}
+
+}  // namespace pathfinder::accel

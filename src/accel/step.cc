@@ -1,0 +1,334 @@
+#include "accel/step.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace pathfinder::accel {
+
+using xml::Document;
+using xml::NodeKind;
+using xml::Pre;
+
+namespace {
+
+Pre End(const Document& doc, Pre v) { return v + doc.size(v); }
+
+// Children of v in document order (skipping attribute rows, jumping
+// over grandchild subtrees via the size column).
+template <typename Fn>
+void ForEachChild(const Document& doc, Pre v, Fn&& fn) {
+  Pre end = End(doc, v);
+  Pre w = v + 1;
+  while (w <= end) {
+    if (doc.kind(w) == NodeKind::kAttr) {
+      ++w;
+      continue;
+    }
+    fn(w);
+    w = End(doc, w) + 1;
+  }
+}
+
+void CollectAncestors(const Document& doc, Pre v,
+                      std::vector<Pre>* chain) {
+  // Climb levels via backwards scan; chain is emitted deepest-first.
+  Pre cur = v;
+  Pre parent;
+  while (doc.Parent(cur, &parent)) {
+    chain->push_back(parent);
+    cur = parent;
+  }
+}
+
+}  // namespace
+
+void NaiveStep(const Document& doc, Pre v, Axis axis, const NodeTest& test,
+               std::vector<Pre>* out) {
+  switch (axis) {
+    case Axis::kSelf: {
+      // self::node() on an attribute context selects the attribute.
+      if (doc.IsAttr(v)) {
+        if (test.kind == NodeTest::Kind::kAnyKind) out->push_back(v);
+      } else if (MatchesTest(doc, v, axis, test)) {
+        out->push_back(v);
+      }
+      return;
+    }
+    case Axis::kAttribute: {
+      Pre end = End(doc, v);
+      for (Pre a = v + 1; a <= end && doc.kind(a) == NodeKind::kAttr &&
+                          doc.level(a) == doc.level(v) + 1;
+           ++a) {
+        if (MatchesTest(doc, a, axis, test)) out->push_back(a);
+      }
+      return;
+    }
+    case Axis::kChild: {
+      ForEachChild(doc, v, [&](Pre w) {
+        if (MatchesTest(doc, w, axis, test)) out->push_back(w);
+      });
+      return;
+    }
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf: {
+      if (axis == Axis::kDescendantOrSelf &&
+          MatchesTest(doc, v, axis, test)) {
+        out->push_back(v);
+      }
+      Pre end = End(doc, v);
+      for (Pre w = v + 1; w <= end; ++w) {
+        if (MatchesTest(doc, w, axis, test)) out->push_back(w);
+      }
+      return;
+    }
+    case Axis::kParent: {
+      Pre p;
+      if (doc.Parent(v, &p) && MatchesTest(doc, p, axis, test)) {
+        out->push_back(p);
+      }
+      return;
+    }
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      std::vector<Pre> chain;
+      if (axis == Axis::kAncestorOrSelf) chain.push_back(v);
+      CollectAncestors(doc, v, &chain);
+      std::reverse(chain.begin(), chain.end());
+      for (Pre a : chain) {
+        if (MatchesTest(doc, a, axis, test)) out->push_back(a);
+      }
+      return;
+    }
+    case Axis::kFollowing: {
+      for (Pre w = End(doc, v) + 1; w < doc.num_nodes(); ++w) {
+        if (MatchesTest(doc, w, axis, test)) out->push_back(w);
+      }
+      return;
+    }
+    case Axis::kPreceding: {
+      for (Pre w = 1; w < v; ++w) {
+        if (End(doc, w) < v && MatchesTest(doc, w, axis, test)) {
+          out->push_back(w);
+        }
+      }
+      return;
+    }
+    case Axis::kFollowingSibling: {
+      if (doc.IsAttr(v)) return;  // attributes have no siblings
+      Pre p;
+      if (!doc.Parent(v, &p)) return;
+      ForEachChild(doc, p, [&](Pre w) {
+        if (w > v && MatchesTest(doc, w, axis, test)) out->push_back(w);
+      });
+      return;
+    }
+    case Axis::kPrecedingSibling: {
+      if (doc.IsAttr(v)) return;
+      Pre p;
+      if (!doc.Parent(v, &p)) return;
+      ForEachChild(doc, p, [&](Pre w) {
+        if (w < v && MatchesTest(doc, w, axis, test)) out->push_back(w);
+      });
+      return;
+    }
+  }
+}
+
+void StaircaseJoin(const Document& doc, const std::vector<Pre>& contexts,
+                   Axis axis, const NodeTest& test, std::vector<Pre>* out,
+                   StaircaseStats* stats) {
+  StaircaseStats local;
+  StaircaseStats& st = stats ? *stats : local;
+  st.contexts_in += contexts.size();
+  if (contexts.empty()) return;
+  size_t out_start = out->size();
+
+  switch (axis) {
+    case Axis::kSelf: {
+      for (Pre v : contexts) {
+        ++st.nodes_scanned;
+        if (doc.IsAttr(v)) {
+          if (test.kind == NodeTest::Kind::kAnyKind) out->push_back(v);
+        } else if (MatchesTest(doc, v, axis, test)) {
+          out->push_back(v);
+        }
+      }
+      break;
+    }
+    case Axis::kAttribute: {
+      // Contexts are distinct nodes, so their attribute lists are
+      // disjoint and already globally pre-ordered.
+      for (Pre v : contexts) {
+        Pre end = End(doc, v);
+        for (Pre a = v + 1; a <= end && doc.kind(a) == NodeKind::kAttr &&
+                            doc.level(a) == doc.level(v) + 1;
+             ++a) {
+          ++st.nodes_scanned;
+          if (MatchesTest(doc, a, axis, test)) out->push_back(a);
+        }
+      }
+      break;
+    }
+    case Axis::kChild: {
+      // A node has exactly one parent, so per-context child lists are
+      // disjoint; nested contexts interleave, so sort at the end.
+      for (Pre v : contexts) {
+        ForEachChild(doc, v, [&](Pre w) {
+          ++st.nodes_scanned;
+          if (MatchesTest(doc, w, axis, test)) out->push_back(w);
+        });
+      }
+      std::sort(out->begin() + static_cast<ptrdiff_t>(out_start),
+                out->end());
+      break;
+    }
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf: {
+      // Pruning: drop contexts covered by a kept context — their
+      // descendants are a subset. The survivors' regions are disjoint,
+      // so one ascending scan per region emits each result once, in
+      // global document order.
+      Pre last_end = 0;
+      bool have_last = false;
+      for (Pre v : contexts) {
+        if (have_last && v <= last_end) {
+          ++st.contexts_pruned;
+          continue;
+        }
+        if (axis == Axis::kDescendantOrSelf &&
+            MatchesTest(doc, v, axis, test)) {
+          out->push_back(v);
+        }
+        Pre end = End(doc, v);
+        for (Pre w = v + 1; w <= end; ++w) {
+          ++st.nodes_scanned;
+          if (MatchesTest(doc, w, axis, test)) out->push_back(w);
+        }
+        last_end = end;
+        have_last = true;
+      }
+      break;
+    }
+    case Axis::kParent: {
+      std::vector<Pre> collected;
+      for (Pre v : contexts) {
+        Pre p;
+        if (doc.Parent(v, &p) && MatchesTest(doc, p, axis, test)) {
+          collected.push_back(p);
+        }
+      }
+      std::sort(collected.begin(), collected.end());
+      collected.erase(std::unique(collected.begin(), collected.end()),
+                      collected.end());
+      out->insert(out->end(), collected.begin(), collected.end());
+      break;
+    }
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      // Pruning: a context that is an ancestor of the next context
+      // contributes only ancestors the next context contributes too.
+      // (Sorted input: covering contexts are adjacent.)
+      std::vector<Pre> kept;
+      for (size_t i = 0; i < contexts.size(); ++i) {
+        if (axis == Axis::kAncestor && i + 1 < contexts.size() &&
+            contexts[i + 1] <= End(doc, contexts[i])) {
+          ++st.contexts_pruned;
+          continue;
+        }
+        kept.push_back(contexts[i]);
+      }
+      // Climb from each kept context; stop at the first ancestor with
+      // pre <= the previous kept context — that ancestor (and everything
+      // above) covers the previous context too and was already emitted.
+      // Climbing stops *eagerly* at the boundary, so consecutive
+      // contexts walk disjoint pre ranges: O(doc) total.
+      std::vector<Pre> collected;
+      for (size_t i = 0; i < kept.size(); ++i) {
+        Pre v = kept[i];
+        if (axis == Axis::kAncestorOrSelf &&
+            MatchesTest(doc, v, axis, test)) {
+          collected.push_back(v);
+        }
+        Pre boundary = i == 0 ? 0 : kept[i - 1];
+        Pre cur = v;
+        Pre parent;
+        while (doc.Parent(cur, &parent)) {
+          ++st.nodes_scanned;
+          if (MatchesTest(doc, parent, axis, test)) {
+            collected.push_back(parent);
+          }
+          // At or below the boundary the remaining chain is shared with
+          // the previous context (sort+unique below deduplicates the
+          // one overlapping node).
+          if (i > 0 && parent <= boundary) break;
+          cur = parent;
+        }
+      }
+      std::sort(collected.begin(), collected.end());
+      collected.erase(std::unique(collected.begin(), collected.end()),
+                      collected.end());
+      out->insert(out->end(), collected.begin(), collected.end());
+      break;
+    }
+    case Axis::kFollowing: {
+      // The union of following sets is the following set of the context
+      // whose subtree ends first: a single scan suffices.
+      Pre min_end = End(doc, contexts[0]);
+      for (Pre v : contexts) min_end = std::min(min_end, End(doc, v));
+      st.contexts_pruned += contexts.size() - 1;
+      for (Pre w = min_end + 1; w < doc.num_nodes(); ++w) {
+        ++st.nodes_scanned;
+        if (MatchesTest(doc, w, axis, test)) out->push_back(w);
+      }
+      break;
+    }
+    case Axis::kPreceding: {
+      // Dually, preceding of the right-most context covers the union.
+      Pre vmax = contexts.back();
+      st.contexts_pruned += contexts.size() - 1;
+      Pre w = 1;
+      while (w < vmax) {
+        if (End(doc, w) < vmax) {
+          // Whole subtree precedes vmax: test every node in it, then
+          // skip to the next subtree (each row touched exactly once).
+          Pre end = End(doc, w);
+          for (Pre u = w; u <= end; ++u) {
+            ++st.nodes_scanned;
+            if (MatchesTest(doc, u, axis, test)) out->push_back(u);
+          }
+          w = end + 1;
+        } else {
+          // w is an ancestor of vmax: not preceding, descend into it.
+          ++st.nodes_scanned;
+          ++w;
+        }
+      }
+      break;
+    }
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling: {
+      // Sibling sets of sibling contexts overlap: collect + dedup.
+      std::vector<Pre> collected;
+      for (Pre v : contexts) {
+        if (doc.IsAttr(v)) continue;
+        Pre p;
+        if (!doc.Parent(v, &p)) continue;
+        ForEachChild(doc, p, [&](Pre w) {
+          ++st.nodes_scanned;
+          bool keep = axis == Axis::kFollowingSibling ? w > v : w < v;
+          if (keep && MatchesTest(doc, w, axis, test)) {
+            collected.push_back(w);
+          }
+        });
+      }
+      std::sort(collected.begin(), collected.end());
+      collected.erase(std::unique(collected.begin(), collected.end()),
+                      collected.end());
+      out->insert(out->end(), collected.begin(), collected.end());
+      break;
+    }
+  }
+  st.results += out->size() - out_start;
+}
+
+}  // namespace pathfinder::accel

@@ -1,0 +1,53 @@
+#ifndef PATHFINDER_ACCEL_STEP_H_
+#define PATHFINDER_ACCEL_STEP_H_
+
+#include <vector>
+
+#include "accel/axis.h"
+#include "xml/document.h"
+
+namespace pathfinder::accel {
+
+/// Naive single-context axis step: evaluate `axis::test` from context
+/// node `v` by region selection over the pre|size|level encoding (the
+/// "tree-unaware RDBMS" strategy the paper improves on). Results are
+/// appended to `out` in document order.
+///
+/// This is the correctness oracle for the staircase join and the
+/// ablation baseline of bench_staircase.
+void NaiveStep(const xml::Document& doc, xml::Pre v, Axis axis,
+               const NodeTest& test, std::vector<xml::Pre>* out);
+
+/// Counters reported by the staircase join (ablation bench E6).
+struct StaircaseStats {
+  size_t contexts_in = 0;
+  size_t contexts_pruned = 0;  // removed by the pruning phase
+  size_t nodes_scanned = 0;    // encoding rows touched
+  size_t results = 0;
+
+  void Reset() { *this = StaircaseStats{}; }
+};
+
+/// Staircase join (paper [7], Sec. 2 "XPath axes"): evaluate one axis
+/// step for a whole *sequence* of context nodes in a single pass.
+///
+/// `contexts` must be duplicate-free and sorted by pre (document order);
+/// the result is duplicate-free and in document order — i.e. the
+/// operator has the fs:distinct-doc-order postcondition built in, which
+/// is why the compiler can drop explicit sort/dedup steps after it.
+///
+/// Tree-awareness exploited:
+///  * pruning: context nodes covered by another context are dropped
+///    before scanning (descendant/ancestor/self variants),
+///  * partitioning: the remaining contexts partition the pre axis, so
+///    each encoding row is inspected at most once,
+///  * skipping: subtrees that cannot contain results are jumped over
+///    via the size column.
+void StaircaseJoin(const xml::Document& doc,
+                   const std::vector<xml::Pre>& contexts, Axis axis,
+                   const NodeTest& test, std::vector<xml::Pre>* out,
+                   StaircaseStats* stats = nullptr);
+
+}  // namespace pathfinder::accel
+
+#endif  // PATHFINDER_ACCEL_STEP_H_

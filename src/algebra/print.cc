@@ -1,0 +1,177 @@
+#include "algebra/print.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bat/item_ops.h"
+
+namespace pathfinder::algebra {
+
+namespace {
+
+void RenderItem(std::ostream& os, const Item& it, const StringPool& pool) {
+  switch (it.kind) {
+    case ItemKind::kInt:
+      os << it.AsInt();
+      break;
+    case ItemKind::kDbl:
+      os << it.AsDbl();
+      break;
+    case ItemKind::kStr:
+    case ItemKind::kUntyped:
+      os << '"' << pool.Get(it.AsStr()) << '"';
+      break;
+    case ItemKind::kBool:
+      os << (it.AsBool() ? "true" : "false");
+      break;
+    case ItemKind::kNode:
+    case ItemKind::kAttr:
+      os << "node(" << it.NodeFrag() << "," << it.NodePre() << ")";
+      break;
+  }
+}
+
+std::string JoinNames(const std::vector<std::string>& v) {
+  std::string s;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) s += ",";
+    s += v[i];
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string OpLabel(const Op& op, const StringPool& pool) {
+  std::ostringstream os;
+  os << OpKindName(op.kind);
+  switch (op.kind) {
+    case OpKind::kLitTable: {
+      os << " (" << JoinNames(op.names) << ")";
+      if (op.rows.empty()) {
+        os << " empty";
+      } else if (op.rows.size() <= 2) {
+        for (const auto& row : op.rows) {
+          os << " [";
+          for (size_t i = 0; i < row.size(); ++i) {
+            if (i) os << ",";
+            RenderItem(os, row[i], pool);
+          }
+          os << "]";
+        }
+      } else {
+        os << " " << op.rows.size() << " rows";
+      }
+      break;
+    }
+    case OpKind::kProject: {
+      os << " ";
+      for (size_t i = 0; i < op.proj.size(); ++i) {
+        if (i) os << ",";
+        if (op.proj[i].first == op.proj[i].second) {
+          os << op.proj[i].first;
+        } else {
+          os << op.proj[i].first << ":" << op.proj[i].second;
+        }
+      }
+      break;
+    }
+    case OpKind::kAttach: {
+      os << " " << op.out << "=";
+      RenderItem(os, op.attach_val, pool);
+      break;
+    }
+    case OpKind::kSelect:
+      os << " " << op.col;
+      break;
+    case OpKind::kDifference:
+    case OpKind::kDistinct:
+      if (!op.keys.empty()) os << " on " << JoinNames(op.keys);
+      break;
+    case OpKind::kEquiJoin:
+      os << " " << op.col << "=" << op.col2;
+      break;
+    case OpKind::kThetaJoin: {
+      const char* ops[] = {"=", "!=", "<", "<=", ">", ">="};
+      os << " " << op.col << ops[static_cast<int>(op.cmp)] << op.col2;
+      break;
+    }
+    case OpKind::kRowNum:
+      os << " " << op.out << ":<" << JoinNames(op.part) << ">";
+      if (!op.order.empty()) os << "/" << JoinNames(op.order);
+      break;
+    case OpKind::kStep:
+      os << " " << accel::AxisName(op.axis)
+         << "::" << op.test.ToString(pool);
+      break;
+    case OpKind::kFun1:
+      os << " " << op.out << "=" << Fun1Name(op.fun1) << "(" << op.col
+         << ")";
+      break;
+    case OpKind::kFun2:
+      os << " " << op.out << "=(" << op.col << " " << Fun2Name(op.fun2)
+         << " " << op.col2 << ")";
+      break;
+    case OpKind::kAggr: {
+      const char* aggs[] = {"count", "sum", "avg", "max", "min"};
+      os << " " << op.out << "=" << aggs[static_cast<int>(op.agg)] << "("
+         << op.col2 << ")/" << op.col;
+      break;
+    }
+    default:
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+void PrintText(const OpPtr& op, const StringPool& pool, int indent,
+               std::unordered_set<const Op*>* printed, std::ostream& os) {
+  for (int i = 0; i < indent; ++i) os << "  ";
+  if (printed->count(op.get())) {
+    os << "^" << op->id << "\n";
+    return;
+  }
+  // Only mark nodes with multiple possible visits; cheap to mark all.
+  printed->insert(op.get());
+  os << "#" << op->id << " " << OpLabel(*op, pool) << "\n";
+  for (const auto& c : op->children) {
+    PrintText(c, pool, indent + 1, printed, os);
+  }
+}
+
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PlanToText(const OpPtr& root, const StringPool& pool) {
+  std::ostringstream os;
+  std::unordered_set<const Op*> printed;
+  PrintText(root, pool, 0, &printed, os);
+  return os.str();
+}
+
+std::string PlanToDot(const OpPtr& root, const StringPool& pool) {
+  std::ostringstream os;
+  os << "digraph plan {\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (Op* op : TopoOrder(root)) {
+    os << "  n" << op->id << " [label=\"" << DotEscape(OpLabel(*op, pool))
+       << "\"];\n";
+    for (const auto& c : op->children) {
+      os << "  n" << op->id << " -> n" << c->id << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace pathfinder::algebra

@@ -1,0 +1,26 @@
+#ifndef PATHFINDER_ALGEBRA_PRINT_H_
+#define PATHFINDER_ALGEBRA_PRINT_H_
+
+#include <string>
+
+#include "algebra/op.h"
+#include "base/string_pool.h"
+
+namespace pathfinder::algebra {
+
+/// One-line description of a single operator (kind + parameters),
+/// e.g. "rownum pos1:<iter>/pos" or "scjoin descendant::item".
+std::string OpLabel(const Op& op, const StringPool& pool);
+
+/// Indented text rendering of the plan DAG. Shared subplans are printed
+/// once and referenced as "^<id>" afterwards (plans are DAGs, paper
+/// Sec. 2).
+std::string PlanToText(const OpPtr& root, const StringPool& pool);
+
+/// Graphviz dot rendering (the demo's "graphical output of relational
+/// query plans", paper Sec. 4 / Fig. 5).
+std::string PlanToDot(const OpPtr& root, const StringPool& pool);
+
+}  // namespace pathfinder::algebra
+
+#endif  // PATHFINDER_ALGEBRA_PRINT_H_

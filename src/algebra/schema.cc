@@ -1,0 +1,362 @@
+#include "algebra/schema.h"
+
+#include <sstream>
+
+namespace pathfinder::algebra {
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i) os << " | ";
+    os << cols[i].first << ":" << bat::ColTypeName(cols[i].second);
+  }
+  return os.str();
+}
+
+namespace {
+
+Status Fail(const Op& op, const std::string& msg) {
+  return Status::Internal(std::string(OpKindName(op.kind)) + " (op " +
+                          std::to_string(op.id) + "): " + msg);
+}
+
+Result<bat::ColType> ColOf(const Op& op, const Schema& s,
+                           const std::string& name) {
+  int i = s.Find(name);
+  if (i < 0) return Fail(op, "unknown column '" + name + "'");
+  return s.cols[static_cast<size_t>(i)].second;
+}
+
+Status RequireSeqCols(const Op& op, const Schema& s, bool need_pos) {
+  PF_ASSIGN_OR_RETURN(bat::ColType it, ColOf(op, s, "iter"));
+  if (it != bat::ColType::kInt) return Fail(op, "iter must be int");
+  PF_ASSIGN_OR_RETURN(bat::ColType im, ColOf(op, s, "item"));
+  if (im != bat::ColType::kItem) return Fail(op, "item must be item");
+  if (need_pos) {
+    PF_ASSIGN_OR_RETURN(bat::ColType p, ColOf(op, s, "pos"));
+    if (p != bat::ColType::kInt) return Fail(op, "pos must be int");
+  }
+  return Status::OK();
+}
+
+Result<Schema> InferOne(const Op& op, const std::vector<const Schema*>& cs) {
+  auto require_children = [&](size_t n) -> Status {
+    if (cs.size() != n) {
+      return Fail(op, "expected " + std::to_string(n) + " children, got " +
+                          std::to_string(cs.size()));
+    }
+    return Status::OK();
+  };
+
+  switch (op.kind) {
+    case OpKind::kLitTable: {
+      PF_RETURN_NOT_OK(require_children(0));
+      if (op.names.size() != op.types.size()) {
+        return Fail(op, "names/types size mismatch");
+      }
+      for (const auto& row : op.rows) {
+        if (row.size() != op.names.size()) {
+          return Fail(op, "row width mismatch");
+        }
+      }
+      Schema s;
+      for (size_t i = 0; i < op.names.size(); ++i) {
+        if (s.Has(op.names[i])) {
+          return Fail(op, "duplicate column '" + op.names[i] + "'");
+        }
+        s.cols.emplace_back(op.names[i], op.types[i]);
+      }
+      return s;
+    }
+    case OpKind::kProject: {
+      PF_RETURN_NOT_OK(require_children(1));
+      Schema s;
+      for (const auto& [nw, old] : op.proj) {
+        PF_ASSIGN_OR_RETURN(bat::ColType t, ColOf(op, *cs[0], old));
+        if (s.Has(nw)) return Fail(op, "duplicate output column '" + nw + "'");
+        s.cols.emplace_back(nw, t);
+      }
+      return s;
+    }
+    case OpKind::kAttach: {
+      PF_RETURN_NOT_OK(require_children(1));
+      if (cs[0]->Has(op.out)) {
+        return Fail(op, "attached column '" + op.out + "' already exists");
+      }
+      Schema s = *cs[0];
+      s.cols.emplace_back(op.out, op.types.at(0));
+      return s;
+    }
+    case OpKind::kSelect: {
+      PF_RETURN_NOT_OK(require_children(1));
+      PF_ASSIGN_OR_RETURN(bat::ColType t, ColOf(op, *cs[0], op.col));
+      if (t != bat::ColType::kBool) {
+        return Fail(op, "selection predicate must be bool");
+      }
+      return *cs[0];
+    }
+    case OpKind::kDisjointUnion: {
+      PF_RETURN_NOT_OK(require_children(2));
+      if (cs[0]->cols.size() != cs[1]->cols.size()) {
+        return Fail(op, "schema width mismatch");
+      }
+      for (const auto& [name, type] : cs[0]->cols) {
+        PF_ASSIGN_OR_RETURN(bat::ColType t2, ColOf(op, *cs[1], name));
+        if (t2 != type) {
+          return Fail(op, "column '" + name + "' type mismatch");
+        }
+      }
+      return *cs[0];
+    }
+    case OpKind::kDifference: {
+      PF_RETURN_NOT_OK(require_children(2));
+      const auto& keys = op.keys;
+      if (keys.empty()) return Fail(op, "difference needs key columns");
+      for (const auto& k : keys) {
+        PF_ASSIGN_OR_RETURN(bat::ColType ta, ColOf(op, *cs[0], k));
+        PF_ASSIGN_OR_RETURN(bat::ColType tb, ColOf(op, *cs[1], k));
+        if (ta != tb) return Fail(op, "key '" + k + "' type mismatch");
+      }
+      return *cs[0];
+    }
+    case OpKind::kDistinct: {
+      PF_RETURN_NOT_OK(require_children(1));
+      for (const auto& k : op.keys) {
+        PF_RETURN_NOT_OK(ColOf(op, *cs[0], k).status());
+      }
+      return *cs[0];
+    }
+    case OpKind::kEquiJoin:
+    case OpKind::kThetaJoin: {
+      PF_RETURN_NOT_OK(require_children(2));
+      PF_ASSIGN_OR_RETURN(bat::ColType ta, ColOf(op, *cs[0], op.col));
+      PF_ASSIGN_OR_RETURN(bat::ColType tb, ColOf(op, *cs[1], op.col2));
+      if (op.kind == OpKind::kEquiJoin && ta != tb) {
+        return Fail(op, "join key type mismatch");
+      }
+      Schema s = *cs[0];
+      for (const auto& [name, type] : cs[1]->cols) {
+        if (s.Has(name)) {
+          return Fail(op, "join sides share column '" + name + "'");
+        }
+        s.cols.emplace_back(name, type);
+      }
+      return s;
+    }
+    case OpKind::kCross: {
+      PF_RETURN_NOT_OK(require_children(2));
+      Schema s = *cs[0];
+      for (const auto& [name, type] : cs[1]->cols) {
+        if (s.Has(name)) {
+          return Fail(op, "cross sides share column '" + name + "'");
+        }
+        s.cols.emplace_back(name, type);
+      }
+      return s;
+    }
+    case OpKind::kRowNum: {
+      PF_RETURN_NOT_OK(require_children(1));
+      if (!op.order_desc.empty() &&
+          op.order_desc.size() != op.order.size()) {
+        return Fail(op, "order_desc size mismatch");
+      }
+      for (const auto& k : op.part) {
+        PF_RETURN_NOT_OK(ColOf(op, *cs[0], k).status());
+      }
+      for (const auto& k : op.order) {
+        PF_RETURN_NOT_OK(ColOf(op, *cs[0], k).status());
+      }
+      if (cs[0]->Has(op.out)) {
+        return Fail(op, "rownum column '" + op.out + "' already exists");
+      }
+      Schema s = *cs[0];
+      s.cols.emplace_back(op.out, bat::ColType::kInt);
+      return s;
+    }
+    case OpKind::kStep: {
+      PF_RETURN_NOT_OK(require_children(1));
+      PF_RETURN_NOT_OK(RequireSeqCols(op, *cs[0], /*need_pos=*/false));
+      Schema s;
+      s.cols.emplace_back("iter", bat::ColType::kInt);
+      s.cols.emplace_back("item", bat::ColType::kItem);
+      return s;
+    }
+    case OpKind::kDocRoot: {
+      PF_RETURN_NOT_OK(require_children(1));
+      PF_RETURN_NOT_OK(RequireSeqCols(op, *cs[0], /*need_pos=*/false));
+      Schema s;
+      s.cols.emplace_back("iter", bat::ColType::kInt);
+      s.cols.emplace_back("item", bat::ColType::kItem);
+      return s;
+    }
+    case OpKind::kElemConstr: {
+      PF_RETURN_NOT_OK(require_children(2));
+      PF_RETURN_NOT_OK(RequireSeqCols(op, *cs[0], /*need_pos=*/false));
+      PF_RETURN_NOT_OK(RequireSeqCols(op, *cs[1], /*need_pos=*/true));
+      Schema s;
+      s.cols.emplace_back("iter", bat::ColType::kInt);
+      s.cols.emplace_back("item", bat::ColType::kItem);
+      return s;
+    }
+    case OpKind::kTextConstr: {
+      PF_RETURN_NOT_OK(require_children(1));
+      PF_RETURN_NOT_OK(RequireSeqCols(op, *cs[0], /*need_pos=*/false));
+      Schema s;
+      s.cols.emplace_back("iter", bat::ColType::kInt);
+      s.cols.emplace_back("item", bat::ColType::kItem);
+      return s;
+    }
+    case OpKind::kStrJoin: {
+      PF_RETURN_NOT_OK(require_children(2));
+      PF_RETURN_NOT_OK(RequireSeqCols(op, *cs[0], /*need_pos=*/true));
+      PF_RETURN_NOT_OK(RequireSeqCols(op, *cs[1], /*need_pos=*/false));
+      Schema s;
+      s.cols.emplace_back("iter", bat::ColType::kInt);
+      s.cols.emplace_back("item", bat::ColType::kItem);
+      return s;
+    }
+    case OpKind::kAttrConstr: {
+      PF_RETURN_NOT_OK(require_children(1));
+      PF_RETURN_NOT_OK(RequireSeqCols(op, *cs[0], /*need_pos=*/true));
+      if (op.out.empty()) return Fail(op, "attribute name missing");
+      Schema s;
+      s.cols.emplace_back("iter", bat::ColType::kInt);
+      s.cols.emplace_back("item", bat::ColType::kItem);
+      return s;
+    }
+    case OpKind::kFun1: {
+      PF_RETURN_NOT_OK(require_children(1));
+      PF_ASSIGN_OR_RETURN(bat::ColType tin, ColOf(op, *cs[0], op.col));
+      bat::ColType expect_in, tout;
+      switch (op.fun1) {
+        case Fun1::kNot:
+          expect_in = bat::ColType::kBool;
+          tout = bat::ColType::kBool;
+          break;
+        case Fun1::kBoolToItem:
+          expect_in = bat::ColType::kBool;
+          tout = bat::ColType::kItem;
+          break;
+        case Fun1::kItemToBool:
+        case Fun1::kIsElement:
+        case Fun1::kIsAttribute:
+        case Fun1::kIsText:
+        case Fun1::kIsNode:
+        case Fun1::kIsInt:
+        case Fun1::kIsDouble:
+        case Fun1::kIsString:
+        case Fun1::kIsBool:
+          expect_in = bat::ColType::kItem;
+          tout = bat::ColType::kBool;
+          break;
+        case Fun1::kIntToItem:
+          expect_in = bat::ColType::kInt;
+          tout = bat::ColType::kItem;
+          break;
+        default:
+          expect_in = bat::ColType::kItem;
+          tout = bat::ColType::kItem;
+          break;
+      }
+      if (tin != expect_in) return Fail(op, "fun1 input type mismatch");
+      if (cs[0]->Has(op.out)) {
+        return Fail(op, "fun1 output '" + op.out + "' already exists");
+      }
+      Schema s = *cs[0];
+      s.cols.emplace_back(op.out, tout);
+      return s;
+    }
+    case OpKind::kFun2: {
+      PF_RETURN_NOT_OK(require_children(1));
+      PF_ASSIGN_OR_RETURN(bat::ColType t1, ColOf(op, *cs[0], op.col));
+      PF_ASSIGN_OR_RETURN(bat::ColType t2, ColOf(op, *cs[0], op.col2));
+      bat::ColType expect, tout;
+      switch (op.fun2) {
+        case Fun2::kAnd:
+        case Fun2::kOr:
+          expect = bat::ColType::kBool;
+          tout = bat::ColType::kBool;
+          break;
+        case Fun2::kAdd:
+        case Fun2::kSub:
+        case Fun2::kMul:
+        case Fun2::kDiv:
+        case Fun2::kIdiv:
+        case Fun2::kMod:
+        case Fun2::kConcat:
+        case Fun2::kSubstrFrom:
+        case Fun2::kSubstrLen:
+          expect = bat::ColType::kItem;
+          tout = bat::ColType::kItem;
+          break;
+        default:
+          expect = bat::ColType::kItem;
+          tout = bat::ColType::kBool;
+          break;
+      }
+      if (t1 != expect || t2 != expect) {
+        return Fail(op, "fun2 input type mismatch");
+      }
+      if (cs[0]->Has(op.out)) {
+        return Fail(op, "fun2 output '" + op.out + "' already exists");
+      }
+      Schema s = *cs[0];
+      s.cols.emplace_back(op.out, tout);
+      return s;
+    }
+    case OpKind::kAggr: {
+      PF_RETURN_NOT_OK(require_children(1));
+      PF_ASSIGN_OR_RETURN(bat::ColType tp, ColOf(op, *cs[0], op.col));
+      if (tp != bat::ColType::kInt) {
+        return Fail(op, "aggregate partition column must be int");
+      }
+      if (!op.col2.empty()) {
+        PF_ASSIGN_OR_RETURN(bat::ColType tv, ColOf(op, *cs[0], op.col2));
+        if (tv != bat::ColType::kItem) {
+          return Fail(op, "aggregate value column must be item");
+        }
+      } else if (op.agg != bat::AggKind::kCount) {
+        return Fail(op, "only count may omit the value column");
+      }
+      Schema s;
+      s.cols.emplace_back(op.col, bat::ColType::kInt);
+      s.cols.emplace_back(op.out, bat::ColType::kItem);
+      return s;
+    }
+    case OpKind::kSerialize: {
+      PF_RETURN_NOT_OK(require_children(1));
+      PF_RETURN_NOT_OK(RequireSeqCols(op, *cs[0], /*need_pos=*/true));
+      return *cs[0];
+    }
+  }
+  return Fail(op, "unknown operator kind");
+}
+
+}  // namespace
+
+Result<Schema> InferSchemas(
+    const OpPtr& root, std::unordered_map<const Op*, Schema>* schemas) {
+  std::unordered_map<const Op*, Schema> local;
+  auto& memo = schemas ? *schemas : local;
+  std::vector<Op*> order = TopoOrder(root);
+  for (Op* op : order) {
+    std::vector<const Schema*> cs;
+    cs.reserve(op->children.size());
+    for (const auto& c : op->children) {
+      auto it = memo.find(c.get());
+      if (it == memo.end()) {
+        return Status::Internal("topo order broken in InferSchemas");
+      }
+      cs.push_back(&it->second);
+    }
+    PF_ASSIGN_OR_RETURN(Schema s, InferOne(*op, cs));
+    memo.emplace(op, std::move(s));
+  }
+  return memo.at(root.get());
+}
+
+Status ValidatePlan(const OpPtr& root) {
+  return InferSchemas(root).status();
+}
+
+}  // namespace pathfinder::algebra

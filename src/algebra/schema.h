@@ -1,0 +1,45 @@
+#ifndef PATHFINDER_ALGEBRA_SCHEMA_H_
+#define PATHFINDER_ALGEBRA_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "algebra/op.h"
+#include "base/result.h"
+
+namespace pathfinder::algebra {
+
+/// Inferred relational schema of an operator's output.
+struct Schema {
+  std::vector<std::pair<std::string, bat::ColType>> cols;
+
+  int Find(const std::string& name) const {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i].first == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  bool Has(const std::string& name) const { return Find(name) >= 0; }
+
+  std::string ToString() const;
+};
+
+/// Infer (and thereby validate) the schema of every node in the DAG.
+///
+/// Fails with kInternal on any structural plan bug: unknown columns,
+/// type mismatches, name clashes across join inputs, wrong child
+/// arity, etc. The compiler runs this after every compilation and the
+/// optimizer after every rewrite (in tests), so malformed plans are
+/// caught before execution.
+Result<Schema> InferSchemas(
+    const OpPtr& root,
+    std::unordered_map<const Op*, Schema>* schemas = nullptr);
+
+/// Convenience: validate the whole plan, discarding schemas.
+Status ValidatePlan(const OpPtr& root);
+
+}  // namespace pathfinder::algebra
+
+#endif  // PATHFINDER_ALGEBRA_SCHEMA_H_

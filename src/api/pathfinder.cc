@@ -1,0 +1,51 @@
+#include "api/pathfinder.h"
+
+#include "engine/executor.h"
+#include "frontend/normalize.h"
+#include "frontend/parser.h"
+#include "runtime/serialize.h"
+
+namespace pathfinder {
+
+Result<std::string> QueryResult::Serialize() const {
+  return runtime::SerializeSequence(*ctx, items);
+}
+
+Result<frontend::ExprPtr> Pathfinder::Translate(
+    const std::string& query, const QueryOptions& opts) const {
+  PF_ASSIGN_OR_RETURN(frontend::Module mod, frontend::ParseQuery(query));
+  frontend::NormalizeOptions nopts;
+  nopts.context_doc = opts.context_doc;
+  return frontend::Normalize(mod, nopts);
+}
+
+Result<algebra::OpPtr> Pathfinder::CompilePlan(
+    const frontend::ExprPtr& core, const QueryOptions& opts,
+    compiler::CompileStats* stats) const {
+  compiler::CompileOptions copts;
+  copts.join_recognition = opts.join_recognition;
+  return compiler::Compile(core, db_, copts, stats);
+}
+
+Result<QueryResult> Pathfinder::Run(const std::string& query,
+                                    const QueryOptions& opts) const {
+  QueryResult res;
+  PF_ASSIGN_OR_RETURN(res.core, Translate(query, opts));
+  PF_ASSIGN_OR_RETURN(res.plan,
+                      CompilePlan(res.core, opts, &res.compile_stats));
+  if (opts.optimize) {
+    PF_ASSIGN_OR_RETURN(res.plan_opt,
+                        opt::Optimize(res.plan, &res.opt_stats));
+  } else {
+    res.plan_opt = res.plan;
+  }
+  res.ctx = std::make_unique<engine::QueryContext>(db_);
+  res.ctx->use_staircase = opts.use_staircase;
+  PF_ASSIGN_OR_RETURN(bat::Table t,
+                      engine::Execute(res.plan_opt, res.ctx.get()));
+  PF_ASSIGN_OR_RETURN(res.items, runtime::TableToSequence(t));
+  res.scj_stats = res.ctx->scj_stats;
+  return res;
+}
+
+}  // namespace pathfinder

@@ -1,0 +1,79 @@
+#ifndef PATHFINDER_API_PATHFINDER_H_
+#define PATHFINDER_API_PATHFINDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/step.h"
+#include "algebra/op.h"
+#include "base/result.h"
+#include "compiler/compile.h"
+#include "engine/query_context.h"
+#include "frontend/ast.h"
+#include "opt/optimize.h"
+#include "xml/database.h"
+
+namespace pathfinder {
+
+/// Per-query knobs (defaults reproduce the paper's configuration).
+struct QueryOptions {
+  /// Document a leading "/" refers to (fn:doc(...) otherwise).
+  std::string context_doc;
+  /// Compiler join recognition (ablation E7).
+  bool join_recognition = true;
+  /// Peephole plan optimization (E5).
+  bool optimize = true;
+  /// Staircase join vs naive region selection for steps (ablation E6).
+  bool use_staircase = true;
+};
+
+/// A completed query: the result sequence plus every intermediate stage
+/// for inspection (the demo's "under the hood" hooks, paper Sec. 4).
+struct QueryResult {
+  std::vector<Item> items;
+
+  frontend::ExprPtr core;        // normalized XQuery Core
+  algebra::OpPtr plan;           // compiled plan (before optimization)
+  algebra::OpPtr plan_opt;       // executed plan
+  compiler::CompileStats compile_stats;
+  opt::OptimizeStats opt_stats;
+  accel::StaircaseStats scj_stats;
+
+  /// Owns fragments constructed during evaluation; `items` referencing
+  /// constructed nodes stay valid while this lives.
+  std::unique_ptr<engine::QueryContext> ctx;
+
+  /// Serialize the result sequence to XML/text.
+  Result<std::string> Serialize() const;
+};
+
+/// Facade over the full stack: parse -> normalize -> loop-lift ->
+/// optimize -> execute on the column store -> serialize.
+class Pathfinder {
+ public:
+  explicit Pathfinder(xml::Database* db) : db_(db) {}
+
+  /// Parse and normalize only (the demo's Core output).
+  Result<frontend::ExprPtr> Translate(const std::string& query,
+                                      const QueryOptions& opts = {}) const;
+
+  /// Compile a normalized core expression to an (unoptimized) plan.
+  Result<algebra::OpPtr> CompilePlan(const frontend::ExprPtr& core,
+                                     const QueryOptions& opts = {},
+                                     compiler::CompileStats* stats =
+                                         nullptr) const;
+
+  /// End-to-end evaluation.
+  Result<QueryResult> Run(const std::string& query,
+                          const QueryOptions& opts = {}) const;
+
+  xml::Database* db() const { return db_; }
+
+ private:
+  xml::Database* db_;
+};
+
+}  // namespace pathfinder
+
+#endif  // PATHFINDER_API_PATHFINDER_H_

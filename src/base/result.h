@@ -1,0 +1,72 @@
+#ifndef PATHFINDER_BASE_RESULT_H_
+#define PATHFINDER_BASE_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "base/status.h"
+
+namespace pathfinder {
+
+/// Either a value of type T or a non-OK Status.
+///
+/// Mirrors arrow::Result<T>: construct implicitly from a T or from a
+/// Status; access the value only after checking ok().
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): by-design implicit, like
+  // arrow::Result, so `return value;` and `return SomeError();` both work.
+  Result(T value) : v_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {
+    assert(!std::get<Status>(v_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Evaluate a Result expression; on error propagate the Status, otherwise
+/// bind the value to `lhs`.
+#define PF_ASSIGN_OR_RETURN(lhs, expr)                       \
+  PF_ASSIGN_OR_RETURN_IMPL(                                  \
+      PF_RESULT_CONCAT(_pf_result_, __LINE__), lhs, expr)
+
+#define PF_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#define PF_RESULT_CONCAT_INNER(a, b) a##b
+#define PF_RESULT_CONCAT(a, b) PF_RESULT_CONCAT_INNER(a, b)
+
+}  // namespace pathfinder
+
+#endif  // PATHFINDER_BASE_RESULT_H_

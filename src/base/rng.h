@@ -1,0 +1,48 @@
+#ifndef PATHFINDER_BASE_RNG_H_
+#define PATHFINDER_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace pathfinder {
+
+/// Deterministic xorshift64* PRNG.
+///
+/// Used by the XMark generator and the property-test drivers so that
+/// every run (and every platform) produces identical documents and
+/// workloads — a requirement for reproducible benchmark rows.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace pathfinder
+
+#endif  // PATHFINDER_BASE_RNG_H_

@@ -1,0 +1,74 @@
+#ifndef PATHFINDER_BASE_STATUS_H_
+#define PATHFINDER_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace pathfinder {
+
+/// Error categories used across the Pathfinder stack.
+///
+/// The library does not throw exceptions across API boundaries; fallible
+/// operations return a Status (or a Result<T>, see result.h) in the style
+/// of Arrow/RocksDB.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // XML or XQuery syntax error
+  kTypeError,         // dynamic type mismatch during compilation/evaluation
+  kNotSupported,      // construct outside the supported dialect
+  kNotFound,          // named entity (document, function, variable) missing
+  kInternal,          // invariant violation inside the library
+};
+
+/// Outcome of a fallible operation: either OK or a code plus message.
+///
+/// Cheap to move; the OK path stores no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status TypeError(std::string m) {
+    return Status(StatusCode::kTypeError, std::move(m));
+  }
+  static Status NotSupported(std::string m) {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>", for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define PF_RETURN_NOT_OK(expr)                    \
+  do {                                            \
+    ::pathfinder::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace pathfinder
+
+#endif  // PATHFINDER_BASE_STATUS_H_

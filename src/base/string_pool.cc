@@ -1,0 +1,22 @@
+#include "base/string_pool.h"
+
+namespace pathfinder {
+
+StrId StringPool::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  StrId id = static_cast<StrId>(strings_.size());
+  strings_.emplace_back(s);
+  payload_bytes_ += s.size();
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+bool StringPool::Find(std::string_view s, StrId* id) const {
+  auto it = index_.find(s);
+  if (it == index_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+}  // namespace pathfinder

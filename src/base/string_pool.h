@@ -1,0 +1,53 @@
+#ifndef PATHFINDER_BASE_STRING_POOL_H_
+#define PATHFINDER_BASE_STRING_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace pathfinder {
+
+/// Id of an interned string. Dense, starting at 0.
+using StrId = uint32_t;
+
+/// Append-only interning pool.
+///
+/// This is the "property BAT" of the paper's Section 3.1: node properties
+/// (tag names, text content, attribute values) are kept unique here and
+/// referenced by surrogate (StrId). Nodes with identical properties share
+/// the same surrogate, which both avoids string comparisons at query time
+/// and reduces storage.
+class StringPool {
+ public:
+  StringPool() = default;
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// Intern `s`, returning its (possibly pre-existing) surrogate.
+  StrId Intern(std::string_view s);
+
+  /// Look up an already-interned string; returns false if absent.
+  bool Find(std::string_view s, StrId* id) const;
+
+  /// The string for a surrogate. `id` must be valid.
+  std::string_view Get(StrId id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+  /// Total bytes of unique string payload (for storage accounting).
+  size_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  // deque: element addresses are stable under growth, so the string_view
+  // keys in index_ stay valid (a vector would move SSO buffers on
+  // reallocation).
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, StrId> index_;
+  size_t payload_bytes_ = 0;
+};
+
+}  // namespace pathfinder
+
+#endif  // PATHFINDER_BASE_STRING_POOL_H_

@@ -1,0 +1,61 @@
+#ifndef PATHFINDER_BASELINE_DOM_H_
+#define PATHFINDER_BASELINE_DOM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/axis.h"
+#include "base/string_pool.h"
+#include "xml/document.h"
+
+namespace pathfinder::baseline {
+
+/// A classic pointer-based DOM node, as a navigational XML database
+/// (the X-Hive stand-in) would materialize it: parent pointer, child
+/// pointer vector, attributes separate. `pre` ties the node back to the
+/// shared (FragId, pre) item representation so both engines exchange
+/// identical node identities.
+struct DomNode {
+  xml::NodeKind kind = xml::NodeKind::kElem;
+  StrId name = 0;   // element tag / attribute name / PI target
+  StrId value = 0;  // text/comment content / attribute value
+  DomNode* parent = nullptr;
+  std::vector<DomNode*> children;  // attributes excluded
+  std::vector<DomNode*> attrs;
+  xml::Pre pre = 0;
+};
+
+/// A DOM materialized from the relational encoding once per fragment
+/// (the baseline engine's working representation; all navigation is
+/// pointer chasing from here on).
+class Dom {
+ public:
+  explicit Dom(const xml::Document& doc);
+  Dom(const Dom&) = delete;
+  Dom& operator=(const Dom&) = delete;
+
+  DomNode* node(xml::Pre p) { return &nodes_[p]; }
+  const DomNode* node(xml::Pre p) const { return &nodes_[p]; }
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  std::vector<DomNode> nodes_;
+};
+
+/// Does `n` pass `test` in the context of `axis`? (Mirrors
+/// accel::MatchesTest, on DOM nodes.)
+bool DomMatches(const DomNode& n, accel::Axis axis,
+                const accel::NodeTest& test);
+
+/// Navigational axis step from one context node: recursive pointer
+/// traversal, results appended in document order.
+void DomStep(DomNode* ctx, accel::Axis axis, const accel::NodeTest& test,
+             std::vector<DomNode*>* out);
+
+/// XPath string value by recursive descent over the pointers.
+std::string DomStringValue(const DomNode* n, const StringPool& pool);
+
+}  // namespace pathfinder::baseline
+
+#endif  // PATHFINDER_BASELINE_DOM_H_

@@ -1,0 +1,59 @@
+#ifndef PATHFINDER_BASELINE_INTERP_H_
+#define PATHFINDER_BASELINE_INTERP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "bat/item.h"
+#include "engine/query_context.h"
+#include "frontend/ast.h"
+
+namespace pathfinder::baseline {
+
+/// Options for the navigational engine.
+struct BaselineOptions {
+  /// Document a leading "/" refers to.
+  std::string context_doc;
+};
+
+struct BaselineResult {
+  std::vector<Item> items;
+  /// Owns constructed fragments referenced by `items`.
+  std::unique_ptr<engine::QueryContext> ctx;
+
+  Result<std::string> Serialize() const;
+};
+
+/// The X-Hive/DB stand-in (see DESIGN.md): a conventional navigational
+/// XQuery engine. It shares Pathfinder's frontend (parser + Core
+/// normalizer) but evaluates Core directly, item at a time:
+///
+///  * FLWOR clauses run as nested loops ("in a sense only do nested
+///    loop, i.e., recursive, processing" — paper Sec. 2),
+///  * axis steps traverse the tree per context node,
+///  * value-based joins degenerate to nested loops (no join
+///    recognition), which is exactly the behaviour the paper measures
+///    for X-Hive on XMark Q8–Q12.
+///
+/// It doubles as the correctness oracle for the relational engine: both
+/// implement the same dialect with identical (documented) semantics.
+class Baseline {
+ public:
+  explicit Baseline(xml::Database* db) : db_(db) {}
+
+  /// Parse, normalize, and interpret a query.
+  Result<BaselineResult> Run(const std::string& query,
+                             const BaselineOptions& opts = {}) const;
+
+  /// Interpret an already normalized Core expression.
+  Result<BaselineResult> RunCore(const frontend::ExprPtr& core) const;
+
+ private:
+  xml::Database* db_;
+};
+
+}  // namespace pathfinder::baseline
+
+#endif  // PATHFINDER_BASELINE_INTERP_H_

@@ -1,0 +1,95 @@
+#include "bat/column.h"
+
+namespace pathfinder::bat {
+
+const char* ColTypeName(ColType t) {
+  switch (t) {
+    case ColType::kInt:
+      return "int";
+    case ColType::kDbl:
+      return "dbl";
+    case ColType::kStr:
+      return "str";
+    case ColType::kBool:
+      return "bool";
+    case ColType::kItem:
+      return "item";
+  }
+  return "?";
+}
+
+std::shared_ptr<Column> Column::MakeInt(size_t reserve) {
+  auto c = std::make_shared<Column>(ColType::kInt);
+  c->ints_.reserve(reserve);
+  return c;
+}
+std::shared_ptr<Column> Column::MakeDbl(size_t reserve) {
+  auto c = std::make_shared<Column>(ColType::kDbl);
+  c->dbls_.reserve(reserve);
+  return c;
+}
+std::shared_ptr<Column> Column::MakeStr(size_t reserve) {
+  auto c = std::make_shared<Column>(ColType::kStr);
+  c->strs_.reserve(reserve);
+  return c;
+}
+std::shared_ptr<Column> Column::MakeBool(size_t reserve) {
+  auto c = std::make_shared<Column>(ColType::kBool);
+  c->bools_.reserve(reserve);
+  return c;
+}
+std::shared_ptr<Column> Column::MakeItem(size_t reserve) {
+  auto c = std::make_shared<Column>(ColType::kItem);
+  c->items_.reserve(reserve);
+  return c;
+}
+
+std::shared_ptr<Column> Column::ConstInt(size_t n, int64_t v) {
+  auto c = MakeInt(n);
+  c->ints_.assign(n, v);
+  return c;
+}
+std::shared_ptr<Column> Column::ConstItem(size_t n, Item v) {
+  auto c = MakeItem(n);
+  c->items_.assign(n, v);
+  return c;
+}
+std::shared_ptr<Column> Column::ConstBool(size_t n, bool v) {
+  auto c = MakeBool(n);
+  c->bools_.assign(n, v ? 1 : 0);
+  return c;
+}
+
+size_t Column::size() const {
+  switch (type_) {
+    case ColType::kInt:
+      return ints_.size();
+    case ColType::kDbl:
+      return dbls_.size();
+    case ColType::kStr:
+      return strs_.size();
+    case ColType::kBool:
+      return bools_.size();
+    case ColType::kItem:
+      return items_.size();
+  }
+  return 0;
+}
+
+size_t Column::ByteSize() const {
+  switch (type_) {
+    case ColType::kInt:
+      return ints_.size() * sizeof(int64_t);
+    case ColType::kDbl:
+      return dbls_.size() * sizeof(double);
+    case ColType::kStr:
+      return strs_.size() * sizeof(StrId);
+    case ColType::kBool:
+      return bools_.size() * sizeof(uint8_t);
+    case ColType::kItem:
+      return items_.size() * sizeof(Item);
+  }
+  return 0;
+}
+
+}  // namespace pathfinder::bat

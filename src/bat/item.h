@@ -1,0 +1,90 @@
+#ifndef PATHFINDER_BAT_ITEM_H_
+#define PATHFINDER_BAT_ITEM_H_
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+
+#include "base/string_pool.h"
+
+namespace pathfinder {
+
+/// Dynamic kind of an XQuery item stored in a polymorphic `item` column.
+///
+/// The paper implements the polymorphic item column via MonetDB's
+/// mposjoin over per-kind containers; we use a tagged 128-bit value with
+/// string payloads interned in a StringPool, which gives the same
+/// columnar access pattern.
+enum class ItemKind : uint8_t {
+  kNode = 0,     // reference to a node: (fragment id, pre rank)
+  kAttr = 1,     // reference to an attribute node (same payload as kNode)
+  kInt = 2,      // xs:integer
+  kDbl = 3,      // xs:double / xs:decimal
+  kStr = 4,      // xs:string
+  kUntyped = 5,  // xs:untypedAtomic (result of fn:data on nodes)
+  kBool = 6,     // xs:boolean
+};
+
+/// A single XQuery item: tag + 64 payload bits.
+///
+/// Trivially copyable; equality is *representation* equality (used for
+/// hashing/joins), not XQuery value comparison — see item_ops.h for the
+/// latter.
+struct Item {
+  ItemKind kind;
+  uint64_t raw;
+
+  static Item Int(int64_t v) {
+    return Item{ItemKind::kInt, static_cast<uint64_t>(v)};
+  }
+  static Item Dbl(double v) {
+    return Item{ItemKind::kDbl, std::bit_cast<uint64_t>(v)};
+  }
+  static Item Str(StrId s) { return Item{ItemKind::kStr, s}; }
+  static Item Untyped(StrId s) { return Item{ItemKind::kUntyped, s}; }
+  static Item Bool(bool b) {
+    return Item{ItemKind::kBool, static_cast<uint64_t>(b)};
+  }
+  static Item Node(uint32_t frag, uint32_t pre) {
+    return Item{ItemKind::kNode,
+                (static_cast<uint64_t>(frag) << 32) | pre};
+  }
+  static Item Attr(uint32_t frag, uint32_t pre) {
+    return Item{ItemKind::kAttr,
+                (static_cast<uint64_t>(frag) << 32) | pre};
+  }
+
+  int64_t AsInt() const { return static_cast<int64_t>(raw); }
+  double AsDbl() const { return std::bit_cast<double>(raw); }
+  StrId AsStr() const { return static_cast<StrId>(raw); }
+  bool AsBool() const { return raw != 0; }
+  uint32_t NodeFrag() const { return static_cast<uint32_t>(raw >> 32); }
+  uint32_t NodePre() const { return static_cast<uint32_t>(raw); }
+
+  bool IsNode() const {
+    return kind == ItemKind::kNode || kind == ItemKind::kAttr;
+  }
+  bool IsNumeric() const {
+    return kind == ItemKind::kInt || kind == ItemKind::kDbl;
+  }
+  bool IsStringLike() const {
+    return kind == ItemKind::kStr || kind == ItemKind::kUntyped;
+  }
+
+  friend bool operator==(const Item& a, const Item& b) {
+    return a.kind == b.kind && a.raw == b.raw;
+  }
+};
+
+struct ItemHash {
+  size_t operator()(const Item& it) const {
+    uint64_t h = it.raw * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<uint64_t>(it.kind) * 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 29;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace pathfinder
+
+#endif  // PATHFINDER_BAT_ITEM_H_

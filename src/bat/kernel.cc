@@ -1,0 +1,602 @@
+#include "bat/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bat/item_ops.h"
+
+namespace pathfinder::bat {
+
+namespace {
+
+// Append a fixed-width, type-tagged encoding of cell (c, row) to `out`.
+// Representation equality of encodings == representation equality of
+// cells, which is what distinct/difference on surrogate columns need.
+void AppendCellKey(std::string* out, const Column& c, size_t row) {
+  char buf[1 + sizeof(uint64_t)];
+  uint64_t v = 0;
+  switch (c.type()) {
+    case ColType::kInt:
+      buf[0] = 'i';
+      v = static_cast<uint64_t>(c.ints()[row]);
+      break;
+    case ColType::kDbl:
+      buf[0] = 'd';
+      std::memcpy(&v, &c.dbls()[row], sizeof(double));
+      break;
+    case ColType::kStr:
+      buf[0] = 's';
+      v = c.strs()[row];
+      break;
+    case ColType::kBool:
+      buf[0] = 'b';
+      v = c.bools()[row];
+      break;
+    case ColType::kItem: {
+      const Item& it = c.items()[row];
+      buf[0] = static_cast<char>('A' + static_cast<int>(it.kind));
+      v = it.raw;
+      break;
+    }
+  }
+  std::memcpy(buf + 1, &v, sizeof(v));
+  out->append(buf, sizeof(buf));
+}
+
+Result<std::vector<const Column*>> ResolveCols(
+    const Table& t, const std::vector<std::string>& names) {
+  std::vector<const Column*> cols;
+  if (names.empty()) {
+    for (size_t i = 0; i < t.num_cols(); ++i) cols.push_back(t.col(i).get());
+    return cols;
+  }
+  for (const auto& n : names) {
+    int i = t.FindCol(n);
+    if (i < 0) return Status::Internal("kernel: no column '" + n + "'");
+    cols.push_back(t.col(static_cast<size_t>(i)).get());
+  }
+  return cols;
+}
+
+std::string RowKey(const std::vector<const Column*>& cols, size_t row) {
+  std::string key;
+  key.reserve(cols.size() * 9);
+  for (const Column* c : cols) AppendCellKey(&key, *c, row);
+  return key;
+}
+
+// Three-way comparison of two rows under the given key columns; ties at
+// all keys return 0 (stable sort then preserves input order). `desc`
+// (parallel to cols, optional) flips individual keys.
+Result<int> CompareRows(const std::vector<const Column*>& cols, size_t ra,
+                        size_t rb, const StringPool& pool,
+                        const std::vector<uint8_t>& desc = {}) {
+  size_t ki = 0;
+  for (const Column* c : cols) {
+    int flip = (ki < desc.size() && desc[ki]) ? -1 : 1;
+    ++ki;
+    switch (c->type()) {
+      case ColType::kInt: {
+        int64_t a = c->ints()[ra], b = c->ints()[rb];
+        if (a != b) return (a < b ? -1 : 1) * flip;
+        break;
+      }
+      case ColType::kDbl: {
+        double a = c->dbls()[ra], b = c->dbls()[rb];
+        if (a != b) return (a < b ? -1 : 1) * flip;
+        break;
+      }
+      case ColType::kStr: {
+        StrId a = c->strs()[ra], b = c->strs()[rb];
+        if (a != b) {
+          int cmp = pool.Get(a).compare(pool.Get(b));
+          if (cmp != 0) return (cmp < 0 ? -1 : 1) * flip;
+        }
+        break;
+      }
+      case ColType::kBool: {
+        int a = c->bools()[ra], b = c->bools()[rb];
+        if (a != b) return (a < b ? -1 : 1) * flip;
+        break;
+      }
+      case ColType::kItem: {
+        int cmp = ItemOrder(c->items()[ra], c->items()[rb], pool);
+        if (cmp != 0) return cmp * flip;
+        break;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+IdxVec FilterIndices(const Column& pred) {
+  assert(pred.type() == ColType::kBool);
+  IdxVec out;
+  const auto& b = pred.bools();
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (b[i]) out.push_back(static_cast<RowIdx>(i));
+  }
+  return out;
+}
+
+ColumnPtr Gather(const Column& c, const IdxVec& idx) {
+  switch (c.type()) {
+    case ColType::kInt: {
+      auto out = Column::MakeInt(idx.size());
+      for (RowIdx i : idx) out->ints().push_back(c.ints()[i]);
+      return out;
+    }
+    case ColType::kDbl: {
+      auto out = Column::MakeDbl(idx.size());
+      for (RowIdx i : idx) out->dbls().push_back(c.dbls()[i]);
+      return out;
+    }
+    case ColType::kStr: {
+      auto out = Column::MakeStr(idx.size());
+      for (RowIdx i : idx) out->strs().push_back(c.strs()[i]);
+      return out;
+    }
+    case ColType::kBool: {
+      auto out = Column::MakeBool(idx.size());
+      for (RowIdx i : idx) out->bools().push_back(c.bools()[i]);
+      return out;
+    }
+    case ColType::kItem: {
+      auto out = Column::MakeItem(idx.size());
+      for (RowIdx i : idx) out->items().push_back(c.items()[i]);
+      return out;
+    }
+  }
+  return nullptr;
+}
+
+Table GatherTable(const Table& t, const IdxVec& idx) {
+  Table out;
+  for (size_t i = 0; i < t.num_cols(); ++i) {
+    out.AddCol(t.name(i), Gather(*t.col(i), idx));
+  }
+  return out;
+}
+
+namespace {
+
+// See HashJoinIndices: canonical representation for item join keys,
+// mirroring ItemCompareValue's equality: numbers (and numeric-looking
+// strings/untyped atomics) compare by double value, everything else by
+// string identity.
+Item CanonicalJoinKey(const Item& it, const StringPool& pool) {
+  switch (it.kind) {
+    case ItemKind::kInt:
+      return Item::Dbl(static_cast<double>(it.AsInt()));
+    case ItemKind::kUntyped:
+    case ItemKind::kStr: {
+      auto d = ItemToDouble(it, pool);
+      if (d.ok()) return Item::Dbl(*d);
+      return Item::Str(it.AsStr());
+    }
+    default:
+      return it;
+  }
+}
+
+}  // namespace
+
+Status HashJoinIndices(const Column& l, const Column& r,
+                       const StringPool& pool, IdxVec* li, IdxVec* ri) {
+  if (l.type() != r.type()) {
+    return Status::Internal("hash join key type mismatch");
+  }
+  li->clear();
+  ri->clear();
+  switch (l.type()) {
+    case ColType::kInt: {
+      std::unordered_map<int64_t, IdxVec> ht;
+      ht.reserve(r.size() * 2);
+      const auto& rv = r.ints();
+      for (size_t i = 0; i < rv.size(); ++i) {
+        ht[rv[i]].push_back(static_cast<RowIdx>(i));
+      }
+      const auto& lv = l.ints();
+      for (size_t i = 0; i < lv.size(); ++i) {
+        auto it = ht.find(lv[i]);
+        if (it == ht.end()) continue;
+        for (RowIdx j : it->second) {
+          li->push_back(static_cast<RowIdx>(i));
+          ri->push_back(j);
+        }
+      }
+      return Status::OK();
+    }
+    case ColType::kStr: {
+      std::unordered_map<StrId, IdxVec> ht;
+      ht.reserve(r.size() * 2);
+      const auto& rv = r.strs();
+      for (size_t i = 0; i < rv.size(); ++i) {
+        ht[rv[i]].push_back(static_cast<RowIdx>(i));
+      }
+      const auto& lv = l.strs();
+      for (size_t i = 0; i < lv.size(); ++i) {
+        auto it = ht.find(lv[i]);
+        if (it == ht.end()) continue;
+        for (RowIdx j : it->second) {
+          li->push_back(static_cast<RowIdx>(i));
+          ri->push_back(j);
+        }
+      }
+      return Status::OK();
+    }
+    case ColType::kItem: {
+      // Value-join keys are canonicalized so that XQuery general
+      // comparison semantics hold across representations: integers
+      // compare as doubles, untyped atomics as their typed
+      // interpretation (number if parseable, string otherwise).
+      std::unordered_map<Item, IdxVec, ItemHash> ht;
+      ht.reserve(r.size() * 2);
+      const auto& rv = r.items();
+      for (size_t i = 0; i < rv.size(); ++i) {
+        ht[CanonicalJoinKey(rv[i], pool)].push_back(
+            static_cast<RowIdx>(i));
+      }
+      const auto& lv = l.items();
+      for (size_t i = 0; i < lv.size(); ++i) {
+        auto it = ht.find(CanonicalJoinKey(lv[i], pool));
+        if (it == ht.end()) continue;
+        for (RowIdx j : it->second) {
+          li->push_back(static_cast<RowIdx>(i));
+          ri->push_back(j);
+        }
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Internal("hash join key must be int/str/item");
+  }
+}
+
+Status ThetaJoinIndices(const Column& l, const Column& r, CmpOp op,
+                        const StringPool& pool, IdxVec* li, IdxVec* ri) {
+  // Materialize both sides as doubles once, then nested-loop compare.
+  // The paper notes (Section 3.4) that theta-join output here is
+  // inherently quadratic in the input, so the loop is not the bottleneck.
+  auto materialize = [&](const Column& c) -> Result<std::vector<double>> {
+    std::vector<double> v;
+    v.reserve(c.size());
+    switch (c.type()) {
+      case ColType::kInt:
+        for (int64_t x : c.ints()) v.push_back(static_cast<double>(x));
+        return v;
+      case ColType::kDbl:
+        return std::vector<double>(c.dbls());
+      case ColType::kItem:
+        for (const Item& it : c.items()) {
+          PF_ASSIGN_OR_RETURN(double d, ItemToDouble(it, pool));
+          v.push_back(d);
+        }
+        return v;
+      default:
+        return Status::Internal("theta join key must be numeric");
+    }
+  };
+  li->clear();
+  ri->clear();
+  auto lm = materialize(l);
+  auto rm = materialize(r);
+  if (!lm.ok() || !rm.ok()) {
+    // Non-numeric keys (e.g. string inequality): fall back to generic
+    // value comparison per pair.
+    if (l.type() != ColType::kItem || r.type() != ColType::kItem) {
+      return !lm.ok() ? lm.status() : rm.status();
+    }
+    const auto& la = l.items();
+    const auto& ra = r.items();
+    for (size_t i = 0; i < la.size(); ++i) {
+      for (size_t j = 0; j < ra.size(); ++j) {
+        PF_ASSIGN_OR_RETURN(int c, ItemCompareValue(la[i], ra[j], pool));
+        bool keep = false;
+        switch (op) {
+          case CmpOp::kEq:
+            keep = c == 0;
+            break;
+          case CmpOp::kNe:
+            keep = c != 0;
+            break;
+          case CmpOp::kLt:
+            keep = c < 0;
+            break;
+          case CmpOp::kLe:
+            keep = c <= 0;
+            break;
+          case CmpOp::kGt:
+            keep = c > 0;
+            break;
+          case CmpOp::kGe:
+            keep = c >= 0;
+            break;
+        }
+        if (keep) {
+          li->push_back(static_cast<RowIdx>(i));
+          ri->push_back(static_cast<RowIdx>(j));
+        }
+      }
+    }
+    return Status::OK();
+  }
+  std::vector<double> lv = std::move(lm).value();
+  std::vector<double> rv = std::move(rm).value();
+  auto test = [op](double a, double b) {
+    switch (op) {
+      case CmpOp::kEq:
+        return a == b;
+      case CmpOp::kNe:
+        return a != b;
+      case CmpOp::kLt:
+        return a < b;
+      case CmpOp::kLe:
+        return a <= b;
+      case CmpOp::kGt:
+        return a > b;
+      case CmpOp::kGe:
+        return a >= b;
+    }
+    return false;
+  };
+  for (size_t i = 0; i < lv.size(); ++i) {
+    for (size_t j = 0; j < rv.size(); ++j) {
+      if (test(lv[i], rv[j])) {
+        li->push_back(static_cast<RowIdx>(i));
+        ri->push_back(static_cast<RowIdx>(j));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<IdxVec> SortPerm(const Table& t, const std::vector<std::string>& keys,
+                        const StringPool& pool,
+                        const std::vector<uint8_t>& desc) {
+  PF_ASSIGN_OR_RETURN(std::vector<const Column*> cols, ResolveCols(t, keys));
+  IdxVec perm(t.rows());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<RowIdx>(i);
+  // Fast path: operator outputs are frequently already key-ordered
+  // (staircase join emits document order, unions of ordered inputs stay
+  // grouped), so one linear pre-check saves the O(n log n) sort.
+  bool sorted = true;
+  for (size_t i = 0; i + 1 < perm.size(); ++i) {
+    PF_ASSIGN_OR_RETURN(int cmp, CompareRows(cols, i, i + 1, pool, desc));
+    if (cmp > 0) {
+      sorted = false;
+      break;
+    }
+  }
+  if (sorted) return perm;
+  Status st = Status::OK();
+  std::stable_sort(perm.begin(), perm.end(), [&](RowIdx a, RowIdx b) {
+    auto cmp = CompareRows(cols, a, b, pool, desc);
+    if (!cmp.ok()) {
+      if (st.ok()) st = cmp.status();
+      return false;
+    }
+    return *cmp < 0;
+  });
+  if (!st.ok()) return st;
+  return perm;
+}
+
+Result<IdxVec> DistinctIndices(const Table& t,
+                               const std::vector<std::string>& keys) {
+  PF_ASSIGN_OR_RETURN(std::vector<const Column*> cols, ResolveCols(t, keys));
+  std::unordered_set<std::string> seen;
+  seen.reserve(t.rows() * 2);
+  IdxVec out;
+  for (size_t r = 0; r < t.rows(); ++r) {
+    if (seen.insert(RowKey(cols, r)).second) {
+      out.push_back(static_cast<RowIdx>(r));
+    }
+  }
+  return out;
+}
+
+Result<ColumnPtr> Mark(const Table& t, const std::vector<std::string>& part,
+                       const std::vector<std::string>& order,
+                       const StringPool& pool,
+                       const std::vector<uint8_t>& order_desc) {
+  std::vector<std::string> sort_keys = part;
+  sort_keys.insert(sort_keys.end(), order.begin(), order.end());
+  std::vector<uint8_t> desc(part.size(), 0);
+  if (!order_desc.empty()) {
+    desc.insert(desc.end(), order_desc.begin(), order_desc.end());
+  } else {
+    desc.insert(desc.end(), order.size(), 0);
+  }
+  PF_ASSIGN_OR_RETURN(IdxVec perm, SortPerm(t, sort_keys, pool, desc));
+  // Empty `part` means one global partition. (ResolveCols expands an
+  // empty list to all columns — the Distinct convention, not ours.)
+  std::vector<const Column*> pcols;
+  if (!part.empty()) {
+    PF_ASSIGN_OR_RETURN(pcols, ResolveCols(t, part));
+  }
+  auto out = Column::MakeInt(t.rows());
+  out->ints().assign(t.rows(), 0);
+  int64_t counter = 0;
+  for (size_t k = 0; k < perm.size(); ++k) {
+    bool new_part = (k == 0);
+    if (!new_part && !pcols.empty()) {
+      PF_ASSIGN_OR_RETURN(int cmp,
+                          CompareRows(pcols, perm[k - 1], perm[k], pool));
+      new_part = (cmp != 0);
+    }
+    if (new_part) counter = 0;
+    out->ints()[perm[k]] = ++counter;
+  }
+  return out;
+}
+
+Result<IdxVec> DifferenceIndices(const Table& a, const Table& b,
+                                 const std::vector<std::string>& keys) {
+  PF_ASSIGN_OR_RETURN(std::vector<const Column*> acols,
+                      ResolveCols(a, keys));
+  PF_ASSIGN_OR_RETURN(std::vector<const Column*> bcols,
+                      ResolveCols(b, keys));
+  std::unordered_set<std::string> present;
+  present.reserve(b.rows() * 2);
+  for (size_t r = 0; r < b.rows(); ++r) present.insert(RowKey(bcols, r));
+  IdxVec out;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    if (!present.count(RowKey(acols, r))) {
+      out.push_back(static_cast<RowIdx>(r));
+    }
+  }
+  return out;
+}
+
+Result<Table> UnionAll(const Table& a, const Table& b) {
+  Table out;
+  for (size_t i = 0; i < a.num_cols(); ++i) {
+    int bi = b.FindCol(a.name(i));
+    if (bi < 0) {
+      return Status::Internal("union: right side lacks column '" +
+                              a.name(i) + "'");
+    }
+    const Column& ca = *a.col(i);
+    const Column& cb = *b.col(static_cast<size_t>(bi));
+    if (ca.type() != cb.type()) {
+      return Status::Internal("union: column type mismatch on '" +
+                              a.name(i) + "'");
+    }
+    auto merged = std::make_shared<Column>(ca.type());
+    switch (ca.type()) {
+      case ColType::kInt:
+        merged->ints() = ca.ints();
+        merged->ints().insert(merged->ints().end(), cb.ints().begin(),
+                              cb.ints().end());
+        break;
+      case ColType::kDbl:
+        merged->dbls() = ca.dbls();
+        merged->dbls().insert(merged->dbls().end(), cb.dbls().begin(),
+                              cb.dbls().end());
+        break;
+      case ColType::kStr:
+        merged->strs() = ca.strs();
+        merged->strs().insert(merged->strs().end(), cb.strs().begin(),
+                              cb.strs().end());
+        break;
+      case ColType::kBool:
+        merged->bools() = ca.bools();
+        merged->bools().insert(merged->bools().end(), cb.bools().begin(),
+                               cb.bools().end());
+        break;
+      case ColType::kItem:
+        merged->items() = ca.items();
+        merged->items().insert(merged->items().end(), cb.items().begin(),
+                               cb.items().end());
+        break;
+    }
+    out.AddCol(a.name(i), std::move(merged));
+  }
+  return out;
+}
+
+Result<Table> GroupAgg(const Table& t, const std::string& group_col,
+                       const std::string& val_col, AggKind kind,
+                       const StringPool& pool, const std::string& out_group,
+                       const std::string& out_val) {
+  PF_ASSIGN_OR_RETURN(ColumnPtr gcol, t.GetCol(group_col));
+  if (gcol->type() != ColType::kInt) {
+    return Status::Internal("group column must be int");
+  }
+  const Column* vcol = nullptr;
+  if (kind != AggKind::kCount || !val_col.empty()) {
+    PF_ASSIGN_OR_RETURN(ColumnPtr v, t.GetCol(val_col));
+    if (v->type() != ColType::kItem) {
+      return Status::Internal("aggregate value column must be item");
+    }
+    vcol = v.get();
+  }
+
+  struct Acc {
+    int64_t count = 0;
+    double dsum = 0;
+    int64_t isum = 0;
+    bool all_int = true;
+    Item extreme{};
+    bool has_extreme = false;
+  };
+  std::vector<int64_t> group_order;
+  std::unordered_map<int64_t, Acc> accs;
+  accs.reserve(t.rows() * 2);
+
+  const auto& groups = gcol->ints();
+  for (size_t r = 0; r < t.rows(); ++r) {
+    auto [it, inserted] = accs.try_emplace(groups[r]);
+    if (inserted) group_order.push_back(groups[r]);
+    Acc& a = it->second;
+    a.count++;
+    if (vcol == nullptr) continue;
+    const Item& v = vcol->items()[r];
+    switch (kind) {
+      case AggKind::kCount:
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg: {
+        PF_ASSIGN_OR_RETURN(double d, ItemToDouble(v, pool));
+        a.dsum += d;
+        if (v.kind == ItemKind::kInt) {
+          a.isum += v.AsInt();
+        } else {
+          a.all_int = false;
+        }
+        break;
+      }
+      case AggKind::kMax:
+      case AggKind::kMin: {
+        if (!a.has_extreme) {
+          a.extreme = v;
+          a.has_extreme = true;
+        } else {
+          PF_ASSIGN_OR_RETURN(int cmp,
+                              ItemCompareValue(v, a.extreme, pool));
+          if ((kind == AggKind::kMax && cmp > 0) ||
+              (kind == AggKind::kMin && cmp < 0)) {
+            a.extreme = v;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  auto out_g = Column::MakeInt(group_order.size());
+  auto out_v = Column::MakeItem(group_order.size());
+  for (int64_t g : group_order) {
+    const Acc& a = accs[g];
+    out_g->ints().push_back(g);
+    switch (kind) {
+      case AggKind::kCount:
+        out_v->items().push_back(Item::Int(a.count));
+        break;
+      case AggKind::kSum:
+        out_v->items().push_back(a.all_int ? Item::Int(a.isum)
+                                           : Item::Dbl(a.dsum));
+        break;
+      case AggKind::kAvg:
+        out_v->items().push_back(
+            Item::Dbl(a.dsum / static_cast<double>(a.count)));
+        break;
+      case AggKind::kMax:
+      case AggKind::kMin:
+        out_v->items().push_back(a.extreme);
+        break;
+    }
+  }
+  Table out;
+  out.AddCol(out_group, std::move(out_g));
+  out.AddCol(out_val, std::move(out_v));
+  return out;
+}
+
+}  // namespace pathfinder::bat

@@ -1,0 +1,88 @@
+#ifndef PATHFINDER_BAT_KERNEL_H_
+#define PATHFINDER_BAT_KERNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "bat/table.h"
+
+namespace pathfinder::bat {
+
+/// Row index into a Table (tables stay < 4G rows at our scales).
+using RowIdx = uint32_t;
+using IdxVec = std::vector<RowIdx>;
+
+/// Comparison operators used by selections and theta joins.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Indices of rows whose BOOL predicate cell is true, in row order.
+IdxVec FilterIndices(const Column& pred);
+
+/// Positional fetch: result[i] = c[idx[i]]  (MonetDB leftfetchjoin).
+ColumnPtr Gather(const Column& c, const IdxVec& idx);
+
+/// Gather every column of `t` — i.e., select the given rows.
+Table GatherTable(const Table& t, const IdxVec& idx);
+
+/// Hash equi-join on one key column per side. Emits matching row pairs:
+/// for each left row in order, all matching right rows in right order
+/// (so the left order is the major result order, as the loop-lifting
+/// compilation relies on). Key columns must have identical type, one of
+/// INT, STR, ITEM.
+/// `pool` is used to canonicalize ITEM keys (untyped atomics join under
+/// their typed interpretation, integers under their double value).
+Status HashJoinIndices(const Column& l, const Column& r,
+                       const StringPool& pool, IdxVec* li, IdxVec* ri);
+
+/// Theta join on a comparison predicate with numeric promotion
+/// (used for the paper's Q11/Q12-style `>` joins whose output is
+/// inherently quadratic). Key columns INT, DBL or ITEM.
+Status ThetaJoinIndices(const Column& l, const Column& r, CmpOp op,
+                        const StringPool& pool, IdxVec* li, IdxVec* ri);
+
+/// Stable sort permutation by key columns (lexicographic). `pool` is
+/// needed to order STR/ITEM keys. `desc` (optional, parallel to `keys`)
+/// flips the direction of individual keys.
+Result<IdxVec> SortPerm(const Table& t, const std::vector<std::string>& keys,
+                        const StringPool& pool,
+                        const std::vector<uint8_t>& desc = {});
+
+/// First-occurrence row indices per distinct key tuple, in row order.
+/// Empty `keys` means all columns.
+Result<IdxVec> DistinctIndices(const Table& t,
+                               const std::vector<std::string>& keys);
+
+/// Row numbering (the paper's % operator / MonetDB mark): a new INT
+/// column counting 1,2,... per `part` partition in `order`-key order
+/// (stable w.r.t. existing row order). Result is aligned with t's rows.
+Result<ColumnPtr> Mark(const Table& t, const std::vector<std::string>& part,
+                       const std::vector<std::string>& order,
+                       const StringPool& pool,
+                       const std::vector<uint8_t>& order_desc = {});
+
+/// Rows of `a` whose key tuple does not appear in `b` (paper's \).
+Result<IdxVec> DifferenceIndices(const Table& a, const Table& b,
+                                 const std::vector<std::string>& keys);
+
+/// Append b's rows under a's schema (paper's disjoint union; the caller
+/// guarantees disjointness). b must contain every column of a, matched
+/// by name.
+Result<Table> UnionAll(const Table& a, const Table& b);
+
+/// Grouped aggregate over an INT group column and an ITEM value column.
+enum class AggKind { kCount, kSum, kAvg, kMax, kMin };
+
+/// Returns a table (group INT, value ITEM) with one row per group present
+/// in `t`, groups in first-appearance order. For kCount, `val_col` may be
+/// empty. Numeric aggregation promotes via ItemToDouble; a sum over only
+/// kInt items stays integer.
+Result<Table> GroupAgg(const Table& t, const std::string& group_col,
+                       const std::string& val_col, AggKind kind,
+                       const StringPool& pool, const std::string& out_group,
+                       const std::string& out_val);
+
+}  // namespace pathfinder::bat
+
+#endif  // PATHFINDER_BAT_KERNEL_H_

@@ -1,0 +1,45 @@
+#ifndef PATHFINDER_COMPILER_COMPILE_H_
+#define PATHFINDER_COMPILER_COMPILE_H_
+
+#include <cstdint>
+
+#include "algebra/op.h"
+#include "base/result.h"
+#include "frontend/ast.h"
+#include "xml/database.h"
+
+namespace pathfinder::compiler {
+
+struct CompileOptions {
+  /// The paper's "join recognition logic in our compiler" (Sec. 1):
+  /// where-clause comparisons between a loop-invariant for-domain and an
+  /// outer expression compile to value-based equi/theta joins instead of
+  /// iter-joins over a crossed iteration scope. Turn off for the E7
+  /// ablation.
+  bool join_recognition = true;
+};
+
+struct CompileStats {
+  /// Comparisons compiled into value joins (equi or theta).
+  int joins_recognized = 0;
+};
+
+/// Loop-lifting compiler (paper Sec. 2, "Relational XQuery evaluation" +
+/// "Loop lifting"): translate a normalized Core expression into a plan
+/// of the Table 1 algebra rooted at a Serialize operator.
+///
+/// Every subexpression compiles to a table with schema
+/// (iter INT, pos INT, item ITEM) — its sequence encoding, loop-lifted
+/// over the iteration scope it appears in. FLWOR iteration scopes are
+/// threaded through `map` relations exactly as in the paper's Fig. 3.
+///
+/// The database is needed to intern names/literals into the shared
+/// string pool at compile time.
+Result<algebra::OpPtr> Compile(const frontend::ExprPtr& core,
+                               xml::Database* db,
+                               const CompileOptions& options = {},
+                               CompileStats* stats = nullptr);
+
+}  // namespace pathfinder::compiler
+
+#endif  // PATHFINDER_COMPILER_COMPILE_H_

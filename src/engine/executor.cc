@@ -1,0 +1,819 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "accel/step.h"
+#include "bat/item_ops.h"
+#include "bat/kernel.h"
+#include "engine/node_build.h"
+
+namespace pathfinder::engine {
+
+namespace {
+
+namespace alg = pathfinder::algebra;
+using alg::Fun1;
+using alg::Fun2;
+using alg::Op;
+using alg::OpKind;
+using bat::ColType;
+using bat::Column;
+using bat::ColumnPtr;
+using bat::IdxVec;
+using bat::Table;
+
+// --- item-level helpers -------------------------------------------------
+
+/// fn:data on one item: nodes become untyped atomics carrying their
+/// string value; atomics pass through.
+Result<Item> AtomizeItem(QueryContext* ctx, const Item& it) {
+  if (!it.IsNode()) return it;
+  std::string sv = NodeStringValue(*ctx, it);
+  return Item::Untyped(ctx->pool()->Intern(sv));
+}
+
+Result<Item> ArithItem(Fun2 f, const Item& a0, const Item& b0,
+                       QueryContext* ctx) {
+  PF_ASSIGN_OR_RETURN(Item a, AtomizeItem(ctx, a0));
+  PF_ASSIGN_OR_RETURN(Item b, AtomizeItem(ctx, b0));
+  bool both_int = a.kind == ItemKind::kInt && b.kind == ItemKind::kInt;
+  PF_ASSIGN_OR_RETURN(double da, bat::ItemToDouble(a, *ctx->pool()));
+  PF_ASSIGN_OR_RETURN(double db, bat::ItemToDouble(b, *ctx->pool()));
+  switch (f) {
+    case Fun2::kAdd:
+      return both_int ? Item::Int(a.AsInt() + b.AsInt())
+                      : Item::Dbl(da + db);
+    case Fun2::kSub:
+      return both_int ? Item::Int(a.AsInt() - b.AsInt())
+                      : Item::Dbl(da - db);
+    case Fun2::kMul:
+      return both_int ? Item::Int(a.AsInt() * b.AsInt())
+                      : Item::Dbl(da * db);
+    case Fun2::kDiv:
+      if (db == 0.0) {
+        return Status::TypeError("division by zero");
+      }
+      return Item::Dbl(da / db);
+    case Fun2::kIdiv: {
+      if (db == 0.0) {
+        return Status::TypeError("integer division by zero");
+      }
+      return Item::Int(static_cast<int64_t>(da / db));
+    }
+    case Fun2::kMod: {
+      if (db == 0.0) {
+        return Status::TypeError("modulo by zero");
+      }
+      if (both_int) return Item::Int(a.AsInt() % b.AsInt());
+      return Item::Dbl(std::fmod(da, db));
+    }
+    default:
+      return Status::Internal("not an arithmetic operator");
+  }
+}
+
+Result<int> CompareItems(const Item& a0, const Item& b0,
+                         QueryContext* ctx) {
+  PF_ASSIGN_OR_RETURN(Item a, AtomizeItem(ctx, a0));
+  PF_ASSIGN_OR_RETURN(Item b, AtomizeItem(ctx, b0));
+  return bat::ItemCompareValue(a, b, *ctx->pool());
+}
+
+Result<StrId> ItemAsString(QueryContext* ctx, const Item& it) {
+  if (it.IsNode()) {
+    return ctx->pool()->Intern(NodeStringValue(*ctx, it));
+  }
+  return bat::ItemToString(it, ctx->pool());
+}
+
+// --- Fun1 ----------------------------------------------------------------
+
+Result<ColumnPtr> EvalFun1(Fun1 f, const Column& in, QueryContext* ctx) {
+  size_t n = in.size();
+  switch (f) {
+    case Fun1::kNot: {
+      auto out = Column::MakeBool(n);
+      for (uint8_t b : in.bools()) out->bools().push_back(b ? 0 : 1);
+      return out;
+    }
+    case Fun1::kBoolToItem: {
+      auto out = Column::MakeItem(n);
+      for (uint8_t b : in.bools()) {
+        out->items().push_back(Item::Bool(b != 0));
+      }
+      return out;
+    }
+    case Fun1::kItemToBool: {
+      auto out = Column::MakeBool(n);
+      for (const Item& it : in.items()) {
+        PF_ASSIGN_OR_RETURN(bool b, bat::ItemToBool(it, *ctx->pool()));
+        out->bools().push_back(b ? 1 : 0);
+      }
+      return out;
+    }
+    case Fun1::kIntToItem: {
+      auto out = Column::MakeItem(n);
+      for (int64_t v : in.ints()) out->items().push_back(Item::Int(v));
+      return out;
+    }
+    case Fun1::kData: {
+      auto out = Column::MakeItem(n);
+      for (const Item& it : in.items()) {
+        PF_ASSIGN_OR_RETURN(Item a, AtomizeItem(ctx, it));
+        out->items().push_back(a);
+      }
+      return out;
+    }
+    case Fun1::kStringFn: {
+      auto out = Column::MakeItem(n);
+      for (const Item& it : in.items()) {
+        PF_ASSIGN_OR_RETURN(StrId s, ItemAsString(ctx, it));
+        out->items().push_back(Item::Str(s));
+      }
+      return out;
+    }
+    case Fun1::kNumberFn: {
+      auto out = Column::MakeItem(n);
+      for (const Item& it : in.items()) {
+        Item a = it;
+        if (it.IsNode()) {
+          PF_ASSIGN_OR_RETURN(a, AtomizeItem(ctx, it));
+        }
+        auto d = bat::ItemToDouble(a, *ctx->pool());
+        out->items().push_back(Item::Dbl(
+            d.ok() ? *d : std::numeric_limits<double>::quiet_NaN()));
+      }
+      return out;
+    }
+    case Fun1::kNeg: {
+      auto out = Column::MakeItem(n);
+      for (const Item& it : in.items()) {
+        PF_ASSIGN_OR_RETURN(Item a, AtomizeItem(ctx, it));
+        if (a.kind == ItemKind::kInt) {
+          out->items().push_back(Item::Int(-a.AsInt()));
+        } else {
+          PF_ASSIGN_OR_RETURN(double d, bat::ItemToDouble(a, *ctx->pool()));
+          out->items().push_back(Item::Dbl(-d));
+        }
+      }
+      return out;
+    }
+    case Fun1::kNameFn: {
+      auto out = Column::MakeItem(n);
+      for (const Item& it : in.items()) {
+        if (!it.IsNode()) {
+          return Status::TypeError("fn:name on a non-node");
+        }
+        const xml::Document& d = ctx->doc(it.NodeFrag());
+        xml::Pre v = it.NodePre();
+        xml::NodeKind k = d.kind(v);
+        StrId s = (k == xml::NodeKind::kElem || k == xml::NodeKind::kAttr ||
+                   k == xml::NodeKind::kPi)
+                      ? d.prop(v)
+                      : ctx->pool()->Intern("");
+        out->items().push_back(Item::Str(s));
+      }
+      return out;
+    }
+    case Fun1::kStrLen: {
+      auto out = Column::MakeItem(n);
+      for (const Item& it : in.items()) {
+        PF_ASSIGN_OR_RETURN(StrId s, ItemAsString(ctx, it));
+        out->items().push_back(Item::Int(
+            static_cast<int64_t>(ctx->pool()->Get(s).size())));
+      }
+      return out;
+    }
+    case Fun1::kRootNode: {
+      auto out = Column::MakeItem(n);
+      for (const Item& it : in.items()) {
+        if (!it.IsNode()) {
+          return Status::TypeError("fn:root on a non-node");
+        }
+        out->items().push_back(Item::Node(it.NodeFrag(), 0));
+      }
+      return out;
+    }
+    case Fun1::kIsElement:
+    case Fun1::kIsAttribute:
+    case Fun1::kIsText:
+    case Fun1::kIsNode:
+    case Fun1::kIsInt:
+    case Fun1::kIsDouble:
+    case Fun1::kIsString:
+    case Fun1::kIsBool: {
+      auto out = Column::MakeBool(n);
+      for (const Item& it : in.items()) {
+        bool b = false;
+        switch (f) {
+          case Fun1::kIsNode:
+            b = it.IsNode();
+            break;
+          case Fun1::kIsAttribute:
+            b = it.kind == ItemKind::kAttr;
+            break;
+          case Fun1::kIsElement:
+            b = it.kind == ItemKind::kNode &&
+                ctx->doc(it.NodeFrag()).kind(it.NodePre()) ==
+                    xml::NodeKind::kElem;
+            break;
+          case Fun1::kIsText:
+            b = it.kind == ItemKind::kNode &&
+                ctx->doc(it.NodeFrag()).kind(it.NodePre()) ==
+                    xml::NodeKind::kText;
+            break;
+          case Fun1::kIsInt:
+            b = it.kind == ItemKind::kInt;
+            break;
+          case Fun1::kIsDouble:
+            b = it.kind == ItemKind::kDbl;
+            break;
+          case Fun1::kIsString:
+            b = it.IsStringLike();
+            break;
+          case Fun1::kIsBool:
+            b = it.kind == ItemKind::kBool;
+            break;
+          default:
+            break;
+        }
+        out->bools().push_back(b ? 1 : 0);
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unhandled Fun1");
+}
+
+// --- Fun2 ----------------------------------------------------------------
+
+Result<ColumnPtr> EvalFun2(Fun2 f, const Column& a, const Column& b,
+                           QueryContext* ctx) {
+  size_t n = a.size();
+  switch (f) {
+    case Fun2::kAnd:
+    case Fun2::kOr: {
+      auto out = Column::MakeBool(n);
+      for (size_t i = 0; i < n; ++i) {
+        bool x = a.bools()[i], y = b.bools()[i];
+        out->bools().push_back((f == Fun2::kAnd ? (x && y) : (x || y)) ? 1
+                                                                       : 0);
+      }
+      return out;
+    }
+    case Fun2::kAdd:
+    case Fun2::kSub:
+    case Fun2::kMul:
+    case Fun2::kDiv:
+    case Fun2::kIdiv:
+    case Fun2::kMod: {
+      auto out = Column::MakeItem(n);
+      for (size_t i = 0; i < n; ++i) {
+        PF_ASSIGN_OR_RETURN(Item r,
+                            ArithItem(f, a.items()[i], b.items()[i], ctx));
+        out->items().push_back(r);
+      }
+      return out;
+    }
+    case Fun2::kCmpEq:
+    case Fun2::kCmpNe:
+    case Fun2::kCmpLt:
+    case Fun2::kCmpLe:
+    case Fun2::kCmpGt:
+    case Fun2::kCmpGe: {
+      auto out = Column::MakeBool(n);
+      for (size_t i = 0; i < n; ++i) {
+        PF_ASSIGN_OR_RETURN(int c,
+                            CompareItems(a.items()[i], b.items()[i], ctx));
+        bool r = false;
+        switch (f) {
+          case Fun2::kCmpEq:
+            r = c == 0;
+            break;
+          case Fun2::kCmpNe:
+            r = c != 0;
+            break;
+          case Fun2::kCmpLt:
+            r = c < 0;
+            break;
+          case Fun2::kCmpLe:
+            r = c <= 0;
+            break;
+          case Fun2::kCmpGt:
+            r = c > 0;
+            break;
+          default:
+            r = c >= 0;
+            break;
+        }
+        out->bools().push_back(r ? 1 : 0);
+      }
+      return out;
+    }
+    case Fun2::kIs:
+    case Fun2::kBefore:
+    case Fun2::kAfter: {
+      auto out = Column::MakeBool(n);
+      for (size_t i = 0; i < n; ++i) {
+        const Item& x = a.items()[i];
+        const Item& y = b.items()[i];
+        if (!x.IsNode() || !y.IsNode()) {
+          return Status::TypeError("node comparison on non-nodes");
+        }
+        bool r;
+        if (f == Fun2::kIs) {
+          r = x == y;
+        } else if (f == Fun2::kBefore) {
+          r = x.raw < y.raw;
+        } else {
+          r = x.raw > y.raw;
+        }
+        out->bools().push_back(r ? 1 : 0);
+      }
+      return out;
+    }
+    case Fun2::kContains:
+    case Fun2::kStartsWith: {
+      auto out = Column::MakeBool(n);
+      for (size_t i = 0; i < n; ++i) {
+        PF_ASSIGN_OR_RETURN(StrId xs, ItemAsString(ctx, a.items()[i]));
+        PF_ASSIGN_OR_RETURN(StrId ys, ItemAsString(ctx, b.items()[i]));
+        std::string_view x = ctx->pool()->Get(xs);
+        std::string_view y = ctx->pool()->Get(ys);
+        bool r = f == Fun2::kContains
+                     ? x.find(y) != std::string_view::npos
+                     : x.substr(0, y.size()) == y;
+        out->bools().push_back(r ? 1 : 0);
+      }
+      return out;
+    }
+    case Fun2::kConcat: {
+      auto out = Column::MakeItem(n);
+      for (size_t i = 0; i < n; ++i) {
+        PF_ASSIGN_OR_RETURN(StrId xs, ItemAsString(ctx, a.items()[i]));
+        PF_ASSIGN_OR_RETURN(StrId ys, ItemAsString(ctx, b.items()[i]));
+        std::string joined(ctx->pool()->Get(xs));
+        joined += ctx->pool()->Get(ys);
+        out->items().push_back(Item::Str(ctx->pool()->Intern(joined)));
+      }
+      return out;
+    }
+    case Fun2::kSubstrFrom:
+    case Fun2::kSubstrLen: {
+      // fn:substring semantics with 1-based, rounded positions
+      // (byte-oriented: this engine treats characters as bytes).
+      auto out = Column::MakeItem(n);
+      for (size_t i = 0; i < n; ++i) {
+        PF_ASSIGN_OR_RETURN(StrId xs, ItemAsString(ctx, a.items()[i]));
+        PF_ASSIGN_OR_RETURN(Item num, AtomizeItem(ctx, b.items()[i]));
+        PF_ASSIGN_OR_RETURN(double d, bat::ItemToDouble(num, *ctx->pool()));
+        std::string_view s = ctx->pool()->Get(xs);
+        std::string r;
+        if (f == Fun2::kSubstrFrom) {
+          int64_t start = static_cast<int64_t>(std::llround(d));
+          if (start < 1) start = 1;
+          if (static_cast<size_t>(start) <= s.size()) {
+            r = std::string(s.substr(static_cast<size_t>(start - 1)));
+          }
+        } else {
+          int64_t len = static_cast<int64_t>(std::llround(d));
+          if (len > 0) {
+            r = std::string(s.substr(0, static_cast<size_t>(len)));
+          }
+        }
+        out->items().push_back(Item::Str(ctx->pool()->Intern(r)));
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unhandled Fun2");
+}
+
+// --- per-op evaluation ----------------------------------------------------
+
+class Exec {
+ public:
+  explicit Exec(QueryContext* ctx) : ctx_(ctx) {}
+
+  Result<Table> Run(const alg::OpPtr& root) {
+    for (Op* op : alg::TopoOrder(root)) {
+      PF_ASSIGN_OR_RETURN(Table t, EvalOne(*op));
+      memo_.emplace(op, std::move(t));
+    }
+    return memo_.at(root.get());
+  }
+
+ private:
+  const Table& Child(const Op& op, size_t i) {
+    return memo_.at(op.children[i].get());
+  }
+
+  Result<Table> EvalOne(const Op& op) {
+    switch (op.kind) {
+      case OpKind::kLitTable: {
+        Table t;
+        for (size_t c = 0; c < op.names.size(); ++c) {
+          auto col = std::make_shared<Column>(op.types[c]);
+          for (const auto& row : op.rows) {
+            const Item& cell = row[c];
+            switch (op.types[c]) {
+              case ColType::kInt:
+                col->ints().push_back(cell.AsInt());
+                break;
+              case ColType::kDbl:
+                col->dbls().push_back(cell.AsDbl());
+                break;
+              case ColType::kStr:
+                col->strs().push_back(cell.AsStr());
+                break;
+              case ColType::kBool:
+                col->bools().push_back(cell.AsBool() ? 1 : 0);
+                break;
+              case ColType::kItem:
+                col->items().push_back(cell);
+                break;
+            }
+          }
+          t.AddCol(op.names[c], std::move(col));
+        }
+        return t;
+      }
+      case OpKind::kProject: {
+        const Table& in = Child(op, 0);
+        Table t;
+        for (const auto& [nw, old] : op.proj) {
+          PF_ASSIGN_OR_RETURN(ColumnPtr c, in.GetCol(old));
+          t.AddCol(nw, c);
+        }
+        return t;
+      }
+      case OpKind::kAttach: {
+        const Table& in = Child(op, 0);
+        Table t = in;
+        size_t n = in.rows();
+        auto col = std::make_shared<Column>(op.types[0]);
+        switch (op.types[0]) {
+          case ColType::kInt:
+            col->ints().assign(n, op.attach_val.AsInt());
+            break;
+          case ColType::kDbl:
+            col->dbls().assign(n, op.attach_val.AsDbl());
+            break;
+          case ColType::kStr:
+            col->strs().assign(n, op.attach_val.AsStr());
+            break;
+          case ColType::kBool:
+            col->bools().assign(n, op.attach_val.AsBool() ? 1 : 0);
+            break;
+          case ColType::kItem:
+            col->items().assign(n, op.attach_val);
+            break;
+        }
+        t.AddCol(op.out, std::move(col));
+        return t;
+      }
+      case OpKind::kSelect: {
+        const Table& in = Child(op, 0);
+        PF_ASSIGN_OR_RETURN(ColumnPtr pred, in.GetCol(op.col));
+        IdxVec idx = bat::FilterIndices(*pred);
+        return bat::GatherTable(in, idx);
+      }
+      case OpKind::kDisjointUnion:
+        return bat::UnionAll(Child(op, 0), Child(op, 1));
+      case OpKind::kDifference: {
+        PF_ASSIGN_OR_RETURN(
+            IdxVec idx,
+            bat::DifferenceIndices(Child(op, 0), Child(op, 1), op.keys));
+        return bat::GatherTable(Child(op, 0), idx);
+      }
+      case OpKind::kDistinct: {
+        PF_ASSIGN_OR_RETURN(IdxVec idx,
+                            bat::DistinctIndices(Child(op, 0), op.keys));
+        return bat::GatherTable(Child(op, 0), idx);
+      }
+      case OpKind::kEquiJoin:
+      case OpKind::kThetaJoin: {
+        const Table& l = Child(op, 0);
+        const Table& r = Child(op, 1);
+        PF_ASSIGN_OR_RETURN(ColumnPtr lk, l.GetCol(op.col));
+        PF_ASSIGN_OR_RETURN(ColumnPtr rk, r.GetCol(op.col2));
+        IdxVec li, ri;
+        if (op.kind == OpKind::kEquiJoin) {
+          PF_RETURN_NOT_OK(
+              bat::HashJoinIndices(*lk, *rk, *ctx_->pool(), &li, &ri));
+        } else {
+          PF_RETURN_NOT_OK(bat::ThetaJoinIndices(*lk, *rk, op.cmp,
+                                                 *ctx_->pool(), &li, &ri));
+        }
+        Table t;
+        for (size_t i = 0; i < l.num_cols(); ++i) {
+          t.AddCol(l.name(i), bat::Gather(*l.col(i), li));
+        }
+        for (size_t i = 0; i < r.num_cols(); ++i) {
+          t.AddCol(r.name(i), bat::Gather(*r.col(i), ri));
+        }
+        return t;
+      }
+      case OpKind::kCross: {
+        const Table& l = Child(op, 0);
+        const Table& r = Child(op, 1);
+        IdxVec li, ri;
+        li.reserve(l.rows() * r.rows());
+        ri.reserve(l.rows() * r.rows());
+        for (size_t i = 0; i < l.rows(); ++i) {
+          for (size_t j = 0; j < r.rows(); ++j) {
+            li.push_back(static_cast<bat::RowIdx>(i));
+            ri.push_back(static_cast<bat::RowIdx>(j));
+          }
+        }
+        Table t;
+        for (size_t i = 0; i < l.num_cols(); ++i) {
+          t.AddCol(l.name(i), bat::Gather(*l.col(i), li));
+        }
+        for (size_t i = 0; i < r.num_cols(); ++i) {
+          t.AddCol(r.name(i), bat::Gather(*r.col(i), ri));
+        }
+        return t;
+      }
+      case OpKind::kRowNum: {
+        const Table& in = Child(op, 0);
+        PF_ASSIGN_OR_RETURN(
+            ColumnPtr col,
+            bat::Mark(in, op.part, op.order, *ctx_->pool(), op.order_desc));
+        Table t = in;
+        t.AddCol(op.out, std::move(col));
+        return t;
+      }
+      case OpKind::kStep:
+        return EvalStep(op);
+      case OpKind::kDocRoot: {
+        const Table& in = Child(op, 0);
+        PF_ASSIGN_OR_RETURN(ColumnPtr iter, in.GetCol("iter"));
+        PF_ASSIGN_OR_RETURN(ColumnPtr item, in.GetCol("item"));
+        auto out_iter = Column::MakeInt(in.rows());
+        auto out_item = Column::MakeItem(in.rows());
+        for (size_t i = 0; i < in.rows(); ++i) {
+          const Item& it = item->items()[i];
+          if (!it.IsStringLike()) {
+            return Status::TypeError("fn:doc expects a string");
+          }
+          PF_ASSIGN_OR_RETURN(
+              xml::FragId frag,
+              ctx_->db()->FindDocument(
+                  std::string(ctx_->pool()->Get(it.AsStr()))));
+          out_iter->ints().push_back(iter->ints()[i]);
+          out_item->items().push_back(Item::Node(frag, 0));
+        }
+        Table t;
+        t.AddCol("iter", std::move(out_iter));
+        t.AddCol("item", std::move(out_item));
+        return t;
+      }
+      case OpKind::kElemConstr:
+        return EvalElem(op);
+      case OpKind::kTextConstr:
+        return EvalTextOrAttr(op, /*is_attr=*/false);
+      case OpKind::kAttrConstr:
+        return EvalTextOrAttr(op, /*is_attr=*/true);
+      case OpKind::kStrJoin:
+        return EvalStrJoin(op);
+      case OpKind::kFun1: {
+        const Table& in = Child(op, 0);
+        PF_ASSIGN_OR_RETURN(ColumnPtr c, in.GetCol(op.col));
+        PF_ASSIGN_OR_RETURN(ColumnPtr out, EvalFun1(op.fun1, *c, ctx_));
+        Table t = in;
+        t.AddCol(op.out, std::move(out));
+        return t;
+      }
+      case OpKind::kFun2: {
+        const Table& in = Child(op, 0);
+        PF_ASSIGN_OR_RETURN(ColumnPtr a, in.GetCol(op.col));
+        PF_ASSIGN_OR_RETURN(ColumnPtr b, in.GetCol(op.col2));
+        PF_ASSIGN_OR_RETURN(ColumnPtr out, EvalFun2(op.fun2, *a, *b, ctx_));
+        Table t = in;
+        t.AddCol(op.out, std::move(out));
+        return t;
+      }
+      case OpKind::kAggr:
+        return bat::GroupAgg(Child(op, 0), op.col, op.col2, op.agg,
+                             *ctx_->pool(), op.col, op.out);
+      case OpKind::kSerialize: {
+        const Table& in = Child(op, 0);
+        PF_ASSIGN_OR_RETURN(IdxVec perm, bat::SortPerm(in, {"iter", "pos"},
+                                                       *ctx_->pool()));
+        return bat::GatherTable(in, perm);
+      }
+    }
+    return Status::Internal("unhandled operator in executor");
+  }
+
+  Result<Table> EvalStep(const Op& op) {
+    const Table& in = Child(op, 0);
+    PF_ASSIGN_OR_RETURN(ColumnPtr iter_c, in.GetCol("iter"));
+    PF_ASSIGN_OR_RETURN(ColumnPtr item_c, in.GetCol("item"));
+    const auto& iters = iter_c->ints();
+    const auto& items = item_c->items();
+
+    // Group rows by iter, contexts per fragment in document order.
+    IdxVec perm(in.rows());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      perm[i] = static_cast<bat::RowIdx>(i);
+    }
+    std::sort(perm.begin(), perm.end(),
+              [&](bat::RowIdx a, bat::RowIdx b) {
+                if (iters[a] != iters[b]) return iters[a] < iters[b];
+                return items[a].raw < items[b].raw;
+              });
+
+    auto out_iter = Column::MakeInt();
+    auto out_item = Column::MakeItem();
+
+    size_t i = 0;
+    std::vector<xml::Pre> contexts, results;
+    while (i < perm.size()) {
+      size_t j = i;
+      int64_t iter = iters[perm[i]];
+      while (j < perm.size() && iters[perm[j]] == iter) ++j;
+      // Per fragment within [i, j).
+      size_t k = i;
+      while (k < j) {
+        const Item& first = items[perm[k]];
+        if (!first.IsNode()) {
+          return Status::TypeError("path step applied to an atomic value");
+        }
+        uint32_t frag = first.NodeFrag();
+        contexts.clear();
+        size_t m = k;
+        while (m < j && items[perm[m]].NodeFrag() == frag) {
+          xml::Pre p = items[perm[m]].NodePre();
+          if (contexts.empty() || contexts.back() != p) {
+            contexts.push_back(p);
+          }
+          ++m;
+        }
+        const xml::Document& doc = ctx_->doc(frag);
+        results.clear();
+        if (ctx_->use_staircase) {
+          accel::StaircaseJoin(doc, contexts, op.axis, op.test, &results,
+                               &ctx_->scj_stats);
+        } else {
+          // Ablation baseline: per-context naive region selection, then
+          // an explicit sort + duplicate elimination.
+          for (xml::Pre c : contexts) {
+            accel::NaiveStep(doc, c, op.axis, op.test, &results);
+          }
+          std::sort(results.begin(), results.end());
+          results.erase(std::unique(results.begin(), results.end()),
+                        results.end());
+        }
+        for (xml::Pre r : results) {
+          out_iter->ints().push_back(iter);
+          out_item->items().push_back(doc.kind(r) == xml::NodeKind::kAttr
+                                          ? Item::Attr(frag, r)
+                                          : Item::Node(frag, r));
+        }
+        k = m;
+      }
+      i = j;
+    }
+    Table t;
+    t.AddCol("iter", std::move(out_iter));
+    t.AddCol("item", std::move(out_item));
+    return t;
+  }
+
+  /// Group an (iter, pos, item) table: iters in ascending order, items
+  /// per iter sorted by pos.
+  Result<std::vector<std::pair<int64_t, std::vector<Item>>>> GroupContent(
+      const Table& in) {
+    PF_ASSIGN_OR_RETURN(IdxVec perm,
+                        bat::SortPerm(in, {"iter", "pos"}, *ctx_->pool()));
+    PF_ASSIGN_OR_RETURN(ColumnPtr iter_c, in.GetCol("iter"));
+    PF_ASSIGN_OR_RETURN(ColumnPtr item_c, in.GetCol("item"));
+    std::vector<std::pair<int64_t, std::vector<Item>>> groups;
+    for (bat::RowIdx r : perm) {
+      int64_t it = iter_c->ints()[r];
+      if (groups.empty() || groups.back().first != it) {
+        groups.push_back({it, {}});
+      }
+      groups.back().second.push_back(item_c->items()[r]);
+    }
+    return groups;
+  }
+
+  Result<Table> EvalElem(const Op& op) {
+    const Table& names = Child(op, 0);
+    const Table& content = Child(op, 1);
+    PF_ASSIGN_OR_RETURN(auto content_groups, GroupContent(content));
+    std::unordered_map<int64_t, size_t> content_of;
+    for (size_t g = 0; g < content_groups.size(); ++g) {
+      content_of[content_groups[g].first] = g;
+    }
+
+    // One element per iter of the name relation (first name row wins).
+    PF_ASSIGN_OR_RETURN(IdxVec perm,
+                        bat::SortPerm(names, {"iter"}, *ctx_->pool()));
+    PF_ASSIGN_OR_RETURN(ColumnPtr iter_c, names.GetCol("iter"));
+    PF_ASSIGN_OR_RETURN(ColumnPtr item_c, names.GetCol("item"));
+
+    auto out_iter = Column::MakeInt();
+    auto out_item = Column::MakeItem();
+    static const std::vector<Item> kNoContent;
+    int64_t prev_iter = 0;
+    bool have_prev = false;
+    for (bat::RowIdx r : perm) {
+      int64_t iter = iter_c->ints()[r];
+      if (have_prev && iter == prev_iter) continue;  // first row per iter
+      prev_iter = iter;
+      have_prev = true;
+      PF_ASSIGN_OR_RETURN(StrId name_id,
+                          ItemAsString(ctx_, item_c->items()[r]));
+      std::string name(ctx_->pool()->Get(name_id));
+      auto cg = content_of.find(iter);
+      const std::vector<Item>& items =
+          cg == content_of.end() ? kNoContent : content_groups[cg->second].second;
+      PF_ASSIGN_OR_RETURN(Item node, BuildElement(ctx_, name, items));
+      out_iter->ints().push_back(iter);
+      out_item->items().push_back(node);
+    }
+    Table t;
+    t.AddCol("iter", std::move(out_iter));
+    t.AddCol("item", std::move(out_item));
+    return t;
+  }
+
+  Result<Table> EvalStrJoin(const Op& op) {
+    const Table& content = Child(op, 0);
+    const Table& seps = Child(op, 1);
+    PF_ASSIGN_OR_RETURN(auto groups, GroupContent(content));
+    // Separator per iter (singleton; defaults to "" when absent).
+    PF_ASSIGN_OR_RETURN(ColumnPtr sep_iter, seps.GetCol("iter"));
+    PF_ASSIGN_OR_RETURN(ColumnPtr sep_item, seps.GetCol("item"));
+    std::unordered_map<int64_t, StrId> sep_of;
+    for (size_t i = 0; i < seps.rows(); ++i) {
+      PF_ASSIGN_OR_RETURN(StrId s,
+                          ItemAsString(ctx_, sep_item->items()[i]));
+      sep_of.emplace(sep_iter->ints()[i], s);
+    }
+    auto out_iter = Column::MakeInt(groups.size());
+    auto out_item = Column::MakeItem(groups.size());
+    for (const auto& [iter, items] : groups) {
+      auto it = sep_of.find(iter);
+      std::string sep(it == sep_of.end()
+                          ? ""
+                          : std::string(ctx_->pool()->Get(it->second)));
+      std::string joined;
+      for (size_t i = 0; i < items.size(); ++i) {
+        PF_ASSIGN_OR_RETURN(StrId s, ItemAsString(ctx_, items[i]));
+        if (i) joined += sep;
+        joined += ctx_->pool()->Get(s);
+      }
+      out_iter->ints().push_back(iter);
+      out_item->items().push_back(
+          Item::Str(ctx_->pool()->Intern(joined)));
+    }
+    Table t;
+    t.AddCol("iter", std::move(out_iter));
+    t.AddCol("item", std::move(out_item));
+    return t;
+  }
+
+  Result<Table> EvalTextOrAttr(const Op& op, bool is_attr) {
+    const Table& content = Child(op, 0);
+    PF_ASSIGN_OR_RETURN(auto groups, GroupContent(content));
+    auto out_iter = Column::MakeInt(groups.size());
+    auto out_item = Column::MakeItem(groups.size());
+    for (const auto& [iter, items] : groups) {
+      std::string joined;
+      for (size_t i = 0; i < items.size(); ++i) {
+        PF_ASSIGN_OR_RETURN(StrId s, ItemAsString(ctx_, items[i]));
+        if (i) joined += ' ';
+        joined += ctx_->pool()->Get(s);
+      }
+      out_iter->ints().push_back(iter);
+      out_item->items().push_back(
+          is_attr ? BuildAttribute(ctx_, op.out, joined)
+                  : BuildText(ctx_, joined));
+    }
+    Table t;
+    t.AddCol("iter", std::move(out_iter));
+    t.AddCol("item", std::move(out_item));
+    return t;
+  }
+
+  QueryContext* ctx_;
+  std::unordered_map<const Op*, Table> memo_;
+};
+
+}  // namespace
+
+Result<Table> Execute(const algebra::OpPtr& root, QueryContext* ctx) {
+  Exec exec(ctx);
+  return exec.Run(root);
+}
+
+}  // namespace pathfinder::engine

@@ -1,0 +1,42 @@
+#ifndef PATHFINDER_ENGINE_NODE_BUILD_H_
+#define PATHFINDER_ENGINE_NODE_BUILD_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "bat/item.h"
+#include "engine/query_context.h"
+#include "xml/tree_builder.h"
+
+namespace pathfinder::engine {
+
+/// Runtime for the ε/τ constructors (paper Table 1).
+
+/// Deep-copy the subtree rooted at `v` of `src` into `builder`
+/// (document nodes copy their children).
+void CopySubtree(const xml::Document& src, xml::Pre v,
+                 xml::TreeBuilder* builder);
+
+/// Construct one element node named `name` whose content is `items`
+/// (in sequence order). XQuery content rules: attribute items become
+/// attributes; nodes are deep-copied; runs of adjacent atomics are
+/// joined with single spaces into one text node.
+/// Returns the new node item.
+Result<Item> BuildElement(QueryContext* ctx, const std::string& name,
+                          const std::vector<Item>& items);
+
+/// Construct a text node with the given content.
+Item BuildText(QueryContext* ctx, const std::string& content);
+
+/// Construct a standalone attribute node name="value".
+Item BuildAttribute(QueryContext* ctx, const std::string& name,
+                    const std::string& value);
+
+/// The string value of a node item (attributes: their value; elements:
+/// concatenated descendant text).
+std::string NodeStringValue(const QueryContext& ctx, const Item& node);
+
+}  // namespace pathfinder::engine
+
+#endif  // PATHFINDER_ENGINE_NODE_BUILD_H_

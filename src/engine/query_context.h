@@ -1,0 +1,63 @@
+#ifndef PATHFINDER_ENGINE_QUERY_CONTEXT_H_
+#define PATHFINDER_ENGINE_QUERY_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "accel/step.h"
+#include "base/result.h"
+#include "xml/database.h"
+
+namespace pathfinder::engine {
+
+/// Per-query runtime state: resolves fragment ids (persistent documents
+/// first, then fragments constructed by ε/τ during this query) and
+/// collects execution statistics.
+///
+/// Node items carry (FragId, pre); ids below db->num_documents() are
+/// persistent, the rest index constructed_.
+class QueryContext {
+ public:
+  explicit QueryContext(xml::Database* db) : db_(db) {}
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  xml::Database* db() { return db_; }
+  StringPool* pool() { return db_->pool(); }
+  const StringPool& pool() const {
+    return static_cast<const xml::Database&>(*db_).pool();
+  }
+
+  const xml::Document& doc(xml::FragId id) const {
+    size_t n = db_->num_documents();
+    if (id < n) return db_->doc(id);
+    return *constructed_[id - n];
+  }
+
+  bool ValidFrag(xml::FragId id) const {
+    return id < db_->num_documents() + constructed_.size();
+  }
+
+  xml::FragId AddFragment(xml::Document d) {
+    constructed_.push_back(std::make_unique<xml::Document>(std::move(d)));
+    return static_cast<xml::FragId>(db_->num_documents() +
+                                    constructed_.size() - 1);
+  }
+
+  size_t num_constructed() const { return constructed_.size(); }
+
+  /// Ablation switch (bench E6): evaluate Step operators with per-node
+  /// naive region selection instead of the staircase join.
+  bool use_staircase = true;
+
+  /// Aggregated staircase join counters for this query.
+  accel::StaircaseStats scj_stats;
+
+ private:
+  xml::Database* db_;
+  std::vector<std::unique_ptr<xml::Document>> constructed_;
+};
+
+}  // namespace pathfinder::engine
+
+#endif  // PATHFINDER_ENGINE_QUERY_CONTEXT_H_

@@ -1,0 +1,223 @@
+#include "frontend/ast.h"
+
+#include <sstream>
+
+namespace pathfinder::frontend {
+
+const char* ExprKindName(ExprKind k) {
+  switch (k) {
+    case ExprKind::kIntLit:
+      return "int";
+    case ExprKind::kDblLit:
+      return "double";
+    case ExprKind::kStrLit:
+      return "string";
+    case ExprKind::kEmpty:
+      return "empty";
+    case ExprKind::kSequence:
+      return "sequence";
+    case ExprKind::kVar:
+      return "var";
+    case ExprKind::kContextItem:
+      return "context-item";
+    case ExprKind::kRootCtx:
+      return "root";
+    case ExprKind::kFlwor:
+      return "flwor";
+    case ExprKind::kIf:
+      return "if";
+    case ExprKind::kTypeswitch:
+      return "typeswitch";
+    case ExprKind::kBinOp:
+      return "binop";
+    case ExprKind::kUnaryMinus:
+      return "neg";
+    case ExprKind::kAxisStep:
+      return "step";
+    case ExprKind::kFunCall:
+      return "call";
+    case ExprKind::kElemConstr:
+      return "element";
+    case ExprKind::kAttrConstr:
+      return "attribute";
+    case ExprKind::kTextConstr:
+      return "text";
+    case ExprKind::kDdo:
+      return "ddo";
+    case ExprKind::kSome:
+      return "some";
+    case ExprKind::kEvery:
+      return "every";
+  }
+  return "?";
+}
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kOr:
+      return "or";
+    case BinOp::kAnd:
+      return "and";
+    case BinOp::kGenEq:
+      return "=";
+    case BinOp::kGenNe:
+      return "!=";
+    case BinOp::kGenLt:
+      return "<";
+    case BinOp::kGenLe:
+      return "<=";
+    case BinOp::kGenGt:
+      return ">";
+    case BinOp::kGenGe:
+      return ">=";
+    case BinOp::kValEq:
+      return "eq";
+    case BinOp::kValNe:
+      return "ne";
+    case BinOp::kValLt:
+      return "lt";
+    case BinOp::kValLe:
+      return "le";
+    case BinOp::kValGt:
+      return "gt";
+    case BinOp::kValGe:
+      return "ge";
+    case BinOp::kIs:
+      return "is";
+    case BinOp::kBefore:
+      return "<<";
+    case BinOp::kAfter:
+      return ">>";
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "div";
+    case BinOp::kIdiv:
+      return "idiv";
+    case BinOp::kMod:
+      return "mod";
+    case BinOp::kUnion:
+      return "|";
+  }
+  return "?";
+}
+
+std::string StepTest::ToString() const {
+  switch (kind) {
+    case Kind::kAnyKind:
+      return "node()";
+    case Kind::kElement:
+      return "*";
+    case Kind::kText:
+      return "text()";
+    case Kind::kComment:
+      return "comment()";
+    case Kind::kPi:
+      return "processing-instruction()";
+    case Kind::kName:
+      return name;
+  }
+  return "?";
+}
+
+ExprPtr MakeExpr(ExprKind kind, std::vector<ExprPtr> children) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  e->children = std::move(children);
+  return e;
+}
+
+namespace {
+
+void Print(const ExprPtr& e, int indent, std::ostringstream& os) {
+  auto pad = [&](int n) {
+    for (int i = 0; i < n; ++i) os << "  ";
+  };
+  pad(indent);
+  if (!e) {
+    os << "(null)\n";
+    return;
+  }
+  os << ExprKindName(e->kind);
+  switch (e->kind) {
+    case ExprKind::kIntLit:
+      os << " " << e->ival;
+      break;
+    case ExprKind::kDblLit:
+      os << " " << e->dval;
+      break;
+    case ExprKind::kStrLit:
+    case ExprKind::kVar:
+    case ExprKind::kFunCall:
+    case ExprKind::kAttrConstr:
+      os << " " << e->sval;
+      break;
+    case ExprKind::kBinOp:
+      os << " " << BinOpName(e->op);
+      break;
+    case ExprKind::kAxisStep:
+      os << " " << accel::AxisName(e->axis) << "::" << e->test.ToString();
+      break;
+    case ExprKind::kSome:
+    case ExprKind::kEvery:
+      os << " $" << e->sval;
+      break;
+    default:
+      break;
+  }
+  os << "\n";
+  if (e->kind == ExprKind::kFlwor) {
+    for (const auto& c : e->clauses) {
+      pad(indent + 1);
+      os << (c.is_let ? "let $" : "for $") << c.var;
+      if (!c.pos_var.empty()) os << " at $" << c.pos_var;
+      os << " :=\n";
+      Print(c.expr, indent + 2, os);
+    }
+    if (e->where) {
+      pad(indent + 1);
+      os << "where\n";
+      Print(e->where, indent + 2, os);
+    }
+    for (const auto& k : e->order_keys) {
+      pad(indent + 1);
+      os << "order by" << (k.ascending ? "" : " descending") << "\n";
+      Print(k.key, indent + 2, os);
+    }
+    pad(indent + 1);
+    os << "return\n";
+    Print(e->children[0], indent + 2, os);
+    return;
+  }
+  if (e->kind == ExprKind::kTypeswitch) {
+    Print(e->children[0], indent + 1, os);
+    for (const auto& c : e->cases) {
+      pad(indent + 1);
+      os << "case " << static_cast<int>(c.type);
+      if (!c.var.empty()) os << " $" << c.var;
+      os << "\n";
+      Print(c.body, indent + 2, os);
+    }
+    return;
+  }
+  for (const auto& c : e->children) Print(c, indent + 1, os);
+  for (const auto& p : e->preds) {
+    pad(indent + 1);
+    os << "predicate\n";
+    Print(p, indent + 2, os);
+  }
+}
+
+}  // namespace
+
+std::string ExprToString(const ExprPtr& e, int indent) {
+  std::ostringstream os;
+  Print(e, indent, os);
+  return os.str();
+}
+
+}  // namespace pathfinder::frontend

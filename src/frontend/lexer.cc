@@ -1,0 +1,313 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pathfinder::frontend {
+
+const char* TokName(Tok t) {
+  switch (t) {
+    case Tok::kEof:
+      return "<eof>";
+    case Tok::kName:
+      return "name";
+    case Tok::kInt:
+      return "integer";
+    case Tok::kDbl:
+      return "double";
+    case Tok::kStr:
+      return "string";
+    case Tok::kDollar:
+      return "$";
+    case Tok::kLParen:
+      return "(";
+    case Tok::kRParen:
+      return ")";
+    case Tok::kLBracket:
+      return "[";
+    case Tok::kRBracket:
+      return "]";
+    case Tok::kLBrace:
+      return "{";
+    case Tok::kRBrace:
+      return "}";
+    case Tok::kComma:
+      return ",";
+    case Tok::kSemicolon:
+      return ";";
+    case Tok::kColonEq:
+      return ":=";
+    case Tok::kColonColon:
+      return "::";
+    case Tok::kSlash:
+      return "/";
+    case Tok::kSlashSlash:
+      return "//";
+    case Tok::kAt:
+      return "@";
+    case Tok::kDot:
+      return ".";
+    case Tok::kDotDot:
+      return "..";
+    case Tok::kEq:
+      return "=";
+    case Tok::kNe:
+      return "!=";
+    case Tok::kLt:
+      return "<";
+    case Tok::kLe:
+      return "<=";
+    case Tok::kGt:
+      return ">";
+    case Tok::kGe:
+      return ">=";
+    case Tok::kLtLt:
+      return "<<";
+    case Tok::kGtGt:
+      return ">>";
+    case Tok::kPlus:
+      return "+";
+    case Tok::kMinus:
+      return "-";
+    case Tok::kStar:
+      return "*";
+    case Tok::kPipe:
+      return "|";
+    case Tok::kQuestion:
+      return "?";
+    case Tok::kDirectElemStart:
+      return "<tag";
+    case Tok::kDirectCloseStart:
+      return "</";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view input) : input_(input) {}
+
+void Lexer::SkipWsAndComments() {
+  for (;;) {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      if (input_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    // XQuery comments (: ... :) nest.
+    if (pos_ + 1 < input_.size() && input_[pos_] == '(' &&
+        input_[pos_ + 1] == ':') {
+      int depth = 0;
+      while (pos_ < input_.size()) {
+        if (pos_ + 1 < input_.size() && input_[pos_] == '(' &&
+            input_[pos_ + 1] == ':') {
+          ++depth;
+          pos_ += 2;
+        } else if (pos_ + 1 < input_.size() && input_[pos_] == ':' &&
+                   input_[pos_ + 1] == ')') {
+          --depth;
+          pos_ += 2;
+          if (depth == 0) break;
+        } else {
+          if (input_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+Status Lexer::Advance() { return Lex(); }
+
+Status Lexer::SeekTo(size_t pos) {
+  pos_ = pos;
+  return Lex();
+}
+
+Status Lexer::Lex() {
+  SkipWsAndComments();
+  cur_ = Token{};
+  cur_.line = line_;
+  cur_.begin = pos_;
+  if (pos_ >= input_.size()) {
+    cur_.kind = Tok::kEof;
+    cur_.end = pos_;
+    return Status::OK();
+  }
+  char c = input_[pos_];
+  auto single = [&](Tok t) {
+    cur_.kind = t;
+    ++pos_;
+    cur_.end = pos_;
+    return Status::OK();
+  };
+  auto pair = [&](Tok t) {
+    cur_.kind = t;
+    pos_ += 2;
+    cur_.end = pos_;
+    return Status::OK();
+  };
+  char n = pos_ + 1 < input_.size() ? input_[pos_ + 1] : '\0';
+
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(n)))) {
+    size_t start = pos_;
+    bool is_dbl = false;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < input_.size() && input_[pos_] == '.' &&
+        !(pos_ + 1 < input_.size() && input_[pos_ + 1] == '.')) {
+      is_dbl = true;
+      ++pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < input_.size() &&
+        (input_[pos_] == 'e' || input_[pos_] == 'E')) {
+      is_dbl = true;
+      ++pos_;
+      if (pos_ < input_.size() &&
+          (input_[pos_] == '+' || input_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+    }
+    std::string text(input_.substr(start, pos_ - start));
+    cur_.end = pos_;
+    if (is_dbl) {
+      cur_.kind = Tok::kDbl;
+      cur_.dval = std::strtod(text.c_str(), nullptr);
+    } else {
+      cur_.kind = Tok::kInt;
+      cur_.ival = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    return Status::OK();
+  }
+
+  if (IsNameStart(c)) {
+    size_t start = pos_;
+    while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    // prefix:name (but not "name::" which is an axis).
+    if (pos_ + 1 < input_.size() && input_[pos_] == ':' &&
+        input_[pos_ + 1] != ':' && IsNameStart(input_[pos_ + 1])) {
+      ++pos_;
+      while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    }
+    cur_.kind = Tok::kName;
+    cur_.text = std::string(input_.substr(start, pos_ - start));
+    cur_.end = pos_;
+    return Status::OK();
+  }
+
+  if (c == '"' || c == '\'') {
+    char quote = c;
+    ++pos_;
+    std::string out;
+    while (pos_ < input_.size()) {
+      char d = input_[pos_];
+      if (d == quote) {
+        // Doubled quote is an escaped quote.
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == quote) {
+          out += quote;
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        cur_.kind = Tok::kStr;
+        cur_.text = std::move(out);
+        cur_.end = pos_;
+        return Status::OK();
+      }
+      if (d == '\n') ++line_;
+      out += d;
+      ++pos_;
+    }
+    return Status::ParseError("XQuery line " + std::to_string(line_) +
+                              ": unterminated string literal");
+  }
+
+  switch (c) {
+    case '$':
+      return single(Tok::kDollar);
+    case '(':
+      return single(Tok::kLParen);
+    case ')':
+      return single(Tok::kRParen);
+    case '[':
+      return single(Tok::kLBracket);
+    case ']':
+      return single(Tok::kRBracket);
+    case '{':
+      return single(Tok::kLBrace);
+    case '}':
+      return single(Tok::kRBrace);
+    case ',':
+      return single(Tok::kComma);
+    case ';':
+      return single(Tok::kSemicolon);
+    case ':':
+      if (n == '=') return pair(Tok::kColonEq);
+      if (n == ':') return pair(Tok::kColonColon);
+      return Status::ParseError("XQuery line " + std::to_string(line_) +
+                                ": stray ':'");
+    case '/':
+      if (n == '/') return pair(Tok::kSlashSlash);
+      return single(Tok::kSlash);
+    case '@':
+      return single(Tok::kAt);
+    case '.':
+      if (n == '.') return pair(Tok::kDotDot);
+      return single(Tok::kDot);
+    case '=':
+      return single(Tok::kEq);
+    case '!':
+      if (n == '=') return pair(Tok::kNe);
+      return Status::ParseError("XQuery line " + std::to_string(line_) +
+                                ": stray '!'");
+    case '<':
+      if (n == '<') return pair(Tok::kLtLt);
+      if (n == '=') return pair(Tok::kLe);
+      if (n == '/') return pair(Tok::kDirectCloseStart);
+      if (IsNameStart(n)) return single(Tok::kDirectElemStart);
+      return single(Tok::kLt);
+    case '>':
+      if (n == '>') return pair(Tok::kGtGt);
+      if (n == '=') return pair(Tok::kGe);
+      return single(Tok::kGt);
+    case '+':
+      return single(Tok::kPlus);
+    case '-':
+      return single(Tok::kMinus);
+    case '*':
+      return single(Tok::kStar);
+    case '|':
+      return single(Tok::kPipe);
+    case '?':
+      return single(Tok::kQuestion);
+    default:
+      return Status::ParseError("XQuery line " + std::to_string(line_) +
+                                ": unexpected character '" +
+                                std::string(1, c) + "'");
+  }
+}
+
+}  // namespace pathfinder::frontend

@@ -1,0 +1,115 @@
+#ifndef PATHFINDER_FRONTEND_LEXER_H_
+#define PATHFINDER_FRONTEND_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+
+namespace pathfinder::frontend {
+
+/// Token kinds. XQuery keywords are contextual, so the lexer emits them
+/// as kName and the parser matches on the spelling.
+enum class Tok : uint8_t {
+  kEof,
+  kName,    // NCName or prefix:NCName (text)
+  kInt,     // ival
+  kDbl,     // dval
+  kStr,     // string literal, decoded (text)
+  kDollar,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kColonEq,     // :=
+  kColonColon,  // ::
+  kSlash,
+  kSlashSlash,
+  kAt,
+  kDot,
+  kDotDot,
+  kEq,
+  kNe,  // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLtLt,  // <<
+  kGtGt,  // >>
+  kPlus,
+  kMinus,
+  kStar,
+  kPipe,
+  kQuestion,
+  kDirectElemStart,  // '<' immediately followed by a name char
+  kDirectCloseStart, // '</'
+};
+
+const char* TokName(Tok t);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;   // kName, kStr
+  int64_t ival = 0;   // kInt
+  double dval = 0;    // kDbl
+  size_t begin = 0;   // byte offset of the token in the input
+  size_t end = 0;     // one past the last byte
+  int line = 1;
+};
+
+/// Pull lexer over the query text.
+///
+/// Besides normal token mode it exposes raw character access
+/// (`RawPeek`/`RawGet`/`SeekTo`), which the parser uses to scan direct
+/// XML constructors — those are whitespace- and brace-sensitive and
+/// cannot be tokenized context-free.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input);
+
+  /// Current lookahead token.
+  const Token& Cur() const { return cur_; }
+
+  /// Advance to the next token. Returns lexing errors (bad string
+  /// literal, stray character).
+  Status Advance();
+
+  /// Switch back to token mode at byte offset `pos` (used after raw
+  /// scanning) and lex the token there.
+  Status SeekTo(size_t pos);
+
+  // Raw character access for the direct-constructor scanner.
+  bool RawAtEnd(size_t pos) const { return pos >= input_.size(); }
+  char RawPeek(size_t pos) const {
+    return pos < input_.size() ? input_[pos] : '\0';
+  }
+  std::string_view RawSlice(size_t from, size_t to) const {
+    return input_.substr(from, to - from);
+  }
+  size_t InputSize() const { return input_.size(); }
+
+  int line() const { return line_; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("XQuery line " + std::to_string(cur_.line) +
+                              ": " + msg);
+  }
+
+ private:
+  Status Lex();
+  void SkipWsAndComments();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  Token cur_;
+};
+
+}  // namespace pathfinder::frontend
+
+#endif  // PATHFINDER_FRONTEND_LEXER_H_

@@ -1,0 +1,40 @@
+#ifndef PATHFINDER_FRONTEND_NORMALIZE_H_
+#define PATHFINDER_FRONTEND_NORMALIZE_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "frontend/ast.h"
+
+namespace pathfinder::frontend {
+
+struct NormalizeOptions {
+  /// Document that a leading "/" refers to (fn:doc is used otherwise).
+  /// Empty means absolute paths are an error unless a context item is in
+  /// scope.
+  std::string context_doc;
+};
+
+/// Lower a parsed module to Core form (the paper's "type-annotated
+/// XQuery Core equivalents" stage, Sec. 4). After normalization:
+///
+///  * every variable is alpha-renamed to a unique name (capture-free),
+///  * user-defined functions are inlined (recursion is rejected with
+///    kNotSupported, matching the relational compiler's scope),
+///  * every path step's context is an explicit variable: `e/axis::t`
+///    becomes `fs:ddo(for $fs:dot in e return $fs:dot/axis::t)`,
+///  * predicates are lowered to FLWORs with positional variables;
+///    `position()`/`last()` and `.` are resolved against the enclosing
+///    step/filter,
+///  * `e1 | e2` becomes `fs:ddo((e1, e2))`,
+///  * `some/every` become `exists`/`empty` over filtering FLWORs,
+///  * only built-in functions remain in kFunCall nodes.
+Result<ExprPtr> Normalize(const Module& mod, const NormalizeOptions& opts);
+
+/// Is `name` a built-in function (after fn: stripping) with `arity`
+/// arguments supported by both engines?
+bool IsBuiltinFunction(const std::string& name, size_t arity);
+
+}  // namespace pathfinder::frontend
+
+#endif  // PATHFINDER_FRONTEND_NORMALIZE_H_

@@ -1,0 +1,25 @@
+#ifndef PATHFINDER_FRONTEND_PARSER_H_
+#define PATHFINDER_FRONTEND_PARSER_H_
+
+#include <string_view>
+
+#include "base/result.h"
+#include "frontend/ast.h"
+
+namespace pathfinder::frontend {
+
+/// Parse an XQuery module: an optional prolog of
+/// `declare function local:name($p1, $p2) { body };` declarations
+/// followed by the query body.
+///
+/// The grammar covers the paper's Table 2 dialect: FLWOR (multiple
+/// for/let clauses, positional `at` variables, where, order by),
+/// if/then/else, typeswitch, quantified some/every, full-axis path
+/// expressions with predicates, arithmetic, value/general/node
+/// comparisons, direct and computed element/text constructors with
+/// enclosed `{}` expressions, and function calls.
+Result<Module> ParseQuery(std::string_view query);
+
+}  // namespace pathfinder::frontend
+
+#endif  // PATHFINDER_FRONTEND_PARSER_H_

@@ -1,0 +1,434 @@
+#include "opt/optimize.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "algebra/schema.h"
+
+namespace pathfinder::opt {
+
+namespace {
+
+namespace alg = pathfinder::algebra;
+using alg::Op;
+using alg::OpKind;
+using alg::OpPtr;
+using ColSet = std::set<std::string>;
+
+// ---------------------------------------------------------------------
+// Dead-column analysis: which output columns of each node does any
+// consumer actually read?
+
+struct Required {
+  std::unordered_map<const Op*, ColSet> req;
+
+  void Add(const Op* op, const std::string& c) { req[op].insert(c); }
+  void AddAll(const Op* op, const ColSet& cs) {
+    req[op].insert(cs.begin(), cs.end());
+  }
+  void AddSchema(const Op* op, const alg::Schema& s) {
+    for (const auto& [n, t] : s.cols) req[op].insert(n);
+  }
+};
+
+Result<Required> AnalyzeRequired(
+    const OpPtr& root,
+    const std::unordered_map<const Op*, alg::Schema>& schemas) {
+  Required r;
+  std::vector<Op*> order = alg::TopoOrder(root);
+  // Root needs its full schema.
+  r.AddSchema(root.get(), schemas.at(root.get()));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Op* op = *it;
+    const ColSet& R = r.req[op];
+    auto child = [&](size_t i) { return op->children[i].get(); };
+    switch (op->kind) {
+      case OpKind::kLitTable:
+        break;
+      case OpKind::kProject:
+        for (const auto& [nw, old] : op->proj) {
+          if (R.count(nw)) r.Add(child(0), old);
+        }
+        break;
+      case OpKind::kAttach: {
+        ColSet cs = R;
+        cs.erase(op->out);
+        r.AddAll(child(0), cs);
+        break;
+      }
+      case OpKind::kSelect: {
+        r.AddAll(child(0), R);
+        r.Add(child(0), op->col);
+        break;
+      }
+      case OpKind::kDisjointUnion:
+        // Both sides must keep identical schemas; narrowing only one
+        // side (whichever happens to be a Project) would desynchronize
+        // them, so require the full width from both.
+        r.AddSchema(child(0), schemas.at(child(0)));
+        r.AddSchema(child(1), schemas.at(child(1)));
+        break;
+      case OpKind::kDifference: {
+        r.AddAll(child(0), R);
+        for (const auto& k : op->keys) {
+          r.Add(child(0), k);
+          r.Add(child(1), k);
+        }
+        break;
+      }
+      case OpKind::kDistinct: {
+        if (op->keys.empty()) {
+          r.AddSchema(child(0), schemas.at(child(0)));
+        } else {
+          r.AddAll(child(0), R);
+          for (const auto& k : op->keys) r.Add(child(0), k);
+        }
+        break;
+      }
+      case OpKind::kEquiJoin:
+      case OpKind::kThetaJoin:
+      case OpKind::kCross: {
+        const alg::Schema& sa = schemas.at(child(0));
+        const alg::Schema& sb = schemas.at(child(1));
+        for (const auto& c : R) {
+          if (sa.Has(c)) r.Add(child(0), c);
+          if (sb.Has(c)) r.Add(child(1), c);
+        }
+        if (op->kind != OpKind::kCross) {
+          r.Add(child(0), op->col);
+          r.Add(child(1), op->col2);
+        } else {
+          // A side with nothing required still contributes its row
+          // count; keep its first column.
+          if (r.req[child(0)].empty() && !sa.cols.empty()) {
+            r.Add(child(0), sa.cols[0].first);
+          }
+          if (r.req[child(1)].empty() && !sb.cols.empty()) {
+            r.Add(child(1), sb.cols[0].first);
+          }
+        }
+        break;
+      }
+      case OpKind::kRowNum: {
+        ColSet cs = R;
+        cs.erase(op->out);
+        r.AddAll(child(0), cs);
+        for (const auto& k : op->part) r.Add(child(0), k);
+        for (const auto& k : op->order) r.Add(child(0), k);
+        break;
+      }
+      case OpKind::kStep:
+      case OpKind::kDocRoot:
+        r.Add(child(0), "iter");
+        r.Add(child(0), "item");
+        break;
+      case OpKind::kElemConstr:
+        r.Add(child(0), "iter");
+        r.Add(child(0), "item");
+        r.Add(child(1), "iter");
+        r.Add(child(1), "pos");
+        r.Add(child(1), "item");
+        break;
+      case OpKind::kTextConstr:
+      case OpKind::kAttrConstr:
+        r.Add(child(0), "iter");
+        r.Add(child(0), "pos");
+        r.Add(child(0), "item");
+        break;
+      case OpKind::kStrJoin:
+        r.Add(child(0), "iter");
+        r.Add(child(0), "pos");
+        r.Add(child(0), "item");
+        r.Add(child(1), "iter");
+        r.Add(child(1), "item");
+        break;
+      case OpKind::kFun1: {
+        ColSet cs = R;
+        cs.erase(op->out);
+        r.AddAll(child(0), cs);
+        r.Add(child(0), op->col);
+        break;
+      }
+      case OpKind::kFun2: {
+        ColSet cs = R;
+        cs.erase(op->out);
+        r.AddAll(child(0), cs);
+        r.Add(child(0), op->col);
+        r.Add(child(0), op->col2);
+        break;
+      }
+      case OpKind::kAggr:
+        r.Add(child(0), op->col);
+        if (!op->col2.empty()) r.Add(child(0), op->col2);
+        break;
+      case OpKind::kSerialize:
+        r.Add(child(0), "iter");
+        r.Add(child(0), "pos");
+        r.Add(child(0), "item");
+        break;
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------
+
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizeStats* stats) : stats_(stats) {}
+
+  Result<OpPtr> Run(OpPtr cur) {
+    if (stats_) stats_->ops_before = alg::CountOps(cur);
+    for (int round = 0; round < 8; ++round) {
+      if (stats_) stats_->rounds = round + 1;
+      changed_ = false;
+      PF_ASSIGN_OR_RETURN(cur, Pass(cur));
+      if (!changed_) break;
+    }
+    PF_RETURN_NOT_OK(alg::ValidatePlan(cur));
+    if (stats_) stats_->ops_after = alg::CountOps(cur);
+    return cur;
+  }
+
+ private:
+  /// One rewrite pass: recompute schemas and requirements, then rebuild
+  /// the DAG bottom-up applying local rules.
+  Result<OpPtr> Pass(const OpPtr& root) {
+    schemas_.clear();
+    PF_RETURN_NOT_OK(alg::InferSchemas(root, &schemas_).status());
+    PF_ASSIGN_OR_RETURN(required_, AnalyzeRequired(root, schemas_));
+    memo_.clear();
+    return RebuildRec(root);
+  }
+
+  Result<OpPtr> RebuildRec(const OpPtr& op) {
+    auto it = memo_.find(op.get());
+    if (it != memo_.end()) return it->second;
+    std::vector<OpPtr> kids;
+    bool kid_changed = false;
+    for (const auto& c : op->children) {
+      PF_ASSIGN_OR_RETURN(OpPtr nc, RebuildRec(c));
+      kid_changed |= nc.get() != c.get();
+      kids.push_back(std::move(nc));
+    }
+    OpPtr node = op;
+    if (kid_changed) {
+      node = std::make_shared<Op>(*op);
+      node->children = kids;
+      changed_ = true;
+    }
+    PF_ASSIGN_OR_RETURN(OpPtr rewritten, RewriteNode(node, op.get()));
+    memo_[op.get()] = rewritten;
+    return rewritten;
+  }
+
+  /// Local rules; `orig` is the pre-rebuild node (key for required_).
+  Result<OpPtr> RewriteNode(OpPtr op, const Op* orig) {
+    // Rule: drop dead projection entries.
+    if (op->kind == OpKind::kProject) {
+      const ColSet& R = required_.req[orig];
+      if (!R.empty() && R.size() < op->proj.size()) {
+        std::vector<std::pair<std::string, std::string>> kept;
+        for (const auto& pr : op->proj) {
+          if (R.count(pr.first)) kept.push_back(pr);
+        }
+        if (!kept.empty() && kept.size() < op->proj.size()) {
+          op = CloneWith(op, [&](Op* n) { n->proj = kept; });
+          if (stats_) {
+            stats_->dead_columns_pruned +=
+                static_cast<int>(op->proj.size());
+          }
+        }
+      }
+    }
+
+    // Rule: π∘π fusion.
+    if (op->kind == OpKind::kProject &&
+        op->children[0]->kind == OpKind::kProject) {
+      const Op& inner = *op->children[0];
+      std::vector<std::pair<std::string, std::string>> fused;
+      bool ok = true;
+      for (const auto& [nw, mid] : op->proj) {
+        const std::string* src = nullptr;
+        for (const auto& [m, old] : inner.proj) {
+          if (m == mid) {
+            src = &old;
+            break;
+          }
+        }
+        if (!src) {
+          ok = false;
+          break;
+        }
+        fused.emplace_back(nw, *src);
+      }
+      if (ok) {
+        OpPtr nw = alg::Project(inner.children[0], fused);
+        if (stats_) stats_->projections_fused++;
+        changed_ = true;
+        op = nw;
+      }
+    }
+
+    // Rule: π over attach whose attached column is not projected.
+    if (op->kind == OpKind::kProject &&
+        op->children[0]->kind == OpKind::kAttach) {
+      const Op& att = *op->children[0];
+      bool uses = false;
+      for (const auto& [nw, old] : op->proj) {
+        if (old == att.out) {
+          uses = true;
+          break;
+        }
+      }
+      if (!uses) {
+        OpPtr nw = alg::Project(att.children[0], op->proj);
+        if (stats_) stats_->dead_columns_pruned++;
+        changed_ = true;
+        op = nw;
+      }
+    }
+
+    // Rule: identity projection.
+    if (op->kind == OpKind::kProject) {
+      const alg::Schema* cs = FindSchema(op->children[0]);
+      if (cs && cs->cols.size() == op->proj.size()) {
+        bool identity = true;
+        for (size_t i = 0; i < op->proj.size(); ++i) {
+          if (op->proj[i].first != op->proj[i].second ||
+              op->proj[i].second != cs->cols[i].first) {
+            identity = false;
+            break;
+          }
+        }
+        if (identity) {
+          changed_ = true;
+          if (stats_) stats_->projections_fused++;
+          return op->children[0];
+        }
+      }
+    }
+
+    // Rule: δ after a staircase join is a no-op (scj output is
+    // duplicate-free and doc-ordered per iter).
+    if (op->kind == OpKind::kDistinct && IsDistinctFree(op)) {
+      changed_ = true;
+      if (stats_) stats_->distincts_removed++;
+      return op->children[0];
+    }
+
+    // Rule: ∪ with a statically empty side.
+    if (op->kind == OpKind::kDisjointUnion) {
+      auto is_empty = [](const OpPtr& c) {
+        return c->kind == OpKind::kLitTable && c->rows.empty();
+      };
+      if (is_empty(op->children[1])) {
+        changed_ = true;
+        if (stats_) stats_->unions_simplified++;
+        return op->children[0];
+      }
+      if (is_empty(op->children[0])) {
+        // Keep the left schema's column order.
+        const alg::Schema* sl = FindSchema(op->children[0]);
+        if (sl) {
+          std::vector<std::pair<std::string, std::string>> proj;
+          for (const auto& [n, t] : sl->cols) proj.emplace_back(n, n);
+          changed_ = true;
+          if (stats_) stats_->unions_simplified++;
+          return alg::Project(op->children[1], proj);
+        }
+      }
+    }
+
+    return op;
+  }
+
+  /// Does this δ's input provably contain no duplicate (keys)-tuples?
+  /// Walks down through row-preserving operators that keep the key
+  /// columns intact, looking for a Step (whose (iter, item) output is a
+  /// set) or an equal-keyed Distinct.
+  bool IsDistinctFree(const OpPtr& dist) {
+    // Track where each key column came from while descending.
+    std::vector<std::string> keys = dist->keys;
+    if (keys.empty()) return false;
+    const Op* cur = dist->children[0].get();
+    for (int guard = 0; guard < 64; ++guard) {
+      switch (cur->kind) {
+        case OpKind::kProject: {
+          std::vector<std::string> mapped;
+          for (const auto& k : keys) {
+            const std::string* src = nullptr;
+            for (const auto& [nw, old] : cur->proj) {
+              if (nw == k) {
+                src = &old;
+                break;
+              }
+            }
+            if (!src) return false;
+            mapped.push_back(*src);
+          }
+          keys = mapped;
+          cur = cur->children[0].get();
+          break;
+        }
+        case OpKind::kRowNum:
+        case OpKind::kAttach:
+        case OpKind::kFun1:
+        case OpKind::kFun2: {
+          // Row-preserving; key columns must not be the new column.
+          for (const auto& k : keys) {
+            if (k == cur->out) return false;
+          }
+          cur = cur->children[0].get();
+          break;
+        }
+        case OpKind::kStep: {
+          // Step emits the set {(iter, item)}.
+          std::set<std::string> ks(keys.begin(), keys.end());
+          return ks == std::set<std::string>{"iter", "item"};
+        }
+        case OpKind::kDistinct: {
+          std::set<std::string> ks(keys.begin(), keys.end());
+          std::set<std::string> ds(cur->keys.begin(), cur->keys.end());
+          return !ds.empty() && ds == ks;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;
+  }
+
+  const alg::Schema* FindSchema(const OpPtr& op) {
+    auto it = schemas_.find(op.get());
+    if (it != schemas_.end()) return &it->second;
+    // Nodes created during this pass: infer on demand.
+    auto r = alg::InferSchemas(op, &schemas_);
+    if (!r.ok()) return nullptr;
+    return &schemas_.at(op.get());
+  }
+
+  template <typename Fn>
+  OpPtr CloneWith(const OpPtr& op, Fn&& fn) {
+    auto nw = std::make_shared<Op>(*op);
+    fn(nw.get());
+    changed_ = true;
+    return nw;
+  }
+
+  OptimizeStats* stats_;
+  bool changed_ = false;
+  std::unordered_map<const Op*, alg::Schema> schemas_;
+  Required required_;
+  std::unordered_map<const Op*, OpPtr> memo_;
+};
+
+}  // namespace
+
+Result<algebra::OpPtr> Optimize(const algebra::OpPtr& root,
+                                OptimizeStats* stats) {
+  Optimizer o(stats);
+  return o.Run(root);
+}
+
+}  // namespace pathfinder::opt

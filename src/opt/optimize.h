@@ -1,0 +1,40 @@
+#ifndef PATHFINDER_OPT_OPTIMIZE_H_
+#define PATHFINDER_OPT_OPTIMIZE_H_
+
+#include "algebra/op.h"
+#include "base/result.h"
+
+namespace pathfinder::opt {
+
+struct OptimizeStats {
+  size_t ops_before = 0;
+  size_t ops_after = 0;
+  int projections_fused = 0;
+  int dead_columns_pruned = 0;
+  int distincts_removed = 0;
+  int unions_simplified = 0;
+  int rounds = 0;
+};
+
+/// Peephole optimizer over the algebra DAG (paper Sec. 2: "This
+/// complexity may significantly be reduced by peep-hole style
+/// optimization [5]").
+///
+/// Rewrites, iterated to a fixpoint:
+///  * π∘π fusion (the loop-lifting compiler emits long renaming chains),
+///  * dead projection entries (columns no consumer reads are dropped),
+///  * π over attach when the attached column is dead,
+///  * δ elimination after a staircase join (its output is already
+///    duplicate-free and document-ordered per iter — the operator's
+///    postcondition, paper Sec. 2),
+///  * ∪ with a statically empty side.
+///
+/// The result is a fresh DAG; the input plan is not modified. Every
+/// rewrite preserves the plan's result (verified by the equivalence
+/// test-suite in tests/opt/).
+Result<algebra::OpPtr> Optimize(const algebra::OpPtr& root,
+                                OptimizeStats* stats = nullptr);
+
+}  // namespace pathfinder::opt
+
+#endif  // PATHFINDER_OPT_OPTIMIZE_H_

@@ -1,0 +1,30 @@
+#ifndef PATHFINDER_RUNTIME_SERIALIZE_H_
+#define PATHFINDER_RUNTIME_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "bat/table.h"
+#include "engine/query_context.h"
+
+namespace pathfinder::runtime {
+
+/// Extract the item sequence from an executed (iter, pos, item) result
+/// table (already sorted by the Serialize operator). Top-level queries
+/// run in the single iteration 1.
+Result<std::vector<Item>> TableToSequence(const bat::Table& t);
+
+/// XQuery serialization of one item: nodes render as XML, atomics as
+/// their lexical value.
+Result<std::string> SerializeItem(const engine::QueryContext& ctx,
+                                  const Item& item);
+
+/// Serialize a whole sequence; adjacent atomic values are separated by
+/// single spaces (W3C XML serialization of sequences).
+Result<std::string> SerializeSequence(const engine::QueryContext& ctx,
+                                      const std::vector<Item>& items);
+
+}  // namespace pathfinder::runtime
+
+#endif  // PATHFINDER_RUNTIME_SERIALIZE_H_

@@ -1,0 +1,457 @@
+#include "xmark/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "base/rng.h"
+#include "xml/tree_builder.h"
+
+namespace pathfinder::xmark {
+
+namespace {
+
+using xml::TreeBuilder;
+
+/// Word list standing in for XMLgen's Shakespeare vocabulary. "gold"
+/// is included so Q14's full-text selection has realistic selectivity.
+constexpr const char* kWords[] = {
+    "against",  "age",      "allow",    "anger",    "apple",   "arm",
+    "attack",   "autumn",   "banner",   "battle",   "bear",    "beauty",
+    "bed",      "bell",     "bird",     "blood",    "bone",    "bound",
+    "branch",   "brave",    "bread",    "breath",   "bright",  "brother",
+    "burden",   "calm",     "captain",  "castle",   "cause",   "chance",
+    "charge",   "cheek",    "chief",    "circle",   "cloud",   "coast",
+    "cold",     "command",  "common",   "couch",    "courage", "crown",
+    "current",  "danger",   "dark",     "dawn",     "dead",    "deed",
+    "deep",     "degree",   "desert",   "desire",   "devil",   "dream",
+    "drink",    "dust",     "eagle",    "earth",    "effect",  "empire",
+    "enemy",    "evening",  "fair",     "faith",    "fancy",   "father",
+    "fear",     "feast",    "fellow",   "field",    "fire",    "flame",
+    "flower",   "foot",     "forest",   "fortune",  "fresh",   "friend",
+    "garden",   "gentle",   "ghost",    "giant",    "gift",    "glass",
+    "gold",     "grace",    "grave",    "green",    "ground",  "guard",
+    "hand",     "harbor",   "heart",    "heaven",   "honor",   "hope",
+    "horse",    "house",    "hunger",   "iron",     "island",  "journey",
+    "judge",    "justice",  "king",     "knight",   "labor",   "ladder",
+    "lake",     "laughter", "leaf",     "letter",   "light",   "lion",
+    "lord",     "love",     "master",   "meadow",   "memory",  "mercy",
+    "message",  "midnight", "mirror",   "moon",     "morning", "mother",
+    "mountain", "music",    "nature",   "night",    "noble",   "ocean",
+    "orange",   "order",    "palace",   "paper",    "pardon",  "peace",
+    "pearl",    "people",   "plain",    "pleasure", "power",   "praise",
+    "pride",    "prince",   "prison",   "promise",  "proud",   "purple",
+    "quarrel",  "queen",    "quiet",    "rain",     "reason",  "river",
+    "road",     "rock",     "rose",     "royal",    "sail",    "scholar",
+    "sea",      "season",   "secret",   "shadow",   "sharp",   "shield",
+    "shore",    "silence",  "silver",   "sister",   "sleep",   "smile",
+    "snow",     "soldier",  "sorrow",   "spirit",   "spring",  "star",
+    "steel",    "stone",    "storm",    "story",    "stream",  "strength",
+    "summer",   "sun",      "sword",    "temple",   "thunder", "tide",
+    "tiger",    "tongue",   "tower",    "treasure", "tree",    "trust",
+    "truth",    "valley",   "velvet",   "vessel",   "victory", "voice",
+    "water",    "wave",     "wealth",   "wind",     "window",  "winter",
+    "wisdom",   "wonder",   "wood",     "world",    "youth",   "zeal",
+};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+constexpr const char* kCountries[] = {
+    "United States", "Germany", "Netherlands", "Japan", "France",
+    "Brazil",        "Kenya",   "Australia",   "India", "Canada",
+};
+constexpr const char* kCities[] = {
+    "Amsterdam", "Munich", "Tokyo", "Nairobi", "Boston",
+    "Sydney",    "Paris",  "Recife", "Madras", "Toronto",
+};
+constexpr const char* kEducation[] = {
+    "High School", "College", "Graduate School", "Other",
+};
+
+/// The six region subtrees and their share of the items (XMLgen
+/// ratios).
+struct RegionShare {
+  const char* name;
+  double share;
+};
+constexpr RegionShare kRegions[] = {
+    {"africa", 0.025},   {"asia", 0.092},     {"australia", 0.101},
+    {"europe", 0.276},   {"namerica", 0.460}, {"samerica", 0.046},
+};
+
+class Generator {
+ public:
+  Generator(double sf, uint64_t seed, StringPool* pool)
+      : counts_(XMarkCounts::ForScaleFactor(sf)),
+        rng_(seed ^ 0xC0FFEE),
+        b_(pool) {}
+
+  Result<xml::Document> Run() {
+    b_.StartElem("site");
+    Regions();
+    Categories();
+    Catgraph();
+    People();
+    OpenAuctions();
+    ClosedAuctions();
+    b_.EndElem();
+    return std::move(b_).Finish();
+  }
+
+ private:
+  // --- text helpers ----------------------------------------------------
+
+  const char* Word() { return kWords[rng_.Below(kNumWords)]; }
+
+  std::string Sentence(int min_words, int max_words) {
+    int n = static_cast<int>(rng_.Range(min_words, max_words));
+    std::string s;
+    for (int i = 0; i < n; ++i) {
+      if (i) s += ' ';
+      s += Word();
+    }
+    return s;
+  }
+
+  std::string Money(double lo, double hi) {
+    double v = lo + rng_.NextDouble() * (hi - lo);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return buf;
+  }
+
+  std::string Ref(const char* prefix, int64_t max_id) {
+    return std::string(prefix) + std::to_string(rng_.Below(
+               static_cast<uint64_t>(std::max<int64_t>(max_id, 1))));
+  }
+
+  std::string Date() {
+    return std::to_string(rng_.Range(1, 12)) + "/" +
+           std::to_string(rng_.Range(1, 28)) + "/" +
+           std::to_string(rng_.Range(1998, 2001));
+  }
+
+  std::string Time() {
+    return std::to_string(rng_.Range(0, 23)) + ":" +
+           std::to_string(rng_.Range(10, 59)) + ":" +
+           std::to_string(rng_.Range(10, 59));
+  }
+
+  void TextElem(const char* tag, const std::string& content) {
+    b_.StartElem(tag);
+    b_.Text(content);
+    b_.EndElem();
+  }
+
+  // --- document sections ------------------------------------------------
+
+  /// <text> with mixed content: words, <bold>, <keyword>, <emph>.
+  /// Text runs alternate strictly with inline elements so no two text
+  /// nodes are adjacent (adjacent runs would merge on a reparse).
+  void RichText() {
+    b_.StartElem("text");
+    int runs = static_cast<int>(rng_.Range(1, 3));
+    for (int i = 0; i < runs; ++i) {
+      b_.Text(Sentence(4, 12) + " ");
+      const char* tag = rng_.Chance(0.5)
+                            ? "keyword"
+                            : (rng_.Chance(0.5) ? "bold" : "emph");
+      if (std::string(tag) == "emph") {
+        // Q15/Q16 reach keyword *inside* emph.
+        b_.StartElem("emph");
+        b_.StartElem("keyword");
+        b_.Text(Sentence(1, 3));
+        b_.EndElem();
+        b_.EndElem();
+      } else {
+        b_.StartElem(tag);
+        b_.Text(Sentence(1, 3));
+        b_.EndElem();
+      }
+    }
+    b_.Text(" " + Sentence(2, 8));
+    b_.EndElem();
+  }
+
+  /// <parlist><listitem>(text | nested parlist)</listitem>+</parlist>
+  void Parlist(int depth) {
+    b_.StartElem("parlist");
+    int n = static_cast<int>(rng_.Range(1, 3));
+    for (int i = 0; i < n; ++i) {
+      b_.StartElem("listitem");
+      if (depth < 2 && rng_.Chance(0.35)) {
+        Parlist(depth + 1);
+      } else {
+        RichText();
+      }
+      b_.EndElem();
+    }
+    b_.EndElem();
+  }
+
+  void Description() {
+    b_.StartElem("description");
+    if (rng_.Chance(0.7)) {
+      RichText();
+    } else {
+      Parlist(0);
+    }
+    b_.EndElem();
+  }
+
+  void Annotation() {
+    b_.StartElem("annotation");
+    b_.StartElem("author");
+    b_.Attr("person", Ref("person", counts_.people));
+    b_.EndElem();
+    Description();
+    TextElem("happiness", std::to_string(rng_.Range(1, 10)));
+    b_.EndElem();
+  }
+
+  void Item(int64_t id) {
+    b_.StartElem("item");
+    b_.Attr("id", "item" + std::to_string(id));
+    TextElem("location", kCountries[rng_.Below(10)]);
+    TextElem("quantity", std::to_string(rng_.Range(1, 5)));
+    TextElem("name", Sentence(2, 4));
+    b_.StartElem("payment");
+    b_.Text(rng_.Chance(0.5) ? "Creditcard" : "Cash");
+    b_.EndElem();
+    Description();
+    TextElem("shipping", rng_.Chance(0.5) ? "Will ship internationally"
+                                          : "Buyer pays fixed shipping");
+    int cats = static_cast<int>(rng_.Range(1, 3));
+    for (int c = 0; c < cats; ++c) {
+      b_.StartElem("incategory");
+      b_.Attr("category", Ref("category", counts_.categories));
+      b_.EndElem();
+    }
+    b_.StartElem("mailbox");
+    int mails = static_cast<int>(rng_.Range(0, 2));
+    for (int m = 0; m < mails; ++m) {
+      b_.StartElem("mail");
+      TextElem("from", Sentence(2, 3));
+      TextElem("to", Sentence(2, 3));
+      TextElem("date", Date());
+      RichText();
+      b_.EndElem();
+    }
+    b_.EndElem();
+    b_.EndElem();
+  }
+
+  void Regions() {
+    b_.StartElem("regions");
+    int64_t next_id = 0;
+    for (const auto& region : kRegions) {
+      b_.StartElem(region.name);
+      int64_t n = std::max<int64_t>(
+          1, static_cast<int64_t>(
+                 std::llround(region.share *
+                              static_cast<double>(counts_.items))));
+      // The final region absorbs rounding drift.
+      if (std::string(region.name) == "samerica") {
+        n = std::max<int64_t>(1, counts_.items - next_id);
+      }
+      for (int64_t i = 0; i < n; ++i) Item(next_id++);
+      b_.EndElem();
+    }
+    total_items_ = next_id;
+    b_.EndElem();
+  }
+
+  void Categories() {
+    b_.StartElem("categories");
+    for (int64_t i = 0; i < counts_.categories; ++i) {
+      b_.StartElem("category");
+      b_.Attr("id", "category" + std::to_string(i));
+      TextElem("name", Sentence(1, 3));
+      Description();
+      b_.EndElem();
+    }
+    b_.EndElem();
+  }
+
+  void Catgraph() {
+    b_.StartElem("catgraph");
+    int64_t edges = counts_.categories;
+    for (int64_t i = 0; i < edges; ++i) {
+      b_.StartElem("edge");
+      b_.Attr("from", Ref("category", counts_.categories));
+      b_.Attr("to", Ref("category", counts_.categories));
+      b_.EndElem();
+    }
+    b_.EndElem();
+  }
+
+  void People() {
+    b_.StartElem("people");
+    for (int64_t i = 0; i < counts_.people; ++i) {
+      b_.StartElem("person");
+      b_.Attr("id", "person" + std::to_string(i));
+      TextElem("name", Sentence(2, 2));
+      TextElem("emailaddress",
+               "mailto:" + std::string(Word()) + "@" + Word() + ".com");
+      if (rng_.Chance(0.5)) {
+        TextElem("phone", "+" + std::to_string(rng_.Range(1, 99)) + " (" +
+                              std::to_string(rng_.Range(10, 999)) + ") " +
+                              std::to_string(rng_.Range(1000000, 9999999)));
+      }
+      if (rng_.Chance(0.6)) {
+        b_.StartElem("address");
+        TextElem("street", std::to_string(rng_.Range(1, 99)) + " " +
+                               Word() + " St");
+        TextElem("city", kCities[rng_.Below(10)]);
+        TextElem("country", kCountries[rng_.Below(10)]);
+        TextElem("zipcode", std::to_string(rng_.Range(10000, 99999)));
+        b_.EndElem();
+      }
+      if (rng_.Chance(0.5)) {
+        TextElem("homepage",
+                 "http://www." + std::string(Word()) + ".com/~" + Word());
+      }
+      if (rng_.Chance(0.5)) {
+        TextElem("creditcard",
+                 std::to_string(rng_.Range(1000, 9999)) + " " +
+                     std::to_string(rng_.Range(1000, 9999)) + " " +
+                     std::to_string(rng_.Range(1000, 9999)) + " " +
+                     std::to_string(rng_.Range(1000, 9999)));
+      }
+      if (rng_.Chance(0.75)) {  // some persons have no profile (Q20 "na")
+        b_.StartElem("profile");
+        b_.Attr("income", Money(9000, 240000));
+        int interests = static_cast<int>(rng_.Range(0, 4));
+        for (int k = 0; k < interests; ++k) {
+          b_.StartElem("interest");
+          b_.Attr("category", Ref("category", counts_.categories));
+          b_.EndElem();
+        }
+        if (rng_.Chance(0.5)) {
+          TextElem("education", kEducation[rng_.Below(4)]);
+        }
+        if (rng_.Chance(0.5)) {
+          TextElem("gender", rng_.Chance(0.5) ? "male" : "female");
+        }
+        TextElem("business", rng_.Chance(0.5) ? "Yes" : "No");
+        if (rng_.Chance(0.4)) {
+          TextElem("age", std::to_string(rng_.Range(18, 80)));
+        }
+        b_.EndElem();
+      }
+      if (rng_.Chance(0.4)) {
+        b_.StartElem("watches");
+        int w = static_cast<int>(rng_.Range(1, 3));
+        for (int k = 0; k < w; ++k) {
+          b_.StartElem("watch");
+          b_.Attr("open_auction",
+                  Ref("open_auction", counts_.open_auctions));
+          b_.EndElem();
+        }
+        b_.EndElem();
+      }
+      b_.EndElem();
+    }
+    b_.EndElem();
+  }
+
+  void OpenAuctions() {
+    b_.StartElem("open_auctions");
+    for (int64_t i = 0; i < counts_.open_auctions; ++i) {
+      b_.StartElem("open_auction");
+      b_.Attr("id", "open_auction" + std::to_string(i));
+      double initial = 5 + rng_.NextDouble() * 200;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", initial);
+      TextElem("initial", buf);
+      if (rng_.Chance(0.4)) {
+        std::snprintf(buf, sizeof(buf), "%.2f", initial * 1.5);
+        TextElem("reserve", buf);
+      }
+      int bidders = static_cast<int>(rng_.Range(0, 5));
+      double current = initial;
+      for (int k = 0; k < bidders; ++k) {
+        b_.StartElem("bidder");
+        TextElem("date", Date());
+        TextElem("time", Time());
+        b_.StartElem("personref");
+        b_.Attr("person", Ref("person", counts_.people));
+        b_.EndElem();
+        double inc = 1.5 * static_cast<double>(rng_.Range(1, 20));
+        current += inc;
+        std::snprintf(buf, sizeof(buf), "%.2f", inc);
+        TextElem("increase", buf);
+        b_.EndElem();
+      }
+      std::snprintf(buf, sizeof(buf), "%.2f", current);
+      TextElem("current", buf);
+      if (rng_.Chance(0.3)) TextElem("privacy", "Yes");
+      b_.StartElem("itemref");
+      b_.Attr("item", Ref("item", total_items_));
+      b_.EndElem();
+      b_.StartElem("seller");
+      b_.Attr("person", Ref("person", counts_.people));
+      b_.EndElem();
+      Annotation();
+      TextElem("quantity", std::to_string(rng_.Range(1, 5)));
+      TextElem("type", rng_.Chance(0.5) ? "Regular" : "Featured");
+      b_.StartElem("interval");
+      TextElem("start", Date());
+      TextElem("end", Date());
+      b_.EndElem();
+      b_.EndElem();
+    }
+    b_.EndElem();
+  }
+
+  void ClosedAuctions() {
+    b_.StartElem("closed_auctions");
+    for (int64_t i = 0; i < counts_.closed_auctions; ++i) {
+      b_.StartElem("closed_auction");
+      b_.StartElem("seller");
+      b_.Attr("person", Ref("person", counts_.people));
+      b_.EndElem();
+      b_.StartElem("buyer");
+      b_.Attr("person", Ref("person", counts_.people));
+      b_.EndElem();
+      b_.StartElem("itemref");
+      b_.Attr("item", Ref("item", total_items_));
+      b_.EndElem();
+      TextElem("price", Money(5, 300));
+      TextElem("date", Date());
+      TextElem("quantity", std::to_string(rng_.Range(1, 5)));
+      TextElem("type", rng_.Chance(0.5) ? "Regular" : "Featured");
+      Annotation();
+      b_.EndElem();
+    }
+    b_.EndElem();
+  }
+
+  XMarkCounts counts_;
+  Rng rng_;
+  TreeBuilder b_;
+  int64_t total_items_ = 1;
+};
+
+}  // namespace
+
+XMarkCounts XMarkCounts::ForScaleFactor(double sf) {
+  auto scaled = [sf](double base) {
+    return std::max<int64_t>(1, static_cast<int64_t>(std::llround(base * sf)));
+  };
+  XMarkCounts c;
+  c.categories = scaled(1000);
+  c.items = scaled(21750);
+  c.people = scaled(25500);
+  c.open_auctions = scaled(12000);
+  c.closed_auctions = scaled(9750);
+  return c;
+}
+
+Result<xml::Document> GenerateXMark(double sf, uint64_t seed,
+                                    StringPool* pool) {
+  Generator gen(sf, seed, pool);
+  return gen.Run();
+}
+
+}  // namespace pathfinder::xmark

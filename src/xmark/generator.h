@@ -1,0 +1,39 @@
+#ifndef PATHFINDER_XMARK_GENERATOR_H_
+#define PATHFINDER_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/result.h"
+#include "base/string_pool.h"
+#include "xml/document.h"
+
+namespace pathfinder::xmark {
+
+/// Entity counts for one scale factor, mirroring XMLgen's ratios
+/// (sf = 1.0 corresponds to the paper's 110 MB instance).
+struct XMarkCounts {
+  int64_t categories;
+  int64_t items;  // split over the six region subtrees
+  int64_t people;
+  int64_t open_auctions;
+  int64_t closed_auctions;
+
+  static XMarkCounts ForScaleFactor(double sf);
+};
+
+/// Deterministic XMark document generator (XMLgen stand-in, see
+/// DESIGN.md). Produces the auction-site schema — regions/items with
+/// description parlists, categories, people with profiles/interests,
+/// open auctions with bidder histories, closed auctions with
+/// buyer/seller/item references — shredded directly into the
+/// pre|size|level encoding via TreeBuilder (no serialize/parse round
+/// trip).
+///
+/// The same (sf, seed) always yields the same document, on any platform.
+Result<xml::Document> GenerateXMark(double sf, uint64_t seed,
+                                    StringPool* pool);
+
+}  // namespace pathfinder::xmark
+
+#endif  // PATHFINDER_XMARK_GENERATOR_H_

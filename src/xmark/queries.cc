@@ -1,0 +1,161 @@
+#include "xmark/queries.h"
+
+#include <cassert>
+
+namespace pathfinder::xmark {
+
+namespace {
+
+const std::vector<XMarkQuery>* BuildQueries() {
+  auto* q = new std::vector<XMarkQuery>{
+      {1, "Exact match: name of the person with id person0",
+       R"(for $b in /site/people/person[@id = "person0"]
+          return $b/name/text())"},
+
+      {2, "Ordered access: initial increase of each open auction",
+       R"(for $b in /site/open_auctions/open_auction
+          return <increase>{ $b/bidder[1]/increase/text() }</increase>)"},
+
+      {3, "Positional: auctions whose first increase at least doubled",
+       R"(for $b in /site/open_auctions/open_auction
+          where zero-or-one($b/bidder[1]/increase/text()) * 2
+                  <= $b/bidder[last()]/increase/text()
+          return <increase first="{ $b/bidder[1]/increase/text() }"
+                           last="{ $b/bidder[last()]/increase/text() }"/>)"},
+
+      {4, "Document order: person20 bid before person30",
+       R"(for $b in /site/open_auctions/open_auction
+          where some $pr1 in $b/bidder/personref[@person = "person20"]
+                satisfies some $pr2 in $b/bidder/personref[@person = "person30"]
+                          satisfies $pr1 << $pr2
+          return <history>{ $b/reserve/text() }</history>)"},
+
+      {5, "Aggregation: closed auctions that sold for >= 40",
+       R"(count(for $i in /site/closed_auctions/closed_auction
+               where $i/price/text() >= 40
+               return $i/price))"},
+
+      {6, "Recursive axis: items per region subtree",
+       R"(for $b in /site/regions return count($b//item))"},
+
+      {7, "Recursive axis: all pieces of prose",
+       R"(for $p in /site
+          return count($p//description) + count($p//annotation)
+               + count($p//emailaddress))"},
+
+      {8, "Value join: items bought per person",
+       R"(for $p in /site/people/person
+          let $a := for $t in /site/closed_auctions/closed_auction
+                    where $t/buyer/@person = $p/@id
+                    return $t
+          return <item person="{ $p/name/text() }">{ count($a) }</item>)"},
+
+      {9, "Three-way join: European items bought per person",
+       R"(for $p in /site/people/person
+          let $a := for $t in /site/closed_auctions/closed_auction
+                    where $p/@id = $t/buyer/@person
+                    return (for $t2 in /site/regions/europe/item
+                            where $t/itemref/@item = $t2/@id
+                            return <item>{ $t2/name/text() }</item>)
+          return <person name="{ $p/name/text() }">{ $a }</person>)"},
+
+      {10, "Grouping: persons grouped by interest category",
+       R"(for $i in distinct-values(
+                      /site/people/person/profile/interest/@category)
+          let $p := for $t in /site/people/person
+                    where $t/profile/interest/@category = $i
+                    return <personne>
+                             <statistiques>
+                               <sexe>{ $t/profile/gender/text() }</sexe>
+                               <age>{ $t/profile/age/text() }</age>
+                               <education>{ $t/profile/education/text() }</education>
+                               <revenu>{ data($t/profile/@income) }</revenu>
+                             </statistiques>
+                             <coordonnees>
+                               <nom>{ $t/name/text() }</nom>
+                               <pays>{ $t/address/country/text() }</pays>
+                               <email>{ $t/emailaddress/text() }</email>
+                             </coordonnees>
+                           </personne>
+          return <categorie>{ <id>{ $i }</id>, $p }</categorie>)"},
+
+      {11, "Theta join: items a person could buy on income",
+       R"(for $p in /site/people/person
+          let $l := for $i in /site/open_auctions/open_auction/initial
+                    where $p/profile/@income > 5000 * $i/text()
+                    return $i
+          return <items name="{ $p/name/text() }">{ count($l) }</items>)"},
+
+      {12, "Theta join, restricted: wealthy persons only",
+       R"(for $p in /site/people/person
+          let $l := for $i in /site/open_auctions/open_auction/initial
+                    where $p/profile/@income > 5000 * $i/text()
+                    return $i
+          where $p/profile/@income > 50000
+          return <items person="{ $p/name/text() }">{ count($l) }</items>)"},
+
+      {13, "Reconstruction: Australian items with their descriptions",
+       R"(for $i in /site/regions/australia/item
+          return <item name="{ $i/name/text() }">{ $i/description }</item>)"},
+
+      {14, "Full text: items whose description mentions gold",
+       R"(for $i in /site//item
+          where contains(string($i/description), "gold")
+          return $i/name/text())"},
+
+      {15, "Long path traversal: deeply nested keywords",
+       R"(for $a in /site/closed_auctions/closed_auction/annotation
+                    /description/parlist/listitem/parlist/listitem
+                    /text/emph/keyword/text()
+          return <text>{ $a }</text>)"},
+
+      {16, "Long path in a qualifier: sellers with nested keywords",
+       R"(for $a in /site/closed_auctions/closed_auction
+          where not(empty($a/annotation/description/parlist/listitem
+                          /parlist/listitem/text/emph/keyword/text()))
+          return <person id="{ $a/seller/@person }"/>)"},
+
+      {17, "Missing elements: persons without a homepage",
+       R"(for $p in /site/people/person
+          where empty($p/homepage/text())
+          return <person name="{ $p/name/text() }"/>)"},
+
+      {18, "User-defined function: currency conversion",
+       R"(declare function local:convert($v) { 2.20371 * $v };
+          for $i in /site/open_auctions/open_auction
+          return local:convert(zero-or-one($i/reserve/text())))"},
+
+      {19, "Order by: items sorted by location",
+       R"(for $b in /site/regions//item
+          let $k := $b/name/text()
+          order by zero-or-one($b/location/text()) ascending
+          return <item name="{ $k }">{ $b/location/text() }</item>)"},
+
+      {20, "Aggregation with conditions: income brackets",
+       R"(<result>
+            <preferred>{ count(/site/people/person/profile[@income >= 100000]) }</preferred>
+            <standard>{ count(/site/people/person/profile[@income < 100000
+                                                          and @income >= 30000]) }</standard>
+            <challenge>{ count(/site/people/person/profile[@income < 30000]) }</challenge>
+            <na>{ count(for $p in /site/people/person
+                        where empty($p/profile/@income)
+                        return $p) }</na>
+          </result>)"},
+  };
+  return q;
+}
+
+}  // namespace
+
+const std::vector<XMarkQuery>& XMarkQueries() {
+  static const std::vector<XMarkQuery>* kQueries = BuildQueries();
+  return *kQueries;
+}
+
+const XMarkQuery& GetXMarkQuery(int number) {
+  const auto& qs = XMarkQueries();
+  assert(number >= 1 && number <= static_cast<int>(qs.size()));
+  return qs[static_cast<size_t>(number - 1)];
+}
+
+}  // namespace pathfinder::xmark

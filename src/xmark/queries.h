@@ -1,0 +1,26 @@
+#ifndef PATHFINDER_XMARK_QUERIES_H_
+#define PATHFINDER_XMARK_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace pathfinder::xmark {
+
+/// One XMark benchmark query (paper [10]), expressed in the dialect of
+/// paper Table 2. Leading "/" refers to the query's context document
+/// (set QueryOptions/BaselineOptions::context_doc to the XMark doc).
+struct XMarkQuery {
+  int number;          // 1..20
+  const char* title;   // short description from the XMark suite
+  const char* text;    // query text
+};
+
+/// All 20 queries, in order.
+const std::vector<XMarkQuery>& XMarkQueries();
+
+/// Query by number (1-based); terminates on out-of-range.
+const XMarkQuery& GetXMarkQuery(int number);
+
+}  // namespace pathfinder::xmark
+
+#endif  // PATHFINDER_XMARK_QUERIES_H_

@@ -1,0 +1,35 @@
+#include "xml/database.h"
+
+#include "xml/parser.h"
+
+namespace pathfinder::xml {
+
+FragId Database::AddDocument(const std::string& name, Document doc) {
+  FragId id = static_cast<FragId>(docs_.size());
+  docs_.push_back(std::make_unique<Document>(std::move(doc)));
+  names_.push_back(name);
+  by_name_[name] = id;
+  return id;
+}
+
+Result<FragId> Database::LoadXml(const std::string& name,
+                                 std::string_view xml) {
+  PF_ASSIGN_OR_RETURN(Document doc, ParseXml(xml, &pool_));
+  return AddDocument(name, std::move(doc));
+}
+
+Result<FragId> Database::FindDocument(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no document named '" + name + "'");
+  }
+  return it->second;
+}
+
+size_t Database::EncodingBytes() const {
+  size_t total = 0;
+  for (const auto& d : docs_) total += d->EncodingBytes();
+  return total;
+}
+
+}  // namespace pathfinder::xml

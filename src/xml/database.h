@@ -1,0 +1,57 @@
+#ifndef PATHFINDER_XML_DATABASE_H_
+#define PATHFINDER_XML_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "base/string_pool.h"
+#include "xml/document.h"
+
+namespace pathfinder::xml {
+
+/// Id of a document fragment. Persistent documents get dense ids
+/// starting at 0; fragments constructed during query evaluation are
+/// appended after them (see engine::FragmentStore).
+using FragId = uint32_t;
+
+/// The persistent store: loaded documents plus the shared property
+/// StringPool (the paper's property BATs).
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Register a document under `name` (the fn:doc argument).
+  FragId AddDocument(const std::string& name, Document doc);
+
+  /// Parse and register.
+  Result<FragId> LoadXml(const std::string& name, std::string_view xml);
+
+  Result<FragId> FindDocument(const std::string& name) const;
+
+  size_t num_documents() const { return docs_.size(); }
+  const Document& doc(FragId id) const { return *docs_[id]; }
+  const std::string& doc_name(FragId id) const { return names_[id]; }
+
+  StringPool* pool() { return &pool_; }
+  const StringPool& pool() const { return pool_; }
+
+  /// Storage accounting (Sec. 3.1): encoding columns + unique property
+  /// payload bytes.
+  size_t EncodingBytes() const;
+  size_t PoolPayloadBytes() const { return pool_.payload_bytes(); }
+
+ private:
+  StringPool pool_;
+  std::vector<std::unique_ptr<Document>> docs_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, FragId> by_name_;
+};
+
+}  // namespace pathfinder::xml
+
+#endif  // PATHFINDER_XML_DATABASE_H_

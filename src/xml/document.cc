@@ -1,0 +1,87 @@
+#include "xml/document.h"
+
+#include <sstream>
+
+namespace pathfinder::xml {
+
+bool Document::Parent(Pre v, Pre* parent) const {
+  if (v == 0) return false;
+  uint16_t lv = level_[v];
+  // The parent is the nearest preceding node with a smaller level.
+  for (Pre p = v; p-- > 0;) {
+    if (level_[p] < lv) {
+      *parent = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Document::StringValue(Pre v, const StringPool& pool) const {
+  NodeKind k = kind(v);
+  if (k == NodeKind::kAttr || k == NodeKind::kText ||
+      k == NodeKind::kComment || k == NodeKind::kPi) {
+    return std::string(pool.Get(value_[v]));
+  }
+  std::string out;
+  Pre end = v + size_[v];
+  for (Pre p = v + 1; p <= end; ++p) {
+    if (kind(p) == NodeKind::kText) out += pool.Get(value_[p]);
+  }
+  return out;
+}
+
+size_t Document::EncodingBytes() const {
+  return size_.size() * (sizeof(uint32_t) + sizeof(uint16_t) +
+                         sizeof(uint8_t) + 2 * sizeof(StrId));
+}
+
+bool Document::Validate(std::string* error) const {
+  auto fail = [error](const std::string& m) {
+    if (error) *error = m;
+    return false;
+  };
+  Pre n = num_nodes();
+  if (n == 0) return fail("empty document");
+  if (kind(0) != NodeKind::kDoc || level_[0] != 0) {
+    return fail("node 0 must be the document root at level 0");
+  }
+  if (size_[0] != n - 1) return fail("root size must cover all nodes");
+  for (Pre v = 0; v < n; ++v) {
+    if (v + size_[v] >= n + (v == 0 ? 1 : 0) && v + size_[v] > n - 1) {
+      return fail("subtree of node " + std::to_string(v) +
+                  " exceeds document");
+    }
+    if (v > 0 && level_[v] == 0) {
+      return fail("only the root may be at level 0");
+    }
+    if (IsAttr(v) && size_[v] != 0) {
+      return fail("attribute " + std::to_string(v) + " has nonzero size");
+    }
+    if (v > 0 && level_[v] > level_[v - 1] + 1) {
+      return fail("level jump at node " + std::to_string(v));
+    }
+  }
+  // Subtrees must nest. One pass with a stack of open subtrees: when we
+  // reach node w, every subtree that ended before w must have been
+  // popped, w's level must be exactly (#open subtrees), and w must end
+  // no later than the innermost open subtree.
+  std::vector<Pre> open_ends;  // exclusive end (last pre) per open subtree
+  for (Pre v = 0; v < n; ++v) {
+    while (!open_ends.empty() && open_ends.back() < v) open_ends.pop_back();
+    if (level_[v] != open_ends.size()) {
+      return fail("node " + std::to_string(v) + " level " +
+                  std::to_string(level_[v]) + " != nesting depth " +
+                  std::to_string(open_ends.size()));
+    }
+    Pre end = v + size_[v];
+    if (!open_ends.empty() && end > open_ends.back()) {
+      return fail("subtree of " + std::to_string(v) +
+                  " overflows its parent");
+    }
+    open_ends.push_back(end);
+  }
+  return true;
+}
+
+}  // namespace pathfinder::xml

@@ -1,0 +1,90 @@
+#ifndef PATHFINDER_XML_DOCUMENT_H_
+#define PATHFINDER_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/string_pool.h"
+
+namespace pathfinder::xml {
+
+/// Node kinds stored in the encoding's `kind` column.
+enum class NodeKind : uint8_t {
+  kDoc = 0,      // document root node (always pre = 0)
+  kElem = 1,     // element
+  kAttr = 2,     // attribute (size 0, stored right after its owner)
+  kText = 3,     // text node
+  kComment = 4,  // comment
+  kPi = 5,       // processing instruction
+};
+
+/// Pre-order rank of a node within its fragment.
+using Pre = uint32_t;
+
+/// XPath Accelerator relational encoding of one XML tree (paper Sec. 2).
+///
+/// Each node v occupies row pre(v) of five parallel columns:
+///   size(v)  — number of nodes in the subtree below v,
+///   level(v) — distance from the root,
+///   kind(v)  — NodeKind,
+///   prop(v)  — surrogate of the node *name* (element tag, attribute
+///              name, PI target); 0 where not applicable,
+///   value(v) — surrogate of the node *content* (text/comment content,
+///              attribute value); 0 where not applicable.
+/// Attribute nodes are stored immediately after their owner element at
+/// level(owner)+1 with size 0; the child/descendant axes exclude them,
+/// the attribute axis selects exactly them.
+///
+/// Property surrogates point into a shared StringPool, so identical tags
+/// and identical text contents share one pooled copy (the paper's
+/// surrogate sharing, Sec. 3.1).
+class Document {
+ public:
+  Pre num_nodes() const { return static_cast<Pre>(size_.size()); }
+
+  uint32_t size(Pre v) const { return size_[v]; }
+  uint16_t level(Pre v) const { return level_[v]; }
+  NodeKind kind(Pre v) const { return static_cast<NodeKind>(kind_[v]); }
+  StrId prop(Pre v) const { return prop_[v]; }
+  StrId value(Pre v) const { return value_[v]; }
+
+  bool IsAttr(Pre v) const { return kind(v) == NodeKind::kAttr; }
+
+  /// Parent of v, or false for the root. O(distance to previous sibling
+  /// chain) backwards scan; the relational engine never calls this on hot
+  /// paths (it uses the ancestor region instead).
+  bool Parent(Pre v, Pre* parent) const;
+
+  /// XPath string value: concatenation of all descendant text node
+  /// contents (for attributes: the attribute value).
+  std::string StringValue(Pre v, const StringPool& pool) const;
+
+  /// Raw column access for the kernel/staircase join.
+  const std::vector<uint32_t>& sizes() const { return size_; }
+  const std::vector<uint16_t>& levels() const { return level_; }
+  const std::vector<uint8_t>& kinds() const { return kind_; }
+  const std::vector<StrId>& props() const { return prop_; }
+  const std::vector<StrId>& values() const { return value_; }
+
+  /// Bytes occupied by the structural encoding columns (Sec. 3.1
+  /// storage accounting; pool payload counted separately).
+  size_t EncodingBytes() const;
+
+  /// Structural sanity: sizes nest properly, levels are consistent,
+  /// attributes have size 0. Used by tests and the shredder.
+  bool Validate(std::string* error) const;
+
+ private:
+  friend class TreeBuilder;
+
+  std::vector<uint32_t> size_;
+  std::vector<uint16_t> level_;
+  std::vector<uint8_t> kind_;
+  std::vector<StrId> prop_;
+  std::vector<StrId> value_;
+};
+
+}  // namespace pathfinder::xml
+
+#endif  // PATHFINDER_XML_DOCUMENT_H_

@@ -1,0 +1,291 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "xml/tree_builder.h"
+
+namespace pathfinder::xml {
+
+namespace {
+
+/// Cursor over the input with line tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < s_.size() ? s_[pos_ + ahead] : '\0';
+  }
+  char Get() {
+    char c = s_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  bool Consume(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    for (size_t i = 0; i < lit.size(); ++i) Get();
+    return true;
+  }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Get();
+    }
+  }
+  size_t pos() const { return pos_; }
+  std::string_view Slice(size_t from, size_t to) const {
+    return s_.substr(from, to - from);
+  }
+  size_t line() const { return line_; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("XML line " + std::to_string(line_) + ": " +
+                              msg);
+  }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+Result<std::string_view> ParseName(Cursor* cur) {
+  size_t start = cur->pos();
+  if (!IsNameStart(cur->Peek())) return cur->Error("expected name");
+  while (IsNameChar(cur->Peek())) cur->Get();
+  return cur->Slice(start, cur->pos());
+}
+
+}  // namespace
+
+Result<std::string> DecodeEntities(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    char c = raw[i];
+    if (c != '&') {
+      out += c;
+      continue;
+    }
+    size_t semi = raw.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return Status::ParseError("unterminated entity reference");
+    }
+    std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    if (ent == "lt") {
+      out += '<';
+    } else if (ent == "gt") {
+      out += '>';
+    } else if (ent == "amp") {
+      out += '&';
+    } else if (ent == "quot") {
+      out += '"';
+    } else if (ent == "apos") {
+      out += '\'';
+    } else if (!ent.empty() && ent[0] == '#') {
+      int base = 10;
+      std::string_view digits = ent.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      unsigned long cp = 0;
+      for (char d : digits) {
+        int dv;
+        if (d >= '0' && d <= '9') {
+          dv = d - '0';
+        } else if (base == 16 && d >= 'a' && d <= 'f') {
+          dv = d - 'a' + 10;
+        } else if (base == 16 && d >= 'A' && d <= 'F') {
+          dv = d - 'A' + 10;
+        } else {
+          return Status::ParseError("bad character reference");
+        }
+        cp = cp * static_cast<unsigned long>(base) +
+             static_cast<unsigned long>(dv);
+      }
+      // UTF-8 encode.
+      if (cp < 0x80) {
+        out += static_cast<char>(cp);
+      } else if (cp < 0x800) {
+        out += static_cast<char>(0xC0 | (cp >> 6));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+      } else if (cp < 0x10000) {
+        out += static_cast<char>(0xE0 | (cp >> 12));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+      } else {
+        out += static_cast<char>(0xF0 | (cp >> 18));
+        out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+      }
+    } else {
+      return Status::ParseError("unknown entity &" + std::string(ent) +
+                                ";");
+    }
+    i = semi;
+  }
+  return out;
+}
+
+namespace {
+
+Status ParseAttrs(Cursor* cur, TreeBuilder* builder) {
+  for (;;) {
+    cur->SkipWs();
+    char c = cur->Peek();
+    if (c == '>' || c == '/' || c == '\0') return Status::OK();
+    PF_ASSIGN_OR_RETURN(std::string_view name, ParseName(cur));
+    cur->SkipWs();
+    if (!cur->Consume("=")) return cur->Error("expected '=' in attribute");
+    cur->SkipWs();
+    char quote = cur->Peek();
+    if (quote != '"' && quote != '\'') {
+      return cur->Error("attribute value must be quoted");
+    }
+    cur->Get();
+    size_t start = cur->pos();
+    while (!cur->AtEnd() && cur->Peek() != quote) cur->Get();
+    if (cur->AtEnd()) return cur->Error("unterminated attribute value");
+    std::string_view raw = cur->Slice(start, cur->pos());
+    cur->Get();  // closing quote
+    PF_ASSIGN_OR_RETURN(std::string value, DecodeEntities(raw));
+    builder->Attr(name, value);
+  }
+}
+
+}  // namespace
+
+Result<Document> ParseXml(std::string_view input, StringPool* pool) {
+  Cursor cur(input);
+  TreeBuilder builder(pool);
+  std::vector<std::string_view> open_tags;
+  std::string pending_text;
+
+  auto flush_text = [&]() -> Status {
+    if (pending_text.empty()) return Status::OK();
+    // Whitespace-only text between elements outside any content is
+    // insignificant only at top level; inside elements we keep it if it
+    // contains non-whitespace, drop pure formatting whitespace (XMark
+    // documents use indentation that is not query-relevant).
+    bool all_ws = true;
+    for (char c : pending_text) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        all_ws = false;
+        break;
+      }
+    }
+    if (!all_ws) builder.Text(pending_text);
+    pending_text.clear();
+    return Status::OK();
+  };
+
+  while (!cur.AtEnd()) {
+    if (cur.Peek() != '<') {
+      size_t start = cur.pos();
+      while (!cur.AtEnd() && cur.Peek() != '<') cur.Get();
+      PF_ASSIGN_OR_RETURN(std::string text,
+                          DecodeEntities(cur.Slice(start, cur.pos())));
+      pending_text += text;
+      continue;
+    }
+    // '<...'
+    if (cur.Consume("<?")) {
+      PF_RETURN_NOT_OK(flush_text());
+      PF_ASSIGN_OR_RETURN(std::string_view target, ParseName(&cur));
+      size_t start = cur.pos();
+      while (!cur.AtEnd() && !(cur.Peek() == '?' && cur.Peek(1) == '>')) {
+        cur.Get();
+      }
+      if (cur.AtEnd()) return cur.Error("unterminated processing instruction");
+      std::string_view content = cur.Slice(start, cur.pos());
+      cur.Consume("?>");
+      if (target != "xml") {  // skip the XML declaration
+        size_t b = content.find_first_not_of(" \t\r\n");
+        builder.Pi(target,
+                   b == std::string_view::npos ? "" : content.substr(b));
+      }
+      continue;
+    }
+    if (cur.Consume("<!--")) {
+      PF_RETURN_NOT_OK(flush_text());
+      size_t start = cur.pos();
+      while (!cur.AtEnd() && !(cur.Peek() == '-' && cur.Peek(1) == '-' &&
+                               cur.Peek(2) == '>')) {
+        cur.Get();
+      }
+      if (cur.AtEnd()) return cur.Error("unterminated comment");
+      builder.Comment(cur.Slice(start, cur.pos()));
+      cur.Consume("-->");
+      continue;
+    }
+    if (cur.Consume("<![CDATA[")) {
+      size_t start = cur.pos();
+      while (!cur.AtEnd() && !(cur.Peek() == ']' && cur.Peek(1) == ']' &&
+                               cur.Peek(2) == '>')) {
+        cur.Get();
+      }
+      if (cur.AtEnd()) return cur.Error("unterminated CDATA section");
+      pending_text += cur.Slice(start, cur.pos());
+      cur.Consume("]]>");
+      continue;
+    }
+    if (cur.Consume("<!")) {
+      // DOCTYPE or similar: skip to matching '>'.
+      int depth = 1;
+      while (!cur.AtEnd() && depth > 0) {
+        char c = cur.Get();
+        if (c == '<') ++depth;
+        if (c == '>') --depth;
+      }
+      continue;
+    }
+    if (cur.Consume("</")) {
+      PF_RETURN_NOT_OK(flush_text());
+      PF_ASSIGN_OR_RETURN(std::string_view name, ParseName(&cur));
+      cur.SkipWs();
+      if (!cur.Consume(">")) return cur.Error("expected '>' in end tag");
+      if (open_tags.empty()) {
+        return cur.Error("unmatched end tag </" + std::string(name) + ">");
+      }
+      if (open_tags.back() != name) {
+        return cur.Error("end tag </" + std::string(name) +
+                         "> does not match <" +
+                         std::string(open_tags.back()) + ">");
+      }
+      open_tags.pop_back();
+      builder.EndElem();
+      continue;
+    }
+    // Start tag.
+    cur.Consume("<");
+    PF_RETURN_NOT_OK(flush_text());
+    PF_ASSIGN_OR_RETURN(std::string_view name, ParseName(&cur));
+    builder.StartElem(name);
+    PF_RETURN_NOT_OK(ParseAttrs(&cur, &builder));
+    if (cur.Consume("/>")) {
+      builder.EndElem();
+      continue;
+    }
+    if (!cur.Consume(">")) return cur.Error("expected '>' in start tag");
+    open_tags.push_back(name);
+  }
+  PF_RETURN_NOT_OK(flush_text());
+  if (!open_tags.empty()) {
+    return cur.Error("unclosed element <" + std::string(open_tags.back()) +
+                     ">");
+  }
+  return std::move(builder).Finish();
+}
+
+}  // namespace pathfinder::xml

@@ -1,0 +1,30 @@
+#ifndef PATHFINDER_XML_PARSER_H_
+#define PATHFINDER_XML_PARSER_H_
+
+#include <string_view>
+
+#include "base/result.h"
+#include "base/string_pool.h"
+#include "xml/document.h"
+
+namespace pathfinder::xml {
+
+/// Parse an XML document and shred it into the pre|size|level encoding
+/// in one pass (no intermediate DOM).
+///
+/// Supported: elements, attributes (quoted with ' or "), character data,
+/// CDATA sections, comments, processing instructions, an optional XML
+/// declaration/doctype (skipped), the five predefined entities and
+/// numeric character references. Namespaces are treated lexically
+/// (prefixed names are plain names), matching what the XMark workload
+/// needs. DTD-defined entities are not supported.
+Result<Document> ParseXml(std::string_view input, StringPool* pool);
+
+/// Decode the predefined entities (&lt; &gt; &amp; &quot; &apos;) and
+/// numeric character references in `raw`. Shared by the XML parser and
+/// the XQuery direct-constructor scanner.
+Result<std::string> DecodeEntities(std::string_view raw);
+
+}  // namespace pathfinder::xml
+
+#endif  // PATHFINDER_XML_PARSER_H_

@@ -1,0 +1,140 @@
+#include "xml/serializer.h"
+
+namespace pathfinder::xml {
+
+std::string EscapeText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttr(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void SerializeRange(const Document& doc, Pre begin, Pre end_inclusive,
+                    const StringPool& pool, std::string* out) {
+  // Iterative pre-order walk over the encoding: levels tell us when to
+  // emit end tags. open[] holds pre ranks of currently open elements.
+  std::vector<Pre> open;
+  for (Pre v = begin; v <= end_inclusive; ++v) {
+    // Close elements whose subtree ended before v.
+    while (!open.empty() && open.back() + doc.size(open.back()) < v) {
+      *out += "</";
+      *out += pool.Get(doc.prop(open.back()));
+      *out += ">";
+      open.pop_back();
+    }
+    switch (doc.kind(v)) {
+      case NodeKind::kDoc:
+        break;  // transparent
+      case NodeKind::kElem: {
+        *out += "<";
+        *out += pool.Get(doc.prop(v));
+        // Attributes follow immediately at level(v)+1 with kind kAttr.
+        Pre a = v + 1;
+        while (a <= v + doc.size(v) && doc.kind(a) == NodeKind::kAttr &&
+               doc.level(a) == doc.level(v) + 1) {
+          *out += " ";
+          *out += pool.Get(doc.prop(a));
+          *out += "=\"";
+          *out += EscapeAttr(pool.Get(doc.value(a)));
+          *out += "\"";
+          ++a;
+        }
+        // Self-close childless elements (attributes are not children).
+        if (a > v + doc.size(v)) {
+          *out += "/>";
+          v = v + doc.size(v);  // skip the attribute rows
+        } else {
+          *out += ">";
+          open.push_back(v);
+        }
+        break;
+      }
+      case NodeKind::kAttr:
+        break;  // rendered with its owner element
+      case NodeKind::kText:
+        *out += EscapeText(pool.Get(doc.value(v)));
+        break;
+      case NodeKind::kComment:
+        *out += "<!--";
+        *out += pool.Get(doc.value(v));
+        *out += "-->";
+        break;
+      case NodeKind::kPi:
+        *out += "<?";
+        *out += pool.Get(doc.prop(v));
+        *out += " ";
+        *out += pool.Get(doc.value(v));
+        *out += "?>";
+        break;
+    }
+  }
+  while (!open.empty()) {
+    *out += "</";
+    *out += pool.Get(doc.prop(open.back()));
+    *out += ">";
+    open.pop_back();
+  }
+}
+
+}  // namespace
+
+std::string SerializeSubtree(const Document& doc, Pre v,
+                             const StringPool& pool) {
+  std::string out;
+  if (doc.kind(v) == NodeKind::kAttr) {
+    // Lone attributes serialize as name="value" (diagnostic form).
+    out += pool.Get(doc.prop(v));
+    out += "=\"";
+    out += EscapeAttr(pool.Get(doc.value(v)));
+    out += "\"";
+    return out;
+  }
+  SerializeRange(doc, v, v + doc.size(v), pool, &out);
+  return out;
+}
+
+std::string SerializeDocument(const Document& doc, const StringPool& pool) {
+  return SerializeSubtree(doc, 0, pool);
+}
+
+}  // namespace pathfinder::xml

@@ -1,0 +1,29 @@
+#ifndef PATHFINDER_XML_SERIALIZER_H_
+#define PATHFINDER_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "base/string_pool.h"
+#include "xml/document.h"
+
+namespace pathfinder::xml {
+
+/// Serialize the subtree rooted at `v` back to XML text.
+///
+/// Used by the result post-processor (paper Sec. 2, "a simple
+/// post-processor then serializes the relational result") and by the
+/// storage-overhead experiment to measure original-XML byte size.
+std::string SerializeSubtree(const Document& doc, Pre v,
+                             const StringPool& pool);
+
+/// Serialize a whole document (children of the doc node).
+std::string SerializeDocument(const Document& doc, const StringPool& pool);
+
+/// Escape character data (& < >) for serialization.
+std::string EscapeText(std::string_view s);
+/// Escape an attribute value (& < > ").
+std::string EscapeAttr(std::string_view s);
+
+}  // namespace pathfinder::xml
+
+#endif  // PATHFINDER_XML_SERIALIZER_H_

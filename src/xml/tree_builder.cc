@@ -1,0 +1,73 @@
+#include "xml/tree_builder.h"
+
+#include <cassert>
+
+namespace pathfinder::xml {
+
+TreeBuilder::TreeBuilder(StringPool* pool) : pool_(pool) {
+  // Pre 0 is always the document node.
+  Emit(NodeKind::kDoc, 0, 0);
+  stack_.push_back(0);
+}
+
+Pre TreeBuilder::Emit(NodeKind kind, StrId prop, StrId value) {
+  Pre pre = static_cast<Pre>(doc_.size_.size());
+  doc_.size_.push_back(0);
+  // stack_ holds the doc node plus all open elements, so the level of a
+  // newly emitted node (a child of the innermost open node) is exactly
+  // stack_.size(); the doc node itself is emitted before stack_ is seeded.
+  doc_.level_.push_back(static_cast<uint16_t>(stack_.size()));
+  doc_.kind_.push_back(static_cast<uint8_t>(kind));
+  doc_.prop_.push_back(prop);
+  doc_.value_.push_back(value);
+  return pre;
+}
+
+void TreeBuilder::StartElem(std::string_view tag) {
+  Pre pre = Emit(NodeKind::kElem, pool_->Intern(tag), 0);
+  stack_.push_back(pre);
+  in_start_tag_ = true;
+}
+
+void TreeBuilder::Attr(std::string_view name, std::string_view value) {
+  assert(in_start_tag_ && "Attr outside a start tag");
+  Emit(NodeKind::kAttr, pool_->Intern(name), pool_->Intern(value));
+}
+
+void TreeBuilder::Text(std::string_view content) {
+  in_start_tag_ = false;
+  // Empty text nodes are legal (XQuery text {} constructors build them);
+  // parsers avoid emitting them by not calling Text for empty runs.
+  Emit(NodeKind::kText, 0, pool_->Intern(content));
+}
+
+void TreeBuilder::Comment(std::string_view content) {
+  in_start_tag_ = false;
+  Emit(NodeKind::kComment, 0, pool_->Intern(content));
+}
+
+void TreeBuilder::Pi(std::string_view target, std::string_view content) {
+  in_start_tag_ = false;
+  Emit(NodeKind::kPi, pool_->Intern(target), pool_->Intern(content));
+}
+
+void TreeBuilder::EndElem() {
+  assert(stack_.size() > 1 && "EndElem without open element");
+  Pre open = stack_.back();
+  stack_.pop_back();
+  doc_.size_[open] = static_cast<Pre>(doc_.size_.size()) - open - 1;
+  in_start_tag_ = false;
+}
+
+Result<Document> TreeBuilder::Finish() && {
+  if (stack_.size() != 1) {
+    return Status::InvalidArgument("unclosed elements at end of document");
+  }
+  if (doc_.size_.size() < 2) {
+    return Status::InvalidArgument("document has no content");
+  }
+  doc_.size_[0] = static_cast<Pre>(doc_.size_.size()) - 1;
+  return std::move(doc_);
+}
+
+}  // namespace pathfinder::xml

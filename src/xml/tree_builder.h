@@ -1,0 +1,59 @@
+#ifndef PATHFINDER_XML_TREE_BUILDER_H_
+#define PATHFINDER_XML_TREE_BUILDER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/string_pool.h"
+#include "xml/document.h"
+
+namespace pathfinder::xml {
+
+/// Single-pass builder of the pre|size|level encoding ("shredder" core).
+///
+/// Both the XML parser and the XMark generator drive this interface, so
+/// programmatically generated documents never need a serialize/reparse
+/// round trip. Usage:
+///
+///   TreeBuilder b(&pool);
+///   b.StartElem("a"); b.Attr("id", "1"); b.Text("hi"); b.EndElem();
+///   Document doc = std::move(b).Finish();
+class TreeBuilder {
+ public:
+  explicit TreeBuilder(StringPool* pool);
+
+  TreeBuilder(const TreeBuilder&) = delete;
+  TreeBuilder& operator=(const TreeBuilder&) = delete;
+
+  void StartElem(std::string_view tag);
+  /// Only legal directly after StartElem / a previous Attr.
+  void Attr(std::string_view name, std::string_view value);
+  void Text(std::string_view content);
+  void Comment(std::string_view content);
+  void Pi(std::string_view target, std::string_view content);
+  void EndElem();
+
+  /// Current nesting depth (open elements).
+  size_t depth() const { return stack_.size(); }
+  /// The pool names/contents are interned into.
+  StringPool* pool() const { return pool_; }
+  /// Nodes emitted so far.
+  Pre num_nodes() const { return static_cast<Pre>(doc_.size_.size()); }
+
+  /// Close the document; fails if elements are still open or the
+  /// document has no root element.
+  Result<Document> Finish() &&;
+
+ private:
+  Pre Emit(NodeKind kind, StrId prop, StrId value);
+
+  StringPool* pool_;
+  Document doc_;
+  std::vector<Pre> stack_;  // open element pre ranks (stack_[0] = doc node)
+  bool in_start_tag_ = false;
+};
+
+}  // namespace pathfinder::xml
+
+#endif  // PATHFINDER_XML_TREE_BUILDER_H_

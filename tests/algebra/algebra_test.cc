@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "algebra/op.h"
+#include "algebra/print.h"
+#include "algebra/schema.h"
+#include "base/string_pool.h"
+
+namespace pathfinder::algebra {
+namespace {
+
+OpPtr Loop1() {
+  return LitTable({"iter"}, {bat::ColType::kInt}, {{Item::Int(1)}});
+}
+
+TEST(OpTest, CountOpsCountsDagNodesOnce) {
+  OpPtr shared = Loop1();
+  OpPtr a = Attach(shared, "pos", bat::ColType::kInt, Item::Int(1));
+  OpPtr b = Attach(shared, "pos", bat::ColType::kInt, Item::Int(2));
+  OpPtr u = DisjointUnion(a, b);
+  EXPECT_EQ(CountOps(u), 4u);  // shared counted once
+}
+
+TEST(OpTest, TopoOrderChildrenFirst) {
+  OpPtr lit = Loop1();
+  OpPtr att = Attach(lit, "pos", bat::ColType::kInt, Item::Int(1));
+  OpPtr prj = Project(att, {{"iter", "iter"}});
+  auto order = TopoOrder(prj);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], lit.get());
+  EXPECT_EQ(order[2], prj.get());
+}
+
+TEST(OpTest, TopoOrderSurvivesDeepChains) {
+  OpPtr cur = Loop1();
+  for (int i = 0; i < 50000; ++i) {
+    cur = Project(cur, {{"iter", "iter"}});
+  }
+  EXPECT_EQ(CountOps(cur), 50001u);
+}
+
+TEST(SchemaTest, InferSimplePlan) {
+  OpPtr plan = Attach(
+      Attach(Loop1(), "pos", bat::ColType::kInt, Item::Int(1)), "item",
+      bat::ColType::kItem, Item::Int(10));
+  auto s = InferSchemas(plan);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->ToString(), "iter:int | pos:int | item:item");
+}
+
+TEST(SchemaTest, RejectsUnknownColumn) {
+  OpPtr bad = Select(Loop1(), "nope");
+  EXPECT_FALSE(ValidatePlan(bad).ok());
+}
+
+TEST(SchemaTest, RejectsNonBoolPredicate) {
+  OpPtr bad = Select(Loop1(), "iter");
+  EXPECT_FALSE(ValidatePlan(bad).ok());
+}
+
+TEST(SchemaTest, RejectsJoinNameClash) {
+  OpPtr bad = EquiJoin(Loop1(), Loop1(), "iter", "iter");
+  EXPECT_FALSE(ValidatePlan(bad).ok());
+}
+
+TEST(SchemaTest, JoinConcatenatesSchemas) {
+  OpPtr right = Project(Loop1(), {{"iter2", "iter"}});
+  OpPtr j = EquiJoin(Loop1(), right, "iter", "iter2");
+  auto s = InferSchemas(j);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->ToString(), "iter:int | iter2:int");
+}
+
+TEST(SchemaTest, RejectsUnionWidthMismatch) {
+  OpPtr wide = Attach(Loop1(), "x", bat::ColType::kInt, Item::Int(0));
+  EXPECT_FALSE(ValidatePlan(DisjointUnion(Loop1(), wide)).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateProjection) {
+  OpPtr bad = Project(Loop1(), {{"a", "iter"}, {"a", "iter"}});
+  EXPECT_FALSE(ValidatePlan(bad).ok());
+}
+
+TEST(SchemaTest, RejectsRowNumClash) {
+  OpPtr bad = RowNum(Loop1(), "iter", {}, {});
+  EXPECT_FALSE(ValidatePlan(bad).ok());
+}
+
+TEST(SchemaTest, RejectsBadLitTable) {
+  // Row width mismatch.
+  OpPtr bad = LitTable({"a", "b"},
+                       {bat::ColType::kInt, bat::ColType::kInt},
+                       {{Item::Int(1)}});
+  EXPECT_FALSE(ValidatePlan(bad).ok());
+}
+
+TEST(SchemaTest, StepRequiresIterItem) {
+  OpPtr bad = Step(Loop1(), accel::Axis::kChild, accel::NodeTest::AnyKind());
+  EXPECT_FALSE(ValidatePlan(bad).ok());
+}
+
+TEST(SchemaTest, Fun2TypeChecks) {
+  OpPtr ipi = Attach(
+      Attach(Loop1(), "pos", bat::ColType::kInt, Item::Int(1)), "item",
+      bat::ColType::kItem, Item::Int(10));
+  // and on ITEM columns is invalid
+  OpPtr bad = MapFun2(ipi, Fun2::kAnd, "item", "item", "b");
+  EXPECT_FALSE(ValidatePlan(bad).ok());
+  // arithmetic on ITEM is fine
+  OpPtr ok = MapFun2(ipi, Fun2::kAdd, "item", "item", "sum");
+  EXPECT_TRUE(ValidatePlan(ok).ok());
+}
+
+TEST(PrintTest, LabelsIncludeParameters) {
+  StringPool pool;
+  OpPtr rn = RowNum(Loop1(), "pos", {"iter"}, {});
+  EXPECT_EQ(OpLabel(*rn, pool), "rownum pos:<iter>");
+  OpPtr st = Step(
+      Project(Loop1(), {{"iter", "iter"}}),
+      accel::Axis::kDescendant, accel::NodeTest::Name(pool.Intern("item")));
+  EXPECT_EQ(OpLabel(*st, pool), "scjoin descendant::item");
+}
+
+TEST(PrintTest, TextShowsSharingMarkers) {
+  StringPool pool;
+  OpPtr shared = Loop1();
+  OpPtr u = DisjointUnion(Project(shared, {{"iter", "iter"}}),
+                          Project(shared, {{"iter", "iter"}}));
+  std::string text = PlanToText(u, pool);
+  // The shared literal appears once in full and once as a ^ref.
+  EXPECT_NE(text.find("^"), std::string::npos);
+}
+
+TEST(PrintTest, DotIsWellFormed) {
+  StringPool pool;
+  OpPtr plan = Serialize(Attach(
+      Attach(Loop1(), "pos", bat::ColType::kInt, Item::Int(1)), "item",
+      bat::ColType::kItem, Item::Int(10)));
+  std::string dot = PlanToDot(plan, pool);
+  EXPECT_EQ(dot.find("digraph plan {"), 0u);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+}  // namespace
+}  // namespace pathfinder::algebra

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "base/result.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/string_pool.h"
+
+namespace pathfinder {
+namespace {
+
+// --- Status ----------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("x").code(), Status::ParseError("x").code(),
+      Status::TypeError("x").code(),       Status::NotSupported("x").code(),
+      Status::NotFound("x").code(),        Status::Internal("x").code(),
+  };
+  EXPECT_EQ(codes.size(), 6u);
+}
+
+Status FailsAtTwo(int x) {
+  if (x == 2) return Status::InvalidArgument("two");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  PF_RETURN_NOT_OK(FailsAtTwo(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_FALSE(Chain(2).ok());
+  EXPECT_EQ(Chain(2).code(), StatusCode::kInvalidArgument);
+}
+
+// --- Result ----------------------------------------------------------
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  PF_ASSIGN_OR_RETURN(int h, Half(x));
+  PF_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, ValueRoundTrip) {
+  Result<int> r = Half(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, ErrorRoundTrip) {
+  Result<int> r = Half(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  EXPECT_EQ(*Quarter(12), 3);
+  EXPECT_FALSE(Quarter(6).ok());   // 3 is odd at the second step
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+// --- StringPool ------------------------------------------------------
+
+TEST(StringPoolTest, InternDeduplicates) {
+  StringPool pool;
+  StrId a = pool.Intern("hello");
+  StrId b = pool.Intern("world");
+  StrId c = pool.Intern("hello");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Get(a), "hello");
+  EXPECT_EQ(pool.Get(b), "world");
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(StringPoolTest, PayloadBytesCountsUniquePayloadOnly) {
+  StringPool pool;
+  pool.Intern("abcd");
+  pool.Intern("abcd");
+  pool.Intern("xy");
+  EXPECT_EQ(pool.payload_bytes(), 6u);
+}
+
+TEST(StringPoolTest, FindDoesNotIntern) {
+  StringPool pool;
+  StrId id;
+  EXPECT_FALSE(pool.Find("nope", &id));
+  StrId a = pool.Intern("yep");
+  ASSERT_TRUE(pool.Find("yep", &id));
+  EXPECT_EQ(id, a);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(StringPoolTest, StableViewsUnderGrowth) {
+  // Regression: string_view keys must stay valid when the pool grows
+  // (SSO strings in a vector would move).
+  StringPool pool;
+  std::vector<std::pair<StrId, std::string>> entries;
+  for (int i = 0; i < 10000; ++i) {
+    std::string s = "key" + std::to_string(i);
+    entries.emplace_back(pool.Intern(s), s);
+  }
+  for (const auto& [id, s] : entries) {
+    EXPECT_EQ(pool.Get(id), s);
+    EXPECT_EQ(pool.Intern(s), id) << s;
+  }
+}
+
+TEST(StringPoolTest, EmptyStringIsInternable) {
+  StringPool pool;
+  StrId e = pool.Intern("");
+  EXPECT_EQ(pool.Get(e), "");
+  EXPECT_EQ(pool.Intern(""), e);
+}
+
+// --- Rng -------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  EXPECT_NE(rng.Next(), 0u);
+}
+
+}  // namespace
+}  // namespace pathfinder

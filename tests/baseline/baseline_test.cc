@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "baseline/dom.h"
+#include "baseline/interp.h"
+#include "xml/parser.h"
+
+namespace pathfinder::baseline {
+namespace {
+
+TEST(DomTest, StructureMirrorsEncoding) {
+  StringPool pool;
+  auto doc =
+      xml::ParseXml(R"(<a><b id="1">t</b><c/></a>)", &pool).value();
+  Dom dom(doc);
+  ASSERT_EQ(dom.size(), doc.num_nodes());
+  const DomNode* root = dom.node(0);
+  EXPECT_EQ(root->kind, xml::NodeKind::kDoc);
+  ASSERT_EQ(root->children.size(), 1u);
+  const DomNode* a = root->children[0];
+  EXPECT_EQ(pool.Get(a->name), "a");
+  ASSERT_EQ(a->children.size(), 2u);
+  const DomNode* b = a->children[0];
+  EXPECT_EQ(b->attrs.size(), 1u);
+  EXPECT_EQ(pool.Get(b->attrs[0]->name), "id");
+  EXPECT_EQ(b->children.size(), 1u);
+  EXPECT_EQ(b->children[0]->kind, xml::NodeKind::kText);
+  EXPECT_EQ(b->parent, a);
+  EXPECT_EQ(a->parent, root);
+}
+
+TEST(DomTest, StringValue) {
+  StringPool pool;
+  auto doc = xml::ParseXml("<a>x<b>y</b>z</a>", &pool).value();
+  Dom dom(doc);
+  EXPECT_EQ(DomStringValue(dom.node(1), pool), "xyz");
+}
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.LoadXml("b.xml",
+                            "<lib><book y=\"1994\">A</book>"
+                            "<book y=\"2000\">B</book></lib>")
+                    .ok());
+  }
+
+  std::string Run(const std::string& q) {
+    Baseline bl(&db_);
+    BaselineOptions o;
+    o.context_doc = "b.xml";
+    auto r = bl.Run(q, o);
+    if (!r.ok()) return "<error: " + r.status().ToString() + ">";
+    auto s = r->Serialize();
+    return s.ok() ? *s : "<serialize error>";
+  }
+
+  xml::Database db_;
+};
+
+TEST_F(BaselineTest, BasicEvaluation) {
+  EXPECT_EQ(Run("1 + 2"), "3");
+  EXPECT_EQ(Run("count(//book)"), "2");
+  EXPECT_EQ(Run("//book[@y = \"2000\"]/text()"), "B");
+  // Adjacent text-node items serialize without separators (spaces are
+  // only inserted between atomic values).
+  EXPECT_EQ(Run("for $b in //book order by data($b/@y) descending "
+                "return $b/text()"),
+            "BA");
+}
+
+TEST_F(BaselineTest, NestedLoopSemantics) {
+  EXPECT_EQ(Run("for $a in (1,2), $b in (10,20) return $a + $b"),
+            "11 21 12 22");
+}
+
+TEST_F(BaselineTest, ConstructedNodesNavigable) {
+  EXPECT_EQ(Run("count(<x><y/><y/></x>/y)"), "2");
+  EXPECT_EQ(Run("string(<x>a<y>b</y></x>)"), "ab");
+}
+
+TEST_F(BaselineTest, RecursionStillRejectedByNormalizer) {
+  // Both engines share the normalizer: recursion is diagnosed before
+  // interpretation.
+  std::string out =
+      Run("declare function local:f($n) { local:f($n) }; local:f(1)");
+  EXPECT_NE(out.find("<error"), std::string::npos);
+}
+
+TEST_F(BaselineTest, ErrorsPropagate) {
+  EXPECT_NE(Run("1 div 0").find("<error"), std::string::npos);
+  EXPECT_NE(Run("doc(\"missing.xml\")").find("<error"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pathfinder::baseline

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "algebra/op.h"
+#include "engine/executor.h"
+#include "engine/node_build.h"
+#include "xml/serializer.h"
+
+namespace pathfinder::engine {
+namespace {
+
+namespace alg = pathfinder::algebra;
+using alg::OpPtr;
+using bat::ColType;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = db_.LoadXml("t.xml", "<r><a>1</a><b x=\"7\">2</b><a>3</a></r>");
+    ASSERT_TRUE(r.ok());
+    ctx_ = std::make_unique<QueryContext>(&db_);
+  }
+
+  bat::Table Run(const OpPtr& plan) {
+    auto t = Execute(plan, ctx_.get());
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return t.ok() ? *t : bat::Table{};
+  }
+
+  OpPtr Lit(std::vector<std::vector<Item>> rows) {
+    return alg::LitTable({"iter", "pos", "item"},
+                         {ColType::kInt, ColType::kInt, ColType::kItem},
+                         std::move(rows));
+  }
+
+  Item Str(const char* s) { return Item::Str(db_.pool()->Intern(s)); }
+
+  xml::Database db_;
+  std::unique_ptr<QueryContext> ctx_;
+};
+
+TEST_F(EngineTest, LitTableAndAttach) {
+  OpPtr plan = alg::Attach(Lit({{Item::Int(1), Item::Int(1), Item::Int(5)}}),
+                           "extra", ColType::kBool, Item::Bool(true));
+  bat::Table t = Run(plan);
+  ASSERT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.GetCol("extra").value()->bools()[0], 1);
+}
+
+TEST_F(EngineTest, SelectFun2) {
+  OpPtr lit = Lit({{Item::Int(1), Item::Int(1), Item::Int(5)},
+                   {Item::Int(1), Item::Int(2), Item::Int(9)}});
+  OpPtr threshold =
+      alg::Attach(lit, "lim", ColType::kItem, Item::Int(6));
+  OpPtr cmp = alg::MapFun2(threshold, alg::Fun2::kCmpGt, "item", "lim", "b");
+  bat::Table t = Run(alg::Select(cmp, "b"));
+  ASSERT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.GetCol("item").value()->items()[0].AsInt(), 9);
+}
+
+TEST_F(EngineTest, StepDescendantFromRoot) {
+  OpPtr ctxt = alg::LitTable(
+      {"iter", "item"}, {ColType::kInt, ColType::kItem},
+      {{Item::Int(1), Item::Node(0, 0)}});
+  OpPtr step = alg::Step(ctxt, accel::Axis::kDescendant,
+                         accel::NodeTest::Name(db_.pool()->Intern("a")));
+  bat::Table t = Run(step);
+  ASSERT_EQ(t.rows(), 2u);
+  // scj output is iter-grouped in document order.
+  EXPECT_LT(t.GetCol("item").value()->items()[0].NodePre(),
+            t.GetCol("item").value()->items()[1].NodePre());
+}
+
+TEST_F(EngineTest, StepOnAtomicIsTypeError) {
+  OpPtr ctxt = alg::LitTable({"iter", "item"},
+                             {ColType::kInt, ColType::kItem},
+                             {{Item::Int(1), Item::Int(42)}});
+  OpPtr step =
+      alg::Step(ctxt, accel::Axis::kChild, accel::NodeTest::AnyKind());
+  auto r = Execute(step, ctx_.get());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(EngineTest, StepStaircaseVsNaiveAgree) {
+  OpPtr ctxt = alg::LitTable(
+      {"iter", "item"}, {ColType::kInt, ColType::kItem},
+      {{Item::Int(1), Item::Node(0, 1)},
+       {Item::Int(2), Item::Node(0, 0)}});
+  OpPtr step = alg::Step(ctxt, accel::Axis::kDescendant,
+                         accel::NodeTest::AnyKind());
+  QueryContext c1(&db_), c2(&db_);
+  c2.use_staircase = false;
+  auto t1 = Execute(step, &c1);
+  auto t2 = Execute(step, &c2);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  ASSERT_EQ(t1->rows(), t2->rows());
+  for (size_t i = 0; i < t1->rows(); ++i) {
+    EXPECT_EQ(t1->GetCol("item").value()->items()[i],
+              t2->GetCol("item").value()->items()[i]);
+  }
+  EXPECT_GT(c1.scj_stats.results, 0u);
+  EXPECT_EQ(c2.scj_stats.results, 0u);  // naive path records no scj stats
+}
+
+TEST_F(EngineTest, DocRootResolvesByName) {
+  OpPtr names = Lit({{Item::Int(1), Item::Int(1), Str("t.xml")}});
+  bat::Table t = Run(alg::DocRoot(names));
+  ASSERT_EQ(t.rows(), 1u);
+  Item root = t.GetCol("item").value()->items()[0];
+  EXPECT_EQ(root.NodeFrag(), 0u);
+  EXPECT_EQ(root.NodePre(), 0u);
+}
+
+TEST_F(EngineTest, DocRootUnknownNameFails) {
+  OpPtr names = Lit({{Item::Int(1), Item::Int(1), Str("nope.xml")}});
+  EXPECT_FALSE(Execute(alg::DocRoot(names), ctx_.get()).ok());
+}
+
+TEST_F(EngineTest, ElementConstructionCopiesAndMerges) {
+  // <out>atomic 5 and node <a>1</a></out>
+  OpPtr name = Lit({{Item::Int(1), Item::Int(1), Str("out")}});
+  OpPtr content = Lit({{Item::Int(1), Item::Int(1), Item::Int(5)},
+                       {Item::Int(1), Item::Int(2), Str("x")},
+                       {Item::Int(1), Item::Int(3), Item::Node(0, 2)}});
+  bat::Table t = Run(alg::ElemConstr(name, content));
+  ASSERT_EQ(t.rows(), 1u);
+  Item node = t.GetCol("item").value()->items()[0];
+  EXPECT_TRUE(node.IsNode());
+  std::string xml = xml::SerializeSubtree(ctx_->doc(node.NodeFrag()),
+                                          node.NodePre(), *db_.pool());
+  EXPECT_EQ(xml, "<out>5 x<a>1</a></out>");
+}
+
+TEST_F(EngineTest, ElementConstructionHoistsAttributes) {
+  OpPtr name = Lit({{Item::Int(1), Item::Int(1), Str("e")}});
+  // Attribute built by an AttrConstr subplan.
+  OpPtr attr_content = Lit({{Item::Int(1), Item::Int(1), Str("v")}});
+  OpPtr attr = alg::AttrConstr(attr_content, "k");
+  OpPtr attr_ipi = alg::Project(
+      alg::Attach(attr, "pos", ColType::kInt, Item::Int(1)),
+      {{"iter", "iter"}, {"pos", "pos"}, {"item", "item"}});
+  bat::Table t = Run(alg::ElemConstr(name, attr_ipi));
+  Item node = t.GetCol("item").value()->items()[0];
+  std::string xml = xml::SerializeSubtree(ctx_->doc(node.NodeFrag()),
+                                          node.NodePre(), *db_.pool());
+  EXPECT_EQ(xml, "<e k=\"v\"/>");
+}
+
+TEST_F(EngineTest, TextConstructionJoinsWithSpaces) {
+  OpPtr content = Lit({{Item::Int(1), Item::Int(1), Str("a")},
+                       {Item::Int(1), Item::Int(2), Str("b")}});
+  bat::Table t = Run(alg::TextConstr(content));
+  Item node = t.GetCol("item").value()->items()[0];
+  EXPECT_EQ(NodeStringValue(*ctx_, node), "a b");
+}
+
+TEST_F(EngineTest, Fun1DataAtomizesNodes) {
+  OpPtr nodes = Lit({{Item::Int(1), Item::Int(1), Item::Node(0, 2)}});
+  bat::Table t = Run(alg::MapFun1(nodes, alg::Fun1::kData, "item", "d"));
+  Item d = t.GetCol("d").value()->items()[0];
+  EXPECT_EQ(d.kind, ItemKind::kUntyped);
+  EXPECT_EQ(db_.pool()->Get(d.AsStr()), "1");
+}
+
+TEST_F(EngineTest, Fun2DivByZeroIsError) {
+  OpPtr lit = Lit({{Item::Int(1), Item::Int(1), Item::Int(1)}});
+  OpPtr z = alg::Attach(lit, "zero", ColType::kItem, Item::Int(0));
+  auto r = Execute(alg::MapFun2(z, alg::Fun2::kDiv, "item", "zero", "q"),
+                   ctx_.get());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EngineTest, ArithmeticIntPreservation) {
+  OpPtr lit = Lit({{Item::Int(1), Item::Int(1), Item::Int(7)}});
+  OpPtr v = alg::Attach(lit, "three", ColType::kItem, Item::Int(3));
+  bat::Table mul =
+      Run(alg::MapFun2(v, alg::Fun2::kMul, "item", "three", "p"));
+  EXPECT_EQ(mul.GetCol("p").value()->items()[0].kind, ItemKind::kInt);
+  bat::Table div =
+      Run(alg::MapFun2(v, alg::Fun2::kDiv, "item", "three", "q"));
+  EXPECT_EQ(div.GetCol("q").value()->items()[0].kind, ItemKind::kDbl);
+  bat::Table idiv =
+      Run(alg::MapFun2(v, alg::Fun2::kIdiv, "item", "three", "r"));
+  EXPECT_EQ(idiv.GetCol("r").value()->items()[0].AsInt(), 2);
+  bat::Table mod =
+      Run(alg::MapFun2(v, alg::Fun2::kMod, "item", "three", "s"));
+  EXPECT_EQ(mod.GetCol("s").value()->items()[0].AsInt(), 1);
+}
+
+TEST_F(EngineTest, SerializeSortsByIterPos) {
+  OpPtr lit = Lit({{Item::Int(2), Item::Int(1), Item::Int(30)},
+                   {Item::Int(1), Item::Int(2), Item::Int(20)},
+                   {Item::Int(1), Item::Int(1), Item::Int(10)}});
+  bat::Table t = Run(alg::Serialize(lit));
+  auto items = t.GetCol("item").value()->items();
+  EXPECT_EQ(items[0].AsInt(), 10);
+  EXPECT_EQ(items[1].AsInt(), 20);
+  EXPECT_EQ(items[2].AsInt(), 30);
+}
+
+TEST_F(EngineTest, SharedSubplanEvaluatedOnce) {
+  // A fragment-constructing subplan shared by two parents must run once:
+  // otherwise two fragments appear.
+  OpPtr name = Lit({{Item::Int(1), Item::Int(1), Str("n")}});
+  OpPtr elem = alg::ElemConstr(name, alg::EmptySeq());
+  OpPtr with_pos = alg::Attach(elem, "pos", ColType::kInt, Item::Int(1));
+  OpPtr ipi = alg::Project(
+      with_pos, {{"iter", "iter"}, {"pos", "pos"}, {"item", "item"}});
+  OpPtr ord0 = alg::Attach(ipi, "ord", ColType::kInt, Item::Int(0));
+  OpPtr ord1 = alg::Attach(ipi, "ord", ColType::kInt, Item::Int(1));
+  Run(alg::DisjointUnion(ord0, ord1));
+  EXPECT_EQ(ctx_->num_constructed(), 1u);
+}
+
+// --- node_build ----------------------------------------------------------
+
+TEST_F(EngineTest, BuildTextAndAttributeFragments) {
+  Item t = BuildText(ctx_.get(), "hello");
+  EXPECT_EQ(NodeStringValue(*ctx_, t), "hello");
+  Item a = BuildAttribute(ctx_.get(), "k", "v");
+  EXPECT_EQ(a.kind, ItemKind::kAttr);
+  EXPECT_EQ(NodeStringValue(*ctx_, a), "v");
+}
+
+TEST_F(EngineTest, BuildElementDeepCopiesSubtree) {
+  std::vector<Item> content = {Item::Node(0, 4)};  // <b x="7">2</b>
+  Item e = BuildElement(ctx_.get(), "wrap", content).value();
+  std::string xml = xml::SerializeSubtree(ctx_->doc(e.NodeFrag()),
+                                          e.NodePre(), *db_.pool());
+  EXPECT_EQ(xml, "<wrap><b x=\"7\">2</b></wrap>");
+}
+
+TEST_F(EngineTest, CopySubtreeOfDocumentNodeCopiesChildren) {
+  xml::TreeBuilder b(db_.pool());
+  b.StartElem("holder");
+  CopySubtree(db_.doc(0), 0, &b);
+  b.EndElem();
+  auto doc = std::move(b).Finish();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(xml::SerializeSubtree(*doc, 1, *db_.pool()),
+            "<holder><r><a>1</a><b x=\"7\">2</b><a>3</a></r></holder>");
+}
+
+}  // namespace
+}  // namespace pathfinder::engine

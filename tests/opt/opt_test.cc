@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "algebra/schema.h"
+#include "api/pathfinder.h"
+#include "engine/executor.h"
+#include "opt/optimize.h"
+#include "runtime/serialize.h"
+
+namespace pathfinder::opt {
+namespace {
+
+namespace alg = pathfinder::algebra;
+using alg::OpPtr;
+
+class OptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.LoadXml("d.xml",
+                            "<r><x k=\"1\">a</x><x k=\"2\">b</x>"
+                            "<y ref=\"2\"/></r>")
+                    .ok());
+  }
+
+  /// Compile unoptimized, optimize, check both plans produce the same
+  /// result, and return the stats.
+  OptimizeStats CheckPreserves(const std::string& q) {
+    Pathfinder pf(&db_);
+    QueryOptions o;
+    o.context_doc = "d.xml";
+    o.optimize = false;
+    auto unopt = pf.Run(q, o);
+    EXPECT_TRUE(unopt.ok()) << unopt.status().ToString() << " q=" << q;
+
+    OptimizeStats stats;
+    auto plan = Optimize(unopt->plan, &stats);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    EXPECT_TRUE(alg::ValidatePlan(*plan).ok());
+    EXPECT_LE(stats.ops_after, stats.ops_before);
+
+    engine::QueryContext ctx(&db_);
+    auto t = engine::Execute(*plan, &ctx);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    auto items = runtime::TableToSequence(*t);
+    EXPECT_TRUE(items.ok());
+    auto s1 = runtime::SerializeSequence(ctx, *items);
+    auto s2 = unopt->Serialize();
+    EXPECT_TRUE(s1.ok() && s2.ok());
+    EXPECT_EQ(*s1, *s2) << "optimizer changed the result of: " << q;
+    return stats;
+  }
+
+  xml::Database db_;
+};
+
+TEST_F(OptTest, ShrinksTypicalPlans) {
+  const char* queries[] = {
+      "for $v in (10,20) return $v + 100",
+      "//x",
+      "for $a in //x where $a/@k = \"1\" return $a/text()",
+      "count(//x)",
+      "for $a in //x order by $a/@k descending return <v>{ $a/text() }</v>",
+  };
+  for (const char* q : queries) {
+    SCOPED_TRACE(q);
+    OptimizeStats stats = CheckPreserves(q);
+    EXPECT_LT(stats.ops_after, stats.ops_before)
+        << "no reduction for: " << q;
+  }
+}
+
+TEST_F(OptTest, RemovesDistinctAfterStaircaseJoin) {
+  // Build the ddo pattern directly: Distinct over a projected/rownum'd
+  // staircase join output (the compiler emits Step without the Distinct
+  // nowadays, but hand-written or older plans still carry it).
+  namespace a = alg;
+  OpPtr ctxt = a::LitTable({"iter", "item"},
+                           {bat::ColType::kInt, bat::ColType::kItem},
+                           {{Item::Int(1), Item::Node(0, 0)}});
+  OpPtr step = a::Step(ctxt, accel::Axis::kDescendant,
+                       accel::NodeTest::AnyKind());
+  OpPtr rn = a::RowNum(step, "pos", {"iter"}, {"item"});
+  OpPtr prj = a::Project(rn, {{"iter", "iter"}, {"item", "item"}});
+  OpPtr dist = a::Distinct(prj, {"iter", "item"});
+  OptimizeStats stats;
+  auto opt = Optimize(dist, &stats);
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+  EXPECT_GE(stats.distincts_removed, 1);
+}
+
+TEST_F(OptTest, FusesProjections) {
+  OptimizeStats stats =
+      CheckPreserves("for $v in (1,2,3) return $v * 2");
+  EXPECT_GE(stats.projections_fused, 1);
+}
+
+TEST_F(OptTest, ResultPreservedOnWholeCorpus) {
+  const char* queries[] = {
+      "(1, \"a\", 2.5)",
+      "for $a in //x, $b in //y return ($a/@k, $b/@ref)",
+      "if (//y) then count(//x) else 0",
+      "sum(//x/@k)",
+      "for $a in //x let $m := for $b in //y "
+      "where $b/@ref = $a/@k return $b return count($m)",
+      "<wrap>{ //x[1] }</wrap>",
+      "typeswitch (//x[1]) case element() return 1 default return 0",
+      "distinct-values((//x/@k, \"1\"))",
+      "some $a in //x satisfies $a/@k = \"2\"",
+  };
+  for (const char* q : queries) {
+    SCOPED_TRACE(q);
+    CheckPreserves(q);
+  }
+}
+
+TEST_F(OptTest, IdempotentFixpoint) {
+  Pathfinder pf(&db_);
+  QueryOptions o;
+  o.context_doc = "d.xml";
+  o.optimize = false;
+  auto r = pf.Run("for $a in //x where $a/@k = \"1\" return $a", o);
+  ASSERT_TRUE(r.ok());
+  OptimizeStats s1, s2;
+  auto p1 = Optimize(r->plan, &s1);
+  ASSERT_TRUE(p1.ok());
+  auto p2 = Optimize(*p1, &s2);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(s2.ops_before, s2.ops_after);
+}
+
+TEST_F(OptTest, StatsReportBeforeAfter) {
+  Pathfinder pf(&db_);
+  QueryOptions o;
+  o.context_doc = "d.xml";
+  auto r = pf.Run("//x", o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->opt_stats.ops_before, 0u);
+  EXPECT_GT(r->opt_stats.ops_after, 0u);
+  EXPECT_LE(r->opt_stats.ops_after, r->opt_stats.ops_before);
+}
+
+}  // namespace
+}  // namespace pathfinder::opt

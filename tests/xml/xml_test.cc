@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "xml/database.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/tree_builder.h"
+
+namespace pathfinder::xml {
+namespace {
+
+// --- TreeBuilder -------------------------------------------------------
+
+TEST(TreeBuilderTest, MinimalDocument) {
+  StringPool pool;
+  TreeBuilder b(&pool);
+  b.StartElem("a");
+  b.EndElem();
+  auto doc = std::move(b).Finish();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->num_nodes(), 2u);
+  EXPECT_EQ(doc->kind(0), NodeKind::kDoc);
+  EXPECT_EQ(doc->kind(1), NodeKind::kElem);
+  EXPECT_EQ(doc->size(0), 1u);
+  EXPECT_EQ(doc->size(1), 0u);
+  EXPECT_EQ(doc->level(1), 1);
+  std::string err;
+  EXPECT_TRUE(doc->Validate(&err)) << err;
+}
+
+TEST(TreeBuilderTest, SizesAndLevelsNest) {
+  StringPool pool;
+  TreeBuilder b(&pool);
+  b.StartElem("a");        // pre 1
+  b.Attr("id", "1");       // pre 2
+  b.StartElem("b");        // pre 3
+  b.Text("hi");            // pre 4
+  b.EndElem();
+  b.StartElem("c");        // pre 5
+  b.EndElem();
+  b.EndElem();
+  auto doc = std::move(b).Finish();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->num_nodes(), 6u);
+  EXPECT_EQ(doc->size(1), 4u);   // a contains id, b, hi, c
+  EXPECT_EQ(doc->size(3), 1u);   // b contains hi
+  EXPECT_EQ(doc->level(2), 2);   // attribute below a
+  EXPECT_EQ(doc->level(4), 3);   // text below b
+  EXPECT_TRUE(doc->IsAttr(2));
+  std::string err;
+  EXPECT_TRUE(doc->Validate(&err)) << err;
+}
+
+TEST(TreeBuilderTest, UnclosedElementFails) {
+  StringPool pool;
+  TreeBuilder b(&pool);
+  b.StartElem("a");
+  EXPECT_FALSE(std::move(b).Finish().ok());
+}
+
+TEST(TreeBuilderTest, EmptyDocumentFails) {
+  StringPool pool;
+  TreeBuilder b(&pool);
+  EXPECT_FALSE(std::move(b).Finish().ok());
+}
+
+// --- Parent / StringValue -----------------------------------------------
+
+TEST(DocumentTest, ParentChain) {
+  StringPool pool;
+  TreeBuilder b(&pool);
+  b.StartElem("a");
+  b.StartElem("b");
+  b.Text("t");
+  b.EndElem();
+  b.EndElem();
+  auto doc = std::move(b).Finish().value();
+  Pre p;
+  ASSERT_TRUE(doc.Parent(3, &p));  // text -> b
+  EXPECT_EQ(p, 2u);
+  ASSERT_TRUE(doc.Parent(2, &p));  // b -> a
+  EXPECT_EQ(p, 1u);
+  ASSERT_TRUE(doc.Parent(1, &p));  // a -> doc node
+  EXPECT_EQ(p, 0u);
+  EXPECT_FALSE(doc.Parent(0, &p));
+}
+
+TEST(DocumentTest, StringValueConcatenatesDescendantText) {
+  StringPool pool;
+  auto doc = ParseXml("<a>x<b>y</b>z</a>", &pool).value();
+  EXPECT_EQ(doc.StringValue(1, pool), "xyz");
+}
+
+// --- Parser --------------------------------------------------------------
+
+TEST(ParserTest, ParsesElementsAttributesText) {
+  StringPool pool;
+  auto doc = ParseXml(R"(<a x="1" y="two"><b>text</b></a>)", &pool);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->num_nodes(), 6u);  // doc, a, @x, @y, b, text
+  EXPECT_EQ(pool.Get(doc->prop(1)), "a");
+  EXPECT_EQ(pool.Get(doc->prop(2)), "x");
+  EXPECT_EQ(pool.Get(doc->value(2)), "1");
+  EXPECT_EQ(pool.Get(doc->value(5)), "text");
+}
+
+TEST(ParserTest, EntityDecoding) {
+  StringPool pool;
+  auto doc = ParseXml("<a>&lt;x&gt; &amp; &#65;&#x42;</a>", &pool);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->StringValue(1, pool), "<x> & AB");
+}
+
+TEST(ParserTest, CdataSection) {
+  StringPool pool;
+  auto doc = ParseXml("<a><![CDATA[<not-a-tag> & raw]]></a>", &pool);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->StringValue(1, pool), "<not-a-tag> & raw");
+}
+
+TEST(ParserTest, CommentsAndPis) {
+  StringPool pool;
+  auto doc = ParseXml("<a><!-- note --><?target data?></a>", &pool);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->kind(2), NodeKind::kComment);
+  EXPECT_EQ(doc->kind(3), NodeKind::kPi);
+  EXPECT_EQ(pool.Get(doc->prop(3)), "target");
+}
+
+TEST(ParserTest, XmlDeclAndDoctypeSkipped) {
+  StringPool pool;
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\"?><!DOCTYPE a SYSTEM \"x\"><a/>", &pool);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->num_nodes(), 2u);
+}
+
+TEST(ParserTest, SelfClosingAndNesting) {
+  StringPool pool;
+  auto doc = ParseXml("<a><b/><c><d/></c></a>", &pool);
+  ASSERT_TRUE(doc.ok());
+  std::string err;
+  EXPECT_TRUE(doc->Validate(&err)) << err;
+  EXPECT_EQ(doc->size(1), 3u);  // b, c, d
+}
+
+TEST(ParserTest, WhitespaceOnlyTextDropped) {
+  StringPool pool;
+  auto doc = ParseXml("<a>\n  <b/>\n  <c/>\n</a>", &pool);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->num_nodes(), 4u);  // doc, a, b, c — no text nodes
+}
+
+TEST(ParserTest, MixedContentPreserved) {
+  StringPool pool;
+  auto doc = ParseXml("<a>pre <b>mid</b> post</a>", &pool);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->StringValue(1, pool), "pre mid post");
+}
+
+TEST(ParserTest, ErrorsAreDiagnosed) {
+  StringPool pool;
+  EXPECT_FALSE(ParseXml("<a><b></a>", &pool).ok());    // mismatched
+  EXPECT_FALSE(ParseXml("<a>", &pool).ok());           // unclosed
+  EXPECT_FALSE(ParseXml("<a x=1/>", &pool).ok());      // unquoted attr
+  EXPECT_FALSE(ParseXml("<a>&unknown;</a>", &pool).ok());
+  EXPECT_FALSE(ParseXml("</a>", &pool).ok());          // stray end tag
+}
+
+TEST(ParserTest, DecodeEntitiesStandalone) {
+  EXPECT_EQ(*DecodeEntities("a&amp;b"), "a&b");
+  EXPECT_EQ(*DecodeEntities("&quot;&apos;"), "\"'");
+  EXPECT_FALSE(DecodeEntities("&bogus;").ok());
+  EXPECT_FALSE(DecodeEntities("&#xZZ;").ok());
+}
+
+// --- Serializer round trip -----------------------------------------------
+
+TEST(SerializerTest, RoundTripSimple) {
+  StringPool pool;
+  const char* xml = R"(<a x="1"><b>text &amp; more</b><c/></a>)";
+  auto doc = ParseXml(xml, &pool).value();
+  EXPECT_EQ(SerializeDocument(doc, pool), xml);
+}
+
+TEST(SerializerTest, EscapesSpecials) {
+  StringPool pool;
+  TreeBuilder b(&pool);
+  b.StartElem("a");
+  b.Attr("q", "say \"hi\" & <go>");
+  b.Text("1 < 2 & 3 > 2");
+  b.EndElem();
+  auto doc = std::move(b).Finish().value();
+  EXPECT_EQ(SerializeDocument(doc, pool),
+            "<a q=\"say &quot;hi&quot; &amp; &lt;go&gt;\">"
+            "1 &lt; 2 &amp; 3 &gt; 2</a>");
+}
+
+TEST(SerializerTest, SerializeSubtree) {
+  StringPool pool;
+  auto doc = ParseXml("<a><b>x</b><c>y</c></a>", &pool).value();
+  EXPECT_EQ(SerializeSubtree(doc, 2, pool), "<b>x</b>");
+  EXPECT_EQ(SerializeSubtree(doc, 4, pool), "<c>y</c>");
+}
+
+TEST(SerializerTest, LoneAttribute) {
+  StringPool pool;
+  auto doc = ParseXml("<a k=\"v\"/>", &pool).value();
+  EXPECT_EQ(SerializeSubtree(doc, 2, pool), "k=\"v\"");
+}
+
+// Property: parse(serialize(parse(x))) == parse(x) for random documents.
+class RoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+void BuildRandomTree(Rng* rng, TreeBuilder* b, int depth) {
+  int kids = static_cast<int>(rng->Range(0, depth > 3 ? 1 : 3));
+  bool last_was_text = false;
+  for (int i = 0; i < kids; ++i) {
+    switch (rng->Below(4)) {
+      case 0:
+        // Adjacent text nodes would merge on reparse; keep them apart.
+        if (last_was_text) {
+          b->Comment("sep");
+        }
+        b->Text("t" + std::to_string(rng->Below(50)));
+        last_was_text = true;
+        break;
+      case 1:
+        b->Comment("c");
+        last_was_text = false;
+        break;
+      default: {
+        last_was_text = false;
+        b->StartElem("e" + std::to_string(rng->Below(5)));
+        if (rng->Chance(0.5)) {
+          b->Attr("k" + std::to_string(rng->Below(3)),
+                  "v" + std::to_string(rng->Below(9)));
+        }
+        BuildRandomTree(rng, b, depth + 1);
+        b->EndElem();
+        break;
+      }
+    }
+  }
+}
+
+TEST_P(RoundTripTest, SerializeParseStable) {
+  StringPool pool;
+  Rng rng(GetParam());
+  TreeBuilder b(&pool);
+  b.StartElem("root");
+  BuildRandomTree(&rng, &b, 0);
+  b.EndElem();
+  auto doc = std::move(b).Finish().value();
+  std::string err;
+  ASSERT_TRUE(doc.Validate(&err)) << err;
+
+  std::string s1 = SerializeDocument(doc, pool);
+  auto doc2 = ParseXml(s1, &pool);
+  ASSERT_TRUE(doc2.ok()) << doc2.status().ToString() << "\n" << s1;
+  ASSERT_TRUE(doc2->Validate(&err)) << err;
+  EXPECT_EQ(SerializeDocument(*doc2, pool), s1);
+  EXPECT_EQ(doc2->num_nodes(), doc.num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+// --- Database --------------------------------------------------------------
+
+TEST(DatabaseTest, LoadAndFind) {
+  Database db;
+  auto id = db.LoadXml("d.xml", "<r><x/></r>");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*db.FindDocument("d.xml"), *id);
+  EXPECT_FALSE(db.FindDocument("missing.xml").ok());
+  EXPECT_EQ(db.num_documents(), 1u);
+  EXPECT_GT(db.EncodingBytes(), 0u);
+}
+
+TEST(DatabaseTest, SurrogateSharingAcrossDocuments) {
+  Database db;
+  ASSERT_TRUE(db.LoadXml("a.xml", "<tag>shared text</tag>").ok());
+  size_t before = db.PoolPayloadBytes();
+  ASSERT_TRUE(db.LoadXml("b.xml", "<tag>shared text</tag>").ok());
+  // Identical tags and text share surrogates: no new payload.
+  EXPECT_EQ(db.PoolPayloadBytes(), before);
+}
+
+}  // namespace
+}  // namespace pathfinder::xml
