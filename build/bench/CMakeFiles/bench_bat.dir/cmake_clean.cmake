@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bat.dir/bench_bat.cc.o"
+  "CMakeFiles/bench_bat.dir/bench_bat.cc.o.d"
+  "bench_bat"
+  "bench_bat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

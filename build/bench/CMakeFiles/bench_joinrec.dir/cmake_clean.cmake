@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_joinrec.dir/bench_joinrec.cc.o"
+  "CMakeFiles/bench_joinrec.dir/bench_joinrec.cc.o.d"
+  "bench_joinrec"
+  "bench_joinrec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_joinrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

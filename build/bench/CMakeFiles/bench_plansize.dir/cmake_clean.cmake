@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plansize.dir/bench_plansize.cc.o"
+  "CMakeFiles/bench_plansize.dir/bench_plansize.cc.o.d"
+  "bench_plansize"
+  "bench_plansize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plansize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_staircase.dir/bench_staircase.cc.o"
+  "CMakeFiles/bench_staircase.dir/bench_staircase.cc.o.d"
+  "bench_staircase"
+  "bench_staircase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_staircase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/pf_bench_util.dir/bench_util.cc.o.d"
+  "libpf_bench_util.a"
+  "libpf_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

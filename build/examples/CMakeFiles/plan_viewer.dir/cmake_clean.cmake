@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_viewer.dir/plan_viewer.cpp.o"
+  "CMakeFiles/plan_viewer.dir/plan_viewer.cpp.o.d"
+  "plan_viewer"
+  "plan_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

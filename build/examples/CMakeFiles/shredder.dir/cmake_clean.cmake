@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shredder.dir/shredder.cpp.o"
+  "CMakeFiles/shredder.dir/shredder.cpp.o.d"
+  "shredder"
+  "shredder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shredder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("bat")
+subdirs("xml")
+subdirs("accel")
+subdirs("algebra")
+subdirs("frontend")
+subdirs("compiler")
+subdirs("opt")
+subdirs("engine")
+subdirs("runtime")
+subdirs("baseline")
+subdirs("xmark")
+subdirs("api")

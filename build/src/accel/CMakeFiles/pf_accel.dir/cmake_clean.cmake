@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_accel.dir/axis.cc.o"
+  "CMakeFiles/pf_accel.dir/axis.cc.o.d"
+  "CMakeFiles/pf_accel.dir/step.cc.o"
+  "CMakeFiles/pf_accel.dir/step.cc.o.d"
+  "libpf_accel.a"
+  "libpf_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

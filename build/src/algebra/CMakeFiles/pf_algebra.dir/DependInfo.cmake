@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/op.cc" "src/algebra/CMakeFiles/pf_algebra.dir/op.cc.o" "gcc" "src/algebra/CMakeFiles/pf_algebra.dir/op.cc.o.d"
+  "/root/repo/src/algebra/print.cc" "src/algebra/CMakeFiles/pf_algebra.dir/print.cc.o" "gcc" "src/algebra/CMakeFiles/pf_algebra.dir/print.cc.o.d"
+  "/root/repo/src/algebra/schema.cc" "src/algebra/CMakeFiles/pf_algebra.dir/schema.cc.o" "gcc" "src/algebra/CMakeFiles/pf_algebra.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/pf_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/bat/CMakeFiles/pf_bat.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/pf_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/pf_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_algebra.dir/op.cc.o"
+  "CMakeFiles/pf_algebra.dir/op.cc.o.d"
+  "CMakeFiles/pf_algebra.dir/print.cc.o"
+  "CMakeFiles/pf_algebra.dir/print.cc.o.d"
+  "CMakeFiles/pf_algebra.dir/schema.cc.o"
+  "CMakeFiles/pf_algebra.dir/schema.cc.o.d"
+  "libpf_algebra.a"
+  "libpf_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/pathfinder.cc" "src/api/CMakeFiles/pf_api.dir/pathfinder.cc.o" "gcc" "src/api/CMakeFiles/pf_api.dir/pathfinder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/pf_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/pf_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/pf_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/pf_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/pf_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/pf_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/pf_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/bat/CMakeFiles/pf_bat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_api.dir/pathfinder.cc.o"
+  "CMakeFiles/pf_api.dir/pathfinder.cc.o.d"
+  "libpf_api.a"
+  "libpf_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_base.dir/status.cc.o"
+  "CMakeFiles/pf_base.dir/status.cc.o.d"
+  "CMakeFiles/pf_base.dir/string_pool.cc.o"
+  "CMakeFiles/pf_base.dir/string_pool.cc.o.d"
+  "libpf_base.a"
+  "libpf_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_baseline.dir/dom.cc.o"
+  "CMakeFiles/pf_baseline.dir/dom.cc.o.d"
+  "CMakeFiles/pf_baseline.dir/interp.cc.o"
+  "CMakeFiles/pf_baseline.dir/interp.cc.o.d"
+  "libpf_baseline.a"
+  "libpf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

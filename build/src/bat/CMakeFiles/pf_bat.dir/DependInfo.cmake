@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bat/column.cc" "src/bat/CMakeFiles/pf_bat.dir/column.cc.o" "gcc" "src/bat/CMakeFiles/pf_bat.dir/column.cc.o.d"
+  "/root/repo/src/bat/item_ops.cc" "src/bat/CMakeFiles/pf_bat.dir/item_ops.cc.o" "gcc" "src/bat/CMakeFiles/pf_bat.dir/item_ops.cc.o.d"
+  "/root/repo/src/bat/kernel.cc" "src/bat/CMakeFiles/pf_bat.dir/kernel.cc.o" "gcc" "src/bat/CMakeFiles/pf_bat.dir/kernel.cc.o.d"
+  "/root/repo/src/bat/table.cc" "src/bat/CMakeFiles/pf_bat.dir/table.cc.o" "gcc" "src/bat/CMakeFiles/pf_bat.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/pf_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

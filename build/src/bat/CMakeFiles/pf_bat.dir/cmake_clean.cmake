@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_bat.dir/column.cc.o"
+  "CMakeFiles/pf_bat.dir/column.cc.o.d"
+  "CMakeFiles/pf_bat.dir/item_ops.cc.o"
+  "CMakeFiles/pf_bat.dir/item_ops.cc.o.d"
+  "CMakeFiles/pf_bat.dir/kernel.cc.o"
+  "CMakeFiles/pf_bat.dir/kernel.cc.o.d"
+  "CMakeFiles/pf_bat.dir/table.cc.o"
+  "CMakeFiles/pf_bat.dir/table.cc.o.d"
+  "libpf_bat.a"
+  "libpf_bat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_bat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/compile.cc" "src/compiler/CMakeFiles/pf_compiler.dir/compile.cc.o" "gcc" "src/compiler/CMakeFiles/pf_compiler.dir/compile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/pf_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/pf_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/pf_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/pf_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/bat/CMakeFiles/pf_bat.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/pf_accel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

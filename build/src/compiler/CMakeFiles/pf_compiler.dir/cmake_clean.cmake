@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_compiler.dir/compile.cc.o"
+  "CMakeFiles/pf_compiler.dir/compile.cc.o.d"
+  "libpf_compiler.a"
+  "libpf_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

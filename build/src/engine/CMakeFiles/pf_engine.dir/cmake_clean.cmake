@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_engine.dir/executor.cc.o"
+  "CMakeFiles/pf_engine.dir/executor.cc.o.d"
+  "CMakeFiles/pf_engine.dir/node_build.cc.o"
+  "CMakeFiles/pf_engine.dir/node_build.cc.o.d"
+  "libpf_engine.a"
+  "libpf_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

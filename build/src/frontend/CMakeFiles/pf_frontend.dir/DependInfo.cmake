@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/ast.cc" "src/frontend/CMakeFiles/pf_frontend.dir/ast.cc.o" "gcc" "src/frontend/CMakeFiles/pf_frontend.dir/ast.cc.o.d"
+  "/root/repo/src/frontend/lexer.cc" "src/frontend/CMakeFiles/pf_frontend.dir/lexer.cc.o" "gcc" "src/frontend/CMakeFiles/pf_frontend.dir/lexer.cc.o.d"
+  "/root/repo/src/frontend/normalize.cc" "src/frontend/CMakeFiles/pf_frontend.dir/normalize.cc.o" "gcc" "src/frontend/CMakeFiles/pf_frontend.dir/normalize.cc.o.d"
+  "/root/repo/src/frontend/parser.cc" "src/frontend/CMakeFiles/pf_frontend.dir/parser.cc.o" "gcc" "src/frontend/CMakeFiles/pf_frontend.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/pf_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/pf_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/pf_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_frontend.dir/ast.cc.o"
+  "CMakeFiles/pf_frontend.dir/ast.cc.o.d"
+  "CMakeFiles/pf_frontend.dir/lexer.cc.o"
+  "CMakeFiles/pf_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/pf_frontend.dir/normalize.cc.o"
+  "CMakeFiles/pf_frontend.dir/normalize.cc.o.d"
+  "CMakeFiles/pf_frontend.dir/parser.cc.o"
+  "CMakeFiles/pf_frontend.dir/parser.cc.o.d"
+  "libpf_frontend.a"
+  "libpf_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

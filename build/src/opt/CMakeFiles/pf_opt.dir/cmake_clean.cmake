@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_opt.dir/optimize.cc.o"
+  "CMakeFiles/pf_opt.dir/optimize.cc.o.d"
+  "libpf_opt.a"
+  "libpf_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

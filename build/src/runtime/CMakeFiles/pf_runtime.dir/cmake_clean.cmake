@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_runtime.dir/serialize.cc.o"
+  "CMakeFiles/pf_runtime.dir/serialize.cc.o.d"
+  "libpf_runtime.a"
+  "libpf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

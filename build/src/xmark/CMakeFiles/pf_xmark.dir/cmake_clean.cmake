@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_xmark.dir/generator.cc.o"
+  "CMakeFiles/pf_xmark.dir/generator.cc.o.d"
+  "CMakeFiles/pf_xmark.dir/queries.cc.o"
+  "CMakeFiles/pf_xmark.dir/queries.cc.o.d"
+  "libpf_xmark.a"
+  "libpf_xmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_xmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

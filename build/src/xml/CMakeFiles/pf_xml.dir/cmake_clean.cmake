@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_xml.dir/database.cc.o"
+  "CMakeFiles/pf_xml.dir/database.cc.o.d"
+  "CMakeFiles/pf_xml.dir/document.cc.o"
+  "CMakeFiles/pf_xml.dir/document.cc.o.d"
+  "CMakeFiles/pf_xml.dir/parser.cc.o"
+  "CMakeFiles/pf_xml.dir/parser.cc.o.d"
+  "CMakeFiles/pf_xml.dir/serializer.cc.o"
+  "CMakeFiles/pf_xml.dir/serializer.cc.o.d"
+  "CMakeFiles/pf_xml.dir/tree_builder.cc.o"
+  "CMakeFiles/pf_xml.dir/tree_builder.cc.o.d"
+  "libpf_xml.a"
+  "libpf_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_test.dir/accel/accel_test.cc.o"
+  "CMakeFiles/accel_test.dir/accel/accel_test.cc.o.d"
+  "accel_test"
+  "accel_test.pdb"
+  "accel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

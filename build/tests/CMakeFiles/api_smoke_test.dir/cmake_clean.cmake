@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_smoke_test.dir/api/api_smoke_test.cc.o"
+  "CMakeFiles/api_smoke_test.dir/api/api_smoke_test.cc.o.d"
+  "api_smoke_test"
+  "api_smoke_test.pdb"
+  "api_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/baseline_test.cc" "tests/CMakeFiles/baseline_test.dir/baseline/baseline_test.cc.o" "gcc" "tests/CMakeFiles/baseline_test.dir/baseline/baseline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/pf_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pf_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmark/CMakeFiles/pf_xmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/pf_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/pf_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/pf_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/bat/CMakeFiles/pf_bat.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/pf_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/pf_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/pf_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/pf_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bat_test.dir/bat/bat_test.cc.o"
+  "CMakeFiles/bat_test.dir/bat/bat_test.cc.o.d"
+  "bat_test"
+  "bat_test.pdb"
+  "bat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
