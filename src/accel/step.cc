@@ -40,6 +40,24 @@ void CollectAncestors(const Document& doc, Pre v,
   }
 }
 
+// Morsel sizing for parallel staircase scans. Fixed constants (never a
+// function of the thread count) so chunk boundaries — and the chunk-
+// ordered result concatenation — are identical at every pool size.
+constexpr size_t kScanGrain = 8192;  // encoding rows per morsel
+constexpr size_t kCtxGrain = 1024;   // context nodes per morsel
+
+// Concatenate per-chunk result vectors in chunk order. For ascending,
+// disjoint chunk ranges this IS document order — no re-sort needed.
+void ConcatChunks(const std::vector<std::vector<Pre>>& chunk_out,
+                  std::vector<Pre>* out) {
+  size_t total = 0;
+  for (const auto& c : chunk_out) total += c.size();
+  out->reserve(out->size() + total);
+  for (const auto& c : chunk_out) {
+    out->insert(out->end(), c.begin(), c.end());
+  }
+}
+
 }  // namespace
 
 void NaiveStep(const Document& doc, Pre v, Axis axis, const NodeTest& test,
@@ -136,7 +154,7 @@ void NaiveStep(const Document& doc, Pre v, Axis axis, const NodeTest& test,
 
 void StaircaseJoin(const Document& doc, const std::vector<Pre>& contexts,
                    Axis axis, const NodeTest& test, std::vector<Pre>* out,
-                   StaircaseStats* stats) {
+                   StaircaseStats* stats, ThreadPool* tp) {
   StaircaseStats local;
   StaircaseStats& st = stats ? *stats : local;
   st.contexts_in += contexts.size();
@@ -145,38 +163,88 @@ void StaircaseJoin(const Document& doc, const std::vector<Pre>& contexts,
 
   switch (axis) {
     case Axis::kSelf: {
-      for (Pre v : contexts) {
-        ++st.nodes_scanned;
+      auto test_one = [&](Pre v, std::vector<Pre>* dst) {
         if (doc.IsAttr(v)) {
-          if (test.kind == NodeTest::Kind::kAnyKind) out->push_back(v);
+          if (test.kind == NodeTest::Kind::kAnyKind) dst->push_back(v);
         } else if (MatchesTest(doc, v, axis, test)) {
-          out->push_back(v);
+          dst->push_back(v);
         }
+      };
+      if (tp != nullptr && contexts.size() >= 2 * kCtxGrain) {
+        size_t chunks = ThreadPool::NumChunks(contexts.size(), kCtxGrain);
+        std::vector<std::vector<Pre>> chunk_out(chunks);
+        ParallelFor(tp, contexts.size(), kCtxGrain,
+                    [&](size_t c, size_t lo, size_t hi) {
+                      for (size_t k = lo; k < hi; ++k) {
+                        test_one(contexts[k], &chunk_out[c]);
+                      }
+                    });
+        ConcatChunks(chunk_out, out);
+      } else {
+        for (Pre v : contexts) test_one(v, out);
       }
+      st.nodes_scanned += contexts.size();
       break;
     }
     case Axis::kAttribute: {
       // Contexts are distinct nodes, so their attribute lists are
-      // disjoint and already globally pre-ordered.
-      for (Pre v : contexts) {
+      // disjoint and already globally pre-ordered — context-chunked
+      // evaluation concatenates back in document order.
+      auto scan_one = [&](Pre v, std::vector<Pre>* dst, size_t* scanned) {
         Pre end = End(doc, v);
         for (Pre a = v + 1; a <= end && doc.kind(a) == NodeKind::kAttr &&
                             doc.level(a) == doc.level(v) + 1;
              ++a) {
-          ++st.nodes_scanned;
-          if (MatchesTest(doc, a, axis, test)) out->push_back(a);
+          ++*scanned;
+          if (MatchesTest(doc, a, axis, test)) dst->push_back(a);
         }
+      };
+      if (tp != nullptr && contexts.size() >= 2 * kCtxGrain) {
+        size_t chunks = ThreadPool::NumChunks(contexts.size(), kCtxGrain);
+        std::vector<std::vector<Pre>> chunk_out(chunks);
+        std::vector<size_t> scanned(chunks, 0);
+        ParallelFor(tp, contexts.size(), kCtxGrain,
+                    [&](size_t c, size_t lo, size_t hi) {
+                      for (size_t k = lo; k < hi; ++k) {
+                        scan_one(contexts[k], &chunk_out[c], &scanned[c]);
+                      }
+                    });
+        for (size_t s : scanned) st.nodes_scanned += s;
+        ConcatChunks(chunk_out, out);
+      } else {
+        size_t scanned = 0;
+        for (Pre v : contexts) scan_one(v, out, &scanned);
+        st.nodes_scanned += scanned;
       }
       break;
     }
     case Axis::kChild: {
       // A node has exactly one parent, so per-context child lists are
-      // disjoint; nested contexts interleave, so sort at the end.
-      for (Pre v : contexts) {
+      // disjoint; nested contexts interleave, so sort at the end (the
+      // sort also erases any chunk-boundary effects of the parallel
+      // path — the emitted multiset is order-independent).
+      auto scan_one = [&](Pre v, std::vector<Pre>* dst, size_t* scanned) {
         ForEachChild(doc, v, [&](Pre w) {
-          ++st.nodes_scanned;
-          if (MatchesTest(doc, w, axis, test)) out->push_back(w);
+          ++*scanned;
+          if (MatchesTest(doc, w, axis, test)) dst->push_back(w);
         });
+      };
+      if (tp != nullptr && contexts.size() >= 2 * kCtxGrain) {
+        size_t chunks = ThreadPool::NumChunks(contexts.size(), kCtxGrain);
+        std::vector<std::vector<Pre>> chunk_out(chunks);
+        std::vector<size_t> scanned(chunks, 0);
+        ParallelFor(tp, contexts.size(), kCtxGrain,
+                    [&](size_t c, size_t lo, size_t hi) {
+                      for (size_t k = lo; k < hi; ++k) {
+                        scan_one(contexts[k], &chunk_out[c], &scanned[c]);
+                      }
+                    });
+        for (size_t s : scanned) st.nodes_scanned += s;
+        ConcatChunks(chunk_out, out);
+      } else {
+        size_t scanned = 0;
+        for (Pre v : contexts) scan_one(v, out, &scanned);
+        st.nodes_scanned += scanned;
       }
       std::sort(out->begin() + static_cast<ptrdiff_t>(out_start),
                 out->end());
@@ -188,6 +256,13 @@ void StaircaseJoin(const Document& doc, const std::vector<Pre>& contexts,
       // descendants are a subset. The survivors' regions are disjoint,
       // so one ascending scan per region emits each result once, in
       // global document order.
+      //
+      // The pruning pass is serial (linear in the context count); the
+      // scans parallelize over a FLAT index space concatenating the
+      // survivors' ranges, so a single huge subtree still splits into
+      // many morsels. Chunk-ordered concatenation = document order.
+      const bool orself = axis == Axis::kDescendantOrSelf;
+      std::vector<Pre> vs;
       Pre last_end = 0;
       bool have_last = false;
       for (Pre v : contexts) {
@@ -195,18 +270,58 @@ void StaircaseJoin(const Document& doc, const std::vector<Pre>& contexts,
           ++st.contexts_pruned;
           continue;
         }
-        if (axis == Axis::kDescendantOrSelf &&
-            MatchesTest(doc, v, axis, test)) {
-          out->push_back(v);
-        }
-        Pre end = End(doc, v);
-        for (Pre w = v + 1; w <= end; ++w) {
-          ++st.nodes_scanned;
-          if (MatchesTest(doc, w, axis, test)) out->push_back(w);
-        }
-        last_end = end;
+        vs.push_back(v);
+        last_end = End(doc, v);
         have_last = true;
       }
+      std::vector<size_t> prefix(vs.size() + 1, 0);
+      for (size_t i = 0; i < vs.size(); ++i) {
+        size_t len = static_cast<size_t>(End(doc, vs[i]) - vs[i]) +
+                     (orself ? 1 : 0);
+        prefix[i + 1] = prefix[i] + len;
+      }
+      size_t total = prefix.back();
+      auto node_at = [&](size_t seg, size_t off) {
+        // Flat offset 0 is the context node itself for *-or-self,
+        // otherwise the first descendant row.
+        return static_cast<Pre>(vs[seg] + (orself ? 0 : 1) + off);
+      };
+      if (tp != nullptr && total >= 2 * kScanGrain) {
+        size_t chunks = ThreadPool::NumChunks(total, kScanGrain);
+        std::vector<std::vector<Pre>> chunk_out(chunks);
+        ParallelFor(tp, total, kScanGrain,
+                    [&](size_t c, size_t lo, size_t hi) {
+                      std::vector<Pre>& dst = chunk_out[c];
+                      size_t seg = static_cast<size_t>(
+                          std::upper_bound(prefix.begin(), prefix.end(),
+                                           lo) -
+                          prefix.begin() - 1);
+                      size_t idx = lo;
+                      while (idx < hi) {
+                        size_t stop = std::min(hi, prefix[seg + 1]);
+                        for (size_t f = idx; f < stop; ++f) {
+                          Pre w = node_at(seg, f - prefix[seg]);
+                          if (MatchesTest(doc, w, axis, test)) {
+                            dst.push_back(w);
+                          }
+                        }
+                        idx = stop;
+                        ++seg;
+                      }
+                    });
+        ConcatChunks(chunk_out, out);
+      } else {
+        for (size_t seg = 0; seg < vs.size(); ++seg) {
+          size_t len = prefix[seg + 1] - prefix[seg];
+          for (size_t off = 0; off < len; ++off) {
+            Pre w = node_at(seg, off);
+            if (MatchesTest(doc, w, axis, test)) out->push_back(w);
+          }
+        }
+      }
+      // Rows touched = the survivors' descendant ranges (the or-self
+      // test of the context node itself is not a scan).
+      st.nodes_scanned += total - (orself ? vs.size() : 0);
       break;
     }
     case Axis::kParent: {
@@ -272,37 +387,79 @@ void StaircaseJoin(const Document& doc, const std::vector<Pre>& contexts,
     }
     case Axis::kFollowing: {
       // The union of following sets is the following set of the context
-      // whose subtree ends first: a single scan suffices.
+      // whose subtree ends first: a single scan suffices — and a single
+      // contiguous pre range chunks trivially.
       Pre min_end = End(doc, contexts[0]);
       for (Pre v : contexts) min_end = std::min(min_end, End(doc, v));
       st.contexts_pruned += contexts.size() - 1;
-      for (Pre w = min_end + 1; w < doc.num_nodes(); ++w) {
-        ++st.nodes_scanned;
-        if (MatchesTest(doc, w, axis, test)) out->push_back(w);
+      Pre first = min_end + 1;
+      size_t n = doc.num_nodes() > first
+                     ? static_cast<size_t>(doc.num_nodes() - first)
+                     : 0;
+      if (tp != nullptr && n >= 2 * kScanGrain) {
+        size_t chunks = ThreadPool::NumChunks(n, kScanGrain);
+        std::vector<std::vector<Pre>> chunk_out(chunks);
+        ParallelFor(tp, n, kScanGrain,
+                    [&](size_t c, size_t lo, size_t hi) {
+                      for (size_t k = lo; k < hi; ++k) {
+                        Pre w = first + static_cast<Pre>(k);
+                        if (MatchesTest(doc, w, axis, test)) {
+                          chunk_out[c].push_back(w);
+                        }
+                      }
+                    });
+        ConcatChunks(chunk_out, out);
+      } else {
+        for (Pre w = first; w < doc.num_nodes(); ++w) {
+          if (MatchesTest(doc, w, axis, test)) out->push_back(w);
+        }
       }
+      st.nodes_scanned += n;
       break;
     }
     case Axis::kPreceding: {
       // Dually, preceding of the right-most context covers the union.
       Pre vmax = contexts.back();
       st.contexts_pruned += contexts.size() - 1;
-      Pre w = 1;
-      while (w < vmax) {
-        if (End(doc, w) < vmax) {
-          // Whole subtree precedes vmax: test every node in it, then
-          // skip to the next subtree (each row touched exactly once).
-          Pre end = End(doc, w);
-          for (Pre u = w; u <= end; ++u) {
-            ++st.nodes_scanned;
-            if (MatchesTest(doc, u, axis, test)) out->push_back(u);
+      size_t n = vmax > 1 ? static_cast<size_t>(vmax - 1) : 0;
+      if (tp != nullptr && n >= 2 * kScanGrain) {
+        // Parallel variant: chunk the [1, vmax) pre range and test
+        // End(w) < vmax per row. The serial subtree-skip walk below
+        // touches the same rows; the per-row predicate form has no
+        // cross-row state, so the chunks are independent and the
+        // ascending concatenation equals the serial emission order.
+        size_t chunks = ThreadPool::NumChunks(n, kScanGrain);
+        std::vector<std::vector<Pre>> chunk_out(chunks);
+        ParallelFor(tp, n, kScanGrain,
+                    [&](size_t c, size_t lo, size_t hi) {
+                      for (size_t k = lo; k < hi; ++k) {
+                        Pre w = static_cast<Pre>(1 + k);
+                        if (End(doc, w) < vmax &&
+                            MatchesTest(doc, w, axis, test)) {
+                          chunk_out[c].push_back(w);
+                        }
+                      }
+                    });
+        ConcatChunks(chunk_out, out);
+      } else {
+        Pre w = 1;
+        while (w < vmax) {
+          if (End(doc, w) < vmax) {
+            // Whole subtree precedes vmax: test every node in it, then
+            // skip to the next subtree (each row touched exactly once).
+            Pre end = End(doc, w);
+            for (Pre u = w; u <= end; ++u) {
+              if (MatchesTest(doc, u, axis, test)) out->push_back(u);
+            }
+            w = end + 1;
+          } else {
+            // w is an ancestor of vmax: not preceding, descend into it.
+            ++w;
           }
-          w = end + 1;
-        } else {
-          // w is an ancestor of vmax: not preceding, descend into it.
-          ++st.nodes_scanned;
-          ++w;
         }
       }
+      // Both variants touch every row in [1, vmax) exactly once.
+      st.nodes_scanned += n;
       break;
     }
     case Axis::kFollowingSibling:

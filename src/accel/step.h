@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "accel/axis.h"
+#include "base/thread_pool.h"
 #include "xml/document.h"
 
 namespace pathfinder::accel {
@@ -43,10 +44,19 @@ struct StaircaseStats {
 ///    each encoding row is inspected at most once,
 ///  * skipping: subtrees that cannot contain results are jumped over
 ///    via the size column.
+///
+/// With a ThreadPool the scan phase runs morsel-parallel: the
+/// partitioning property above means the pruned contexts' scan ranges
+/// are disjoint and ascending, so range chunks can be evaluated
+/// independently and concatenated in chunk order without any re-sort —
+/// results and stats are identical to the serial evaluation at every
+/// thread count. Pruning itself stays serial (it is a linear pass over
+/// the context sequence, tiny next to the scans).
 void StaircaseJoin(const xml::Document& doc,
                    const std::vector<xml::Pre>& contexts, Axis axis,
                    const NodeTest& test, std::vector<xml::Pre>* out,
-                   StaircaseStats* stats = nullptr);
+                   StaircaseStats* stats = nullptr,
+                   ThreadPool* tp = nullptr);
 
 }  // namespace pathfinder::accel
 

@@ -41,6 +41,7 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
   }
   res.ctx = std::make_unique<engine::QueryContext>(db_);
   res.ctx->use_staircase = opts.use_staircase;
+  res.ctx->SetNumThreads(opts.num_threads);
   PF_ASSIGN_OR_RETURN(bat::Table t,
                       engine::Execute(res.plan_opt, res.ctx.get()));
   PF_ASSIGN_OR_RETURN(res.items, runtime::TableToSequence(t));

@@ -26,6 +26,11 @@ struct QueryOptions {
   bool optimize = true;
   /// Staircase join vs naive region selection for steps (ablation E6).
   bool use_staircase = true;
+  /// Worker threads for morsel-parallel operator evaluation. 0 = the
+  /// process default (PF_THREADS env var, else hardware concurrency);
+  /// 1 = the exact serial code paths. Results are identical at every
+  /// setting.
+  int num_threads = 0;
 };
 
 /// A completed query: the result sequence plus every intermediate stage

@@ -12,6 +12,24 @@ namespace pathfinder::bat {
 
 namespace {
 
+// Morsel sizing. Fixed constants — NEVER derived from the thread count
+// — so chunk boundaries, and with them every chunk-indexed merge, are
+// identical at every pool size (see ThreadPool's determinism contract).
+constexpr size_t kMorselRows = 4096;
+constexpr size_t kSortChunkRows = 8192;
+constexpr size_t kThetaPairsPerMorsel = size_t{1} << 16;
+constexpr size_t kGroupAggParRows = 8192;
+
+// Hash-join build partitions (power of two). PartitionOf remixes the
+// key hash so that e.g. libstdc++'s identity std::hash<int64_t> still
+// spreads consecutive keys across partitions.
+constexpr size_t kJoinPartitions = 32;
+
+inline size_t PartitionOf(size_t h) {
+  uint64_t x = static_cast<uint64_t>(h) * 0x9E3779B97F4A7C15ull;
+  return static_cast<size_t>(x >> 59);  // top log2(kJoinPartitions) bits
+}
+
 // Append a fixed-width, type-tagged encoding of cell (c, row) to `out`.
 // Representation equality of encodings == representation equality of
 // cells, which is what distinct/difference on surrogate columns need.
@@ -114,51 +132,95 @@ Result<int> CompareRows(const std::vector<const Column*>& cols, size_t ra,
 
 }  // namespace
 
-IdxVec FilterIndices(const Column& pred) {
+IdxVec FilterIndices(const Column& pred, ThreadPool* tp) {
   assert(pred.type() == ColType::kBool);
-  IdxVec out;
   const auto& b = pred.bools();
-  for (size_t i = 0; i < b.size(); ++i) {
-    if (b[i]) out.push_back(static_cast<RowIdx>(i));
+  IdxVec out;
+  if (tp == nullptr || b.size() < 2 * kMorselRows) {
+    // One counting pass sizes the output exactly (a bool scan is much
+    // cheaper than the reallocation churn of bare push_back growth).
+    size_t hits = 0;
+    for (uint8_t v : b) hits += v ? 1 : 0;
+    out.reserve(hits);
+    for (size_t i = 0; i < b.size(); ++i) {
+      if (b[i]) out.push_back(static_cast<RowIdx>(i));
+    }
+    return out;
   }
+  // Two-pass parallel filter: per-morsel popcount, exclusive prefix to
+  // output offsets, then each morsel scatters its hits into its own
+  // slice — row order preserved, no inter-chunk contention.
+  size_t chunks = ThreadPool::NumChunks(b.size(), kMorselRows);
+  std::vector<size_t> offs(chunks + 1, 0);
+  ParallelFor(tp, b.size(), kMorselRows,
+              [&](size_t c, size_t lo, size_t hi) {
+                size_t n = 0;
+                for (size_t i = lo; i < hi; ++i) n += b[i] ? 1 : 0;
+                offs[c + 1] = n;
+              });
+  for (size_t c = 0; c < chunks; ++c) offs[c + 1] += offs[c];
+  out.resize(offs[chunks]);
+  ParallelFor(tp, b.size(), kMorselRows,
+              [&](size_t c, size_t lo, size_t hi) {
+                size_t w = offs[c];
+                for (size_t i = lo; i < hi; ++i) {
+                  if (b[i]) out[w++] = static_cast<RowIdx>(i);
+                }
+              });
   return out;
 }
 
-ColumnPtr Gather(const Column& c, const IdxVec& idx) {
+namespace {
+
+template <typename T>
+void GatherInto(const std::vector<T>& src, const IdxVec& idx,
+                std::vector<T>* dst, ThreadPool* tp) {
+  // Exact-size allocation + positional writes: each morsel fills its
+  // own disjoint slice of the result.
+  dst->resize(idx.size());
+  ParallelFor(tp, idx.size(), kMorselRows,
+              [&](size_t, size_t lo, size_t hi) {
+                for (size_t k = lo; k < hi; ++k) (*dst)[k] = src[idx[k]];
+              });
+}
+
+}  // namespace
+
+ColumnPtr Gather(const Column& c, const IdxVec& idx, ThreadPool* tp) {
   switch (c.type()) {
     case ColType::kInt: {
-      auto out = Column::MakeInt(idx.size());
-      for (RowIdx i : idx) out->ints().push_back(c.ints()[i]);
+      auto out = Column::MakeInt();
+      GatherInto(c.ints(), idx, &out->ints(), tp);
       return out;
     }
     case ColType::kDbl: {
-      auto out = Column::MakeDbl(idx.size());
-      for (RowIdx i : idx) out->dbls().push_back(c.dbls()[i]);
+      auto out = Column::MakeDbl();
+      GatherInto(c.dbls(), idx, &out->dbls(), tp);
       return out;
     }
     case ColType::kStr: {
-      auto out = Column::MakeStr(idx.size());
-      for (RowIdx i : idx) out->strs().push_back(c.strs()[i]);
+      auto out = Column::MakeStr();
+      GatherInto(c.strs(), idx, &out->strs(), tp);
       return out;
     }
     case ColType::kBool: {
-      auto out = Column::MakeBool(idx.size());
-      for (RowIdx i : idx) out->bools().push_back(c.bools()[i]);
+      auto out = Column::MakeBool();
+      GatherInto(c.bools(), idx, &out->bools(), tp);
       return out;
     }
     case ColType::kItem: {
-      auto out = Column::MakeItem(idx.size());
-      for (RowIdx i : idx) out->items().push_back(c.items()[i]);
+      auto out = Column::MakeItem();
+      GatherInto(c.items(), idx, &out->items(), tp);
       return out;
     }
   }
   return nullptr;
 }
 
-Table GatherTable(const Table& t, const IdxVec& idx) {
+Table GatherTable(const Table& t, const IdxVec& idx, ThreadPool* tp) {
   Table out;
   for (size_t i = 0; i < t.num_cols(); ++i) {
-    out.AddCol(t.name(i), Gather(*t.col(i), idx));
+    out.AddCol(t.name(i), Gather(*t.col(i), idx, tp));
   }
   return out;
 }
@@ -184,10 +246,84 @@ Item CanonicalJoinKey(const Item& it, const StringPool& pool) {
   }
 }
 
+// Shared skeleton of the typed hash-join branches. The parallel path is
+// morsel-driven in all three phases:
+//   build 1: each build-side morsel hash-partitions its rows,
+//   build 2: each partition builds its table visiting morsels in order
+//            (keeps every key's row list ascending = serial order),
+//   probe:   each probe-side morsel emits pairs locally; ordered
+//            concatenation reproduces the serial left-major pair order.
+template <typename Key, typename Hash, typename LKeyFn, typename RKeyFn>
+void HashJoinTyped(size_t nl, size_t nr, const LKeyFn& lkey,
+                   const RKeyFn& rkey, IdxVec* li, IdxVec* ri,
+                   ThreadPool* tp) {
+  using Map = std::unordered_map<Key, IdxVec, Hash>;
+  Hash hasher;
+  if (tp == nullptr || (nl < kMorselRows && nr < kMorselRows)) {
+    Map ht;
+    ht.reserve(nr * 2);
+    for (size_t j = 0; j < nr; ++j) {
+      ht[rkey(j)].push_back(static_cast<RowIdx>(j));
+    }
+    for (size_t i = 0; i < nl; ++i) {
+      auto it = ht.find(lkey(i));
+      if (it == ht.end()) continue;
+      for (RowIdx j : it->second) {
+        li->push_back(static_cast<RowIdx>(i));
+        ri->push_back(j);
+      }
+    }
+    return;
+  }
+  size_t bchunks = ThreadPool::NumChunks(nr, kMorselRows);
+  std::vector<std::vector<IdxVec>> buckets(
+      bchunks, std::vector<IdxVec>(kJoinPartitions));
+  ParallelFor(tp, nr, kMorselRows, [&](size_t c, size_t lo, size_t hi) {
+    std::vector<IdxVec>& bk = buckets[c];
+    for (size_t j = lo; j < hi; ++j) {
+      bk[PartitionOf(hasher(rkey(j)))].push_back(static_cast<RowIdx>(j));
+    }
+  });
+  std::vector<Map> parts(kJoinPartitions);
+  ParallelFor(tp, kJoinPartitions, 1, [&](size_t p, size_t, size_t) {
+    Map& ht = parts[p];
+    for (size_t c = 0; c < bchunks; ++c) {
+      for (RowIdx j : buckets[c][p]) ht[rkey(j)].push_back(j);
+    }
+  });
+  size_t pchunks = ThreadPool::NumChunks(nl, kMorselRows);
+  std::vector<IdxVec> lout(pchunks), rout(pchunks);
+  ParallelFor(tp, nl, kMorselRows, [&](size_t c, size_t lo, size_t hi) {
+    IdxVec& lv = lout[c];
+    IdxVec& rv = rout[c];
+    for (size_t i = lo; i < hi; ++i) {
+      Key k = lkey(i);
+      const Map& ht = parts[PartitionOf(hasher(k))];
+      auto it = ht.find(k);
+      if (it == ht.end()) continue;
+      for (RowIdx j : it->second) {
+        lv.push_back(static_cast<RowIdx>(i));
+        rv.push_back(j);
+      }
+    }
+  });
+  std::vector<size_t> offs(pchunks + 1, 0);
+  for (size_t c = 0; c < pchunks; ++c) {
+    offs[c + 1] = offs[c] + lout[c].size();
+  }
+  li->resize(offs[pchunks]);
+  ri->resize(offs[pchunks]);
+  ParallelFor(tp, pchunks, 1, [&](size_t c, size_t, size_t) {
+    std::copy(lout[c].begin(), lout[c].end(), li->begin() + offs[c]);
+    std::copy(rout[c].begin(), rout[c].end(), ri->begin() + offs[c]);
+  });
+}
+
 }  // namespace
 
 Status HashJoinIndices(const Column& l, const Column& r,
-                       const StringPool& pool, IdxVec* li, IdxVec* ri) {
+                       const StringPool& pool, IdxVec* li, IdxVec* ri,
+                       ThreadPool* tp) {
   if (l.type() != r.type()) {
     return Status::Internal("hash join key type mismatch");
   }
@@ -195,39 +331,19 @@ Status HashJoinIndices(const Column& l, const Column& r,
   ri->clear();
   switch (l.type()) {
     case ColType::kInt: {
-      std::unordered_map<int64_t, IdxVec> ht;
-      ht.reserve(r.size() * 2);
-      const auto& rv = r.ints();
-      for (size_t i = 0; i < rv.size(); ++i) {
-        ht[rv[i]].push_back(static_cast<RowIdx>(i));
-      }
       const auto& lv = l.ints();
-      for (size_t i = 0; i < lv.size(); ++i) {
-        auto it = ht.find(lv[i]);
-        if (it == ht.end()) continue;
-        for (RowIdx j : it->second) {
-          li->push_back(static_cast<RowIdx>(i));
-          ri->push_back(j);
-        }
-      }
+      const auto& rv = r.ints();
+      HashJoinTyped<int64_t, std::hash<int64_t>>(
+          lv.size(), rv.size(), [&](size_t i) { return lv[i]; },
+          [&](size_t j) { return rv[j]; }, li, ri, tp);
       return Status::OK();
     }
     case ColType::kStr: {
-      std::unordered_map<StrId, IdxVec> ht;
-      ht.reserve(r.size() * 2);
-      const auto& rv = r.strs();
-      for (size_t i = 0; i < rv.size(); ++i) {
-        ht[rv[i]].push_back(static_cast<RowIdx>(i));
-      }
       const auto& lv = l.strs();
-      for (size_t i = 0; i < lv.size(); ++i) {
-        auto it = ht.find(lv[i]);
-        if (it == ht.end()) continue;
-        for (RowIdx j : it->second) {
-          li->push_back(static_cast<RowIdx>(i));
-          ri->push_back(j);
-        }
-      }
+      const auto& rv = r.strs();
+      HashJoinTyped<StrId, std::hash<StrId>>(
+          lv.size(), rv.size(), [&](size_t i) { return lv[i]; },
+          [&](size_t j) { return rv[j]; }, li, ri, tp);
       return Status::OK();
     }
     case ColType::kItem: {
@@ -235,22 +351,24 @@ Status HashJoinIndices(const Column& l, const Column& r,
       // comparison semantics hold across representations: integers
       // compare as doubles, untyped atomics as their typed
       // interpretation (number if parseable, string otherwise).
-      std::unordered_map<Item, IdxVec, ItemHash> ht;
-      ht.reserve(r.size() * 2);
-      const auto& rv = r.items();
-      for (size_t i = 0; i < rv.size(); ++i) {
-        ht[CanonicalJoinKey(rv[i], pool)].push_back(
-            static_cast<RowIdx>(i));
-      }
       const auto& lv = l.items();
-      for (size_t i = 0; i < lv.size(); ++i) {
-        auto it = ht.find(CanonicalJoinKey(lv[i], pool));
-        if (it == ht.end()) continue;
-        for (RowIdx j : it->second) {
-          li->push_back(static_cast<RowIdx>(i));
-          ri->push_back(j);
-        }
-      }
+      const auto& rv = r.items();
+      std::vector<Item> lc(lv.size()), rc(rv.size());
+      ParallelFor(tp, lv.size(), kMorselRows,
+                  [&](size_t, size_t lo, size_t hi) {
+                    for (size_t i = lo; i < hi; ++i) {
+                      lc[i] = CanonicalJoinKey(lv[i], pool);
+                    }
+                  });
+      ParallelFor(tp, rv.size(), kMorselRows,
+                  [&](size_t, size_t lo, size_t hi) {
+                    for (size_t j = lo; j < hi; ++j) {
+                      rc[j] = CanonicalJoinKey(rv[j], pool);
+                    }
+                  });
+      HashJoinTyped<Item, ItemHash>(
+          lc.size(), rc.size(), [&](size_t i) { return lc[i]; },
+          [&](size_t j) { return rc[j]; }, li, ri, tp);
       return Status::OK();
     }
     default:
@@ -259,10 +377,13 @@ Status HashJoinIndices(const Column& l, const Column& r,
 }
 
 Status ThetaJoinIndices(const Column& l, const Column& r, CmpOp op,
-                        const StringPool& pool, IdxVec* li, IdxVec* ri) {
+                        const StringPool& pool, IdxVec* li, IdxVec* ri,
+                        ThreadPool* tp) {
   // Materialize both sides as doubles once, then nested-loop compare.
   // The paper notes (Section 3.4) that theta-join output here is
-  // inherently quadratic in the input, so the loop is not the bottleneck.
+  // inherently quadratic in the input, so the loop is not the bottleneck
+  // — but the pair space splits cleanly into left-row morsels whose
+  // outputs concatenate in chunk order to the serial i-major pair order.
   auto materialize = [&](const Column& c) -> Result<std::vector<double>> {
     std::vector<double> v;
     v.reserve(c.size());
@@ -294,35 +415,59 @@ Status ThetaJoinIndices(const Column& l, const Column& r, CmpOp op,
     }
     const auto& la = l.items();
     const auto& ra = r.items();
-    for (size_t i = 0; i < la.size(); ++i) {
-      for (size_t j = 0; j < ra.size(); ++j) {
-        PF_ASSIGN_OR_RETURN(int c, ItemCompareValue(la[i], ra[j], pool));
-        bool keep = false;
-        switch (op) {
-          case CmpOp::kEq:
-            keep = c == 0;
-            break;
-          case CmpOp::kNe:
-            keep = c != 0;
-            break;
-          case CmpOp::kLt:
-            keep = c < 0;
-            break;
-          case CmpOp::kLe:
-            keep = c <= 0;
-            break;
-          case CmpOp::kGt:
-            keep = c > 0;
-            break;
-          case CmpOp::kGe:
-            keep = c >= 0;
-            break;
-        }
-        if (keep) {
-          li->push_back(static_cast<RowIdx>(i));
-          ri->push_back(static_cast<RowIdx>(j));
+    auto keep_of = [op](int c) {
+      switch (op) {
+        case CmpOp::kEq:
+          return c == 0;
+        case CmpOp::kNe:
+          return c != 0;
+        case CmpOp::kLt:
+          return c < 0;
+        case CmpOp::kLe:
+          return c <= 0;
+        case CmpOp::kGt:
+          return c > 0;
+        case CmpOp::kGe:
+          return c >= 0;
+      }
+      return false;
+    };
+    if (tp == nullptr || la.size() * ra.size() < 2 * kThetaPairsPerMorsel) {
+      for (size_t i = 0; i < la.size(); ++i) {
+        for (size_t j = 0; j < ra.size(); ++j) {
+          PF_ASSIGN_OR_RETURN(int c, ItemCompareValue(la[i], ra[j], pool));
+          if (keep_of(c)) {
+            li->push_back(static_cast<RowIdx>(i));
+            ri->push_back(static_cast<RowIdx>(j));
+          }
         }
       }
+      return Status::OK();
+    }
+    // Left-row morsels sized to a fixed pair budget (a function of the
+    // input sizes only, never the thread count).
+    size_t grain = std::max<size_t>(
+        1, kThetaPairsPerMorsel / std::max<size_t>(1, ra.size()));
+    size_t chunks = ThreadPool::NumChunks(la.size(), grain);
+    std::vector<IdxVec> lout(chunks), rout(chunks);
+    PF_RETURN_NOT_OK(ParallelForStatus(
+        tp, la.size(), grain,
+        [&](size_t c, size_t lo, size_t hi) -> Status {
+          for (size_t i = lo; i < hi; ++i) {
+            for (size_t j = 0; j < ra.size(); ++j) {
+              PF_ASSIGN_OR_RETURN(int cmp,
+                                  ItemCompareValue(la[i], ra[j], pool));
+              if (keep_of(cmp)) {
+                lout[c].push_back(static_cast<RowIdx>(i));
+                rout[c].push_back(static_cast<RowIdx>(j));
+              }
+            }
+          }
+          return Status::OK();
+        }));
+    for (size_t c = 0; c < chunks; ++c) {
+      li->insert(li->end(), lout[c].begin(), lout[c].end());
+      ri->insert(ri->end(), rout[c].begin(), rout[c].end());
     }
     return Status::OK();
   }
@@ -345,45 +490,127 @@ Status ThetaJoinIndices(const Column& l, const Column& r, CmpOp op,
     }
     return false;
   };
-  for (size_t i = 0; i < lv.size(); ++i) {
-    for (size_t j = 0; j < rv.size(); ++j) {
-      if (test(lv[i], rv[j])) {
-        li->push_back(static_cast<RowIdx>(i));
-        ri->push_back(static_cast<RowIdx>(j));
+  if (tp == nullptr || lv.size() * rv.size() < 2 * kThetaPairsPerMorsel) {
+    for (size_t i = 0; i < lv.size(); ++i) {
+      for (size_t j = 0; j < rv.size(); ++j) {
+        if (test(lv[i], rv[j])) {
+          li->push_back(static_cast<RowIdx>(i));
+          ri->push_back(static_cast<RowIdx>(j));
+        }
       }
     }
+    return Status::OK();
+  }
+  size_t grain = std::max<size_t>(
+      1, kThetaPairsPerMorsel / std::max<size_t>(1, rv.size()));
+  size_t chunks = ThreadPool::NumChunks(lv.size(), grain);
+  std::vector<IdxVec> lout(chunks), rout(chunks);
+  ParallelFor(tp, lv.size(), grain, [&](size_t c, size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      for (size_t j = 0; j < rv.size(); ++j) {
+        if (test(lv[i], rv[j])) {
+          lout[c].push_back(static_cast<RowIdx>(i));
+          rout[c].push_back(static_cast<RowIdx>(j));
+        }
+      }
+    }
+  });
+  for (size_t c = 0; c < chunks; ++c) {
+    li->insert(li->end(), lout[c].begin(), lout[c].end());
+    ri->insert(ri->end(), rout[c].begin(), rout[c].end());
   }
   return Status::OK();
 }
 
 Result<IdxVec> SortPerm(const Table& t, const std::vector<std::string>& keys,
                         const StringPool& pool,
-                        const std::vector<uint8_t>& desc) {
+                        const std::vector<uint8_t>& desc, ThreadPool* tp) {
   PF_ASSIGN_OR_RETURN(std::vector<const Column*> cols, ResolveCols(t, keys));
   IdxVec perm(t.rows());
   for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<RowIdx>(i);
+  size_t n = perm.size();
   // Fast path: operator outputs are frequently already key-ordered
   // (staircase join emits document order, unions of ordered inputs stay
-  // grouped), so one linear pre-check saves the O(n log n) sort.
-  bool sorted = true;
-  for (size_t i = 0; i + 1 < perm.size(); ++i) {
-    PF_ASSIGN_OR_RETURN(int cmp, CompareRows(cols, i, i + 1, pool, desc));
-    if (cmp > 0) {
-      sorted = false;
-      break;
-    }
+  // grouped), so one linear pre-check saves the O(n log n) sort. The
+  // check itself is chunked: each morsel tests its adjacent pairs
+  // (including the pair straddling the next chunk's boundary).
+  std::atomic<bool> sorted{true};
+  PF_RETURN_NOT_OK(ParallelForStatus(
+      tp, n > 0 ? n - 1 : 0, kSortChunkRows,
+      [&](size_t, size_t lo, size_t hi) -> Status {
+        if (!sorted.load(std::memory_order_relaxed)) return Status::OK();
+        for (size_t i = lo; i < hi; ++i) {
+          PF_ASSIGN_OR_RETURN(int cmp,
+                              CompareRows(cols, i, i + 1, pool, desc));
+          if (cmp > 0) {
+            sorted.store(false, std::memory_order_relaxed);
+            break;
+          }
+        }
+        return Status::OK();
+      }));
+  if (sorted.load(std::memory_order_relaxed)) return perm;
+  if (tp == nullptr || n < 2 * kSortChunkRows) {
+    Status st = Status::OK();
+    std::stable_sort(perm.begin(), perm.end(), [&](RowIdx a, RowIdx b) {
+      auto cmp = CompareRows(cols, a, b, pool, desc);
+      if (!cmp.ok()) {
+        if (st.ok()) st = cmp.status();
+        return false;
+      }
+      return *cmp < 0;
+    });
+    if (!st.ok()) return st;
+    return perm;
   }
-  if (sorted) return perm;
-  Status st = Status::OK();
-  std::stable_sort(perm.begin(), perm.end(), [&](RowIdx a, RowIdx b) {
-    auto cmp = CompareRows(cols, a, b, pool, desc);
-    if (!cmp.ok()) {
-      if (st.ok()) st = cmp.status();
-      return false;
-    }
-    return *cmp < 0;
-  });
-  if (!st.ok()) return st;
+  // Parallel path: stable-sort fixed-size chunks, then merge adjacent
+  // runs level by level. std::merge takes the left (= lower-chunk)
+  // element on ties, so the final permutation is exactly the serial
+  // stable sort's.
+  PF_RETURN_NOT_OK(ParallelForStatus(
+      tp, n, kSortChunkRows, [&](size_t, size_t lo, size_t hi) -> Status {
+        Status st = Status::OK();
+        std::stable_sort(perm.begin() + static_cast<ptrdiff_t>(lo),
+                         perm.begin() + static_cast<ptrdiff_t>(hi),
+                         [&](RowIdx a, RowIdx b) {
+                           auto cmp = CompareRows(cols, a, b, pool, desc);
+                           if (!cmp.ok()) {
+                             if (st.ok()) st = cmp.status();
+                             return false;
+                           }
+                           return *cmp < 0;
+                         });
+        return st;
+      }));
+  IdxVec buf(n);
+  IdxVec* src = &perm;
+  IdxVec* dst = &buf;
+  for (size_t width = kSortChunkRows; width < n; width *= 2) {
+    size_t nmerges = ThreadPool::NumChunks(n, 2 * width);
+    PF_RETURN_NOT_OK(ParallelForStatus(
+        tp, nmerges, 1, [&](size_t m, size_t, size_t) -> Status {
+          size_t a = m * 2 * width;
+          size_t mid = std::min(n, a + width);
+          size_t b = std::min(n, a + 2 * width);
+          Status st = Status::OK();
+          auto less = [&](RowIdx x, RowIdx y) {
+            auto cmp = CompareRows(cols, x, y, pool, desc);
+            if (!cmp.ok()) {
+              if (st.ok()) st = cmp.status();
+              return false;
+            }
+            return *cmp < 0;
+          };
+          std::merge(src->begin() + static_cast<ptrdiff_t>(a),
+                     src->begin() + static_cast<ptrdiff_t>(mid),
+                     src->begin() + static_cast<ptrdiff_t>(mid),
+                     src->begin() + static_cast<ptrdiff_t>(b),
+                     dst->begin() + static_cast<ptrdiff_t>(a), less);
+          return st;
+        }));
+    std::swap(src, dst);
+  }
+  if (src != &perm) perm = *src;
   return perm;
 }
 
@@ -404,7 +631,8 @@ Result<IdxVec> DistinctIndices(const Table& t,
 Result<ColumnPtr> Mark(const Table& t, const std::vector<std::string>& part,
                        const std::vector<std::string>& order,
                        const StringPool& pool,
-                       const std::vector<uint8_t>& order_desc) {
+                       const std::vector<uint8_t>& order_desc,
+                       ThreadPool* tp) {
   std::vector<std::string> sort_keys = part;
   sort_keys.insert(sort_keys.end(), order.begin(), order.end());
   std::vector<uint8_t> desc(part.size(), 0);
@@ -413,7 +641,7 @@ Result<ColumnPtr> Mark(const Table& t, const std::vector<std::string>& part,
   } else {
     desc.insert(desc.end(), order.size(), 0);
   }
-  PF_ASSIGN_OR_RETURN(IdxVec perm, SortPerm(t, sort_keys, pool, desc));
+  PF_ASSIGN_OR_RETURN(IdxVec perm, SortPerm(t, sort_keys, pool, desc, tp));
   // Empty `part` means one global partition. (ResolveCols expands an
   // empty list to all columns — the Distinct convention, not ours.)
   std::vector<const Column*> pcols;
@@ -504,7 +732,7 @@ Result<Table> UnionAll(const Table& a, const Table& b) {
 Result<Table> GroupAgg(const Table& t, const std::string& group_col,
                        const std::string& val_col, AggKind kind,
                        const StringPool& pool, const std::string& out_group,
-                       const std::string& out_val) {
+                       const std::string& out_val, ThreadPool* tp) {
   PF_ASSIGN_OR_RETURN(ColumnPtr gcol, t.GetCol(group_col));
   if (gcol->type() != ColType::kInt) {
     return Status::Internal("group column must be int");
@@ -526,17 +754,13 @@ Result<Table> GroupAgg(const Table& t, const std::string& group_col,
     Item extreme{};
     bool has_extreme = false;
   };
-  std::vector<int64_t> group_order;
-  std::unordered_map<int64_t, Acc> accs;
-  accs.reserve(t.rows() * 2);
 
   const auto& groups = gcol->ints();
-  for (size_t r = 0; r < t.rows(); ++r) {
-    auto [it, inserted] = accs.try_emplace(groups[r]);
-    if (inserted) group_order.push_back(groups[r]);
-    Acc& a = it->second;
-    a.count++;
-    if (vcol == nullptr) continue;
+  size_t n = t.rows();
+
+  auto accumulate = [&](Acc* a, size_t r) -> Status {
+    a->count++;
+    if (vcol == nullptr) return Status::OK();
     const Item& v = vcol->items()[r];
     switch (kind) {
       case AggKind::kCount:
@@ -544,28 +768,95 @@ Result<Table> GroupAgg(const Table& t, const std::string& group_col,
       case AggKind::kSum:
       case AggKind::kAvg: {
         PF_ASSIGN_OR_RETURN(double d, ItemToDouble(v, pool));
-        a.dsum += d;
+        a->dsum += d;
         if (v.kind == ItemKind::kInt) {
-          a.isum += v.AsInt();
+          a->isum += v.AsInt();
         } else {
-          a.all_int = false;
+          a->all_int = false;
         }
         break;
       }
       case AggKind::kMax:
       case AggKind::kMin: {
-        if (!a.has_extreme) {
-          a.extreme = v;
-          a.has_extreme = true;
+        if (!a->has_extreme) {
+          a->extreme = v;
+          a->has_extreme = true;
         } else {
           PF_ASSIGN_OR_RETURN(int cmp,
-                              ItemCompareValue(v, a.extreme, pool));
+                              ItemCompareValue(v, a->extreme, pool));
           if ((kind == AggKind::kMax && cmp > 0) ||
               (kind == AggKind::kMin && cmp < 0)) {
-            a.extreme = v;
+            a->extreme = v;
           }
         }
         break;
+      }
+    }
+    return Status::OK();
+  };
+
+  std::vector<int64_t> group_order;
+  std::unordered_map<int64_t, Acc> accs;
+
+  if (n < kGroupAggParRows) {
+    accs.reserve(n * 2);
+    for (size_t r = 0; r < n; ++r) {
+      auto [it, inserted] = accs.try_emplace(groups[r]);
+      if (inserted) group_order.push_back(groups[r]);
+      PF_RETURN_NOT_OK(accumulate(&it->second, r));
+    }
+  } else {
+    // Morsel-wise partial aggregation. The algorithm switch above and
+    // the morsel split both depend on the row count ONLY, so the FP sum
+    // association — and therefore the result bytes — are the same at
+    // every thread count (tp == nullptr runs the same morsels inline).
+    struct Partial {
+      std::vector<int64_t> order;
+      std::unordered_map<int64_t, Acc> accs;
+    };
+    size_t chunks = ThreadPool::NumChunks(n, kMorselRows);
+    std::vector<Partial> parts(chunks);
+    PF_RETURN_NOT_OK(ParallelForStatus(
+        tp, n, kMorselRows, [&](size_t c, size_t lo, size_t hi) -> Status {
+          Partial& p = parts[c];
+          for (size_t r = lo; r < hi; ++r) {
+            auto [it, inserted] = p.accs.try_emplace(groups[r]);
+            if (inserted) p.order.push_back(groups[r]);
+            PF_RETURN_NOT_OK(accumulate(&it->second, r));
+          }
+          return Status::OK();
+        }));
+    // Merge partials in morsel order: first-appearance over the
+    // concatenated morsels is exactly the serial group order.
+    for (Partial& p : parts) {
+      for (int64_t g : p.order) {
+        const Acc& src = p.accs.at(g);
+        auto [it, inserted] = accs.try_emplace(g);
+        Acc& dst = it->second;
+        if (inserted) {
+          dst = src;
+          group_order.push_back(g);
+          continue;
+        }
+        dst.count += src.count;
+        dst.dsum += src.dsum;
+        dst.isum += src.isum;
+        dst.all_int = dst.all_int && src.all_int;
+        if (src.has_extreme) {
+          if (!dst.has_extreme) {
+            dst.extreme = src.extreme;
+            dst.has_extreme = true;
+          } else {
+            PF_ASSIGN_OR_RETURN(
+                int cmp, ItemCompareValue(src.extreme, dst.extreme, pool));
+            // Strict comparison: on ties the earlier morsel's item
+            // stays, matching the serial first-wins rule.
+            if ((kind == AggKind::kMax && cmp > 0) ||
+                (kind == AggKind::kMin && cmp < 0)) {
+              dst.extreme = src.extreme;
+            }
+          }
+        }
       }
     }
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "base/thread_pool.h"
 #include "bat/table.h"
 
 namespace pathfinder::bat {
@@ -17,14 +18,22 @@ using IdxVec = std::vector<RowIdx>;
 /// Comparison operators used by selections and theta joins.
 enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
+// Every bulk operator takes an optional ThreadPool. nullptr (the
+// default) runs the serial code path; a pool evaluates row morsels in
+// parallel with deterministic, ordered merges — the result is
+// byte-identical at every thread count (see DESIGN.md "Parallel
+// execution" for the invariants each operator maintains).
+
 /// Indices of rows whose BOOL predicate cell is true, in row order.
-IdxVec FilterIndices(const Column& pred);
+IdxVec FilterIndices(const Column& pred, ThreadPool* tp = nullptr);
 
 /// Positional fetch: result[i] = c[idx[i]]  (MonetDB leftfetchjoin).
-ColumnPtr Gather(const Column& c, const IdxVec& idx);
+ColumnPtr Gather(const Column& c, const IdxVec& idx,
+                 ThreadPool* tp = nullptr);
 
 /// Gather every column of `t` — i.e., select the given rows.
-Table GatherTable(const Table& t, const IdxVec& idx);
+Table GatherTable(const Table& t, const IdxVec& idx,
+                  ThreadPool* tp = nullptr);
 
 /// Hash equi-join on one key column per side. Emits matching row pairs:
 /// for each left row in order, all matching right rows in right order
@@ -33,21 +42,30 @@ Table GatherTable(const Table& t, const IdxVec& idx);
 /// INT, STR, ITEM.
 /// `pool` is used to canonicalize ITEM keys (untyped atomics join under
 /// their typed interpretation, integers under their double value).
+/// Parallel evaluation hash-partitions the build side per morsel and
+/// probes left-side morsels independently; ordered concatenation keeps
+/// the exact serial pair order.
 Status HashJoinIndices(const Column& l, const Column& r,
-                       const StringPool& pool, IdxVec* li, IdxVec* ri);
+                       const StringPool& pool, IdxVec* li, IdxVec* ri,
+                       ThreadPool* tp = nullptr);
 
 /// Theta join on a comparison predicate with numeric promotion
 /// (used for the paper's Q11/Q12-style `>` joins whose output is
 /// inherently quadratic). Key columns INT, DBL or ITEM.
 Status ThetaJoinIndices(const Column& l, const Column& r, CmpOp op,
-                        const StringPool& pool, IdxVec* li, IdxVec* ri);
+                        const StringPool& pool, IdxVec* li, IdxVec* ri,
+                        ThreadPool* tp = nullptr);
 
 /// Stable sort permutation by key columns (lexicographic). `pool` is
 /// needed to order STR/ITEM keys. `desc` (optional, parallel to `keys`)
-/// flips the direction of individual keys.
+/// flips the direction of individual keys. Parallel evaluation sorts
+/// fixed-size chunks and merges them stably (ties take the
+/// lower-chunk element), which reproduces the serial stable sort
+/// permutation exactly.
 Result<IdxVec> SortPerm(const Table& t, const std::vector<std::string>& keys,
                         const StringPool& pool,
-                        const std::vector<uint8_t>& desc = {});
+                        const std::vector<uint8_t>& desc = {},
+                        ThreadPool* tp = nullptr);
 
 /// First-occurrence row indices per distinct key tuple, in row order.
 /// Empty `keys` means all columns.
@@ -60,7 +78,8 @@ Result<IdxVec> DistinctIndices(const Table& t,
 Result<ColumnPtr> Mark(const Table& t, const std::vector<std::string>& part,
                        const std::vector<std::string>& order,
                        const StringPool& pool,
-                       const std::vector<uint8_t>& order_desc = {});
+                       const std::vector<uint8_t>& order_desc = {},
+                       ThreadPool* tp = nullptr);
 
 /// Rows of `a` whose key tuple does not appear in `b` (paper's \).
 Result<IdxVec> DifferenceIndices(const Table& a, const Table& b,
@@ -78,10 +97,15 @@ enum class AggKind { kCount, kSum, kAvg, kMax, kMin };
 /// in `t`, groups in first-appearance order. For kCount, `val_col` may be
 /// empty. Numeric aggregation promotes via ItemToDouble; a sum over only
 /// kInt items stays integer.
+/// Above a fixed row threshold the aggregation runs morsel-wise
+/// (thread-local partials, first-appearance-ordered merge) regardless
+/// of `tp`, so floating-point sums are associated identically at every
+/// thread count.
 Result<Table> GroupAgg(const Table& t, const std::string& group_col,
                        const std::string& val_col, AggKind kind,
                        const StringPool& pool, const std::string& out_group,
-                       const std::string& out_val);
+                       const std::string& out_val,
+                       ThreadPool* tp = nullptr);
 
 }  // namespace pathfinder::bat
 

@@ -479,8 +479,8 @@ class Exec {
       case OpKind::kSelect: {
         const Table& in = Child(op, 0);
         PF_ASSIGN_OR_RETURN(ColumnPtr pred, in.GetCol(op.col));
-        IdxVec idx = bat::FilterIndices(*pred);
-        return bat::GatherTable(in, idx);
+        IdxVec idx = bat::FilterIndices(*pred, tp());
+        return bat::GatherTable(in, idx, tp());
       }
       case OpKind::kDisjointUnion:
         return bat::UnionAll(Child(op, 0), Child(op, 1));
@@ -488,12 +488,12 @@ class Exec {
         PF_ASSIGN_OR_RETURN(
             IdxVec idx,
             bat::DifferenceIndices(Child(op, 0), Child(op, 1), op.keys));
-        return bat::GatherTable(Child(op, 0), idx);
+        return bat::GatherTable(Child(op, 0), idx, tp());
       }
       case OpKind::kDistinct: {
         PF_ASSIGN_OR_RETURN(IdxVec idx,
                             bat::DistinctIndices(Child(op, 0), op.keys));
-        return bat::GatherTable(Child(op, 0), idx);
+        return bat::GatherTable(Child(op, 0), idx, tp());
       }
       case OpKind::kEquiJoin:
       case OpKind::kThetaJoin: {
@@ -503,18 +503,18 @@ class Exec {
         PF_ASSIGN_OR_RETURN(ColumnPtr rk, r.GetCol(op.col2));
         IdxVec li, ri;
         if (op.kind == OpKind::kEquiJoin) {
-          PF_RETURN_NOT_OK(
-              bat::HashJoinIndices(*lk, *rk, *ctx_->pool(), &li, &ri));
+          PF_RETURN_NOT_OK(bat::HashJoinIndices(*lk, *rk, *ctx_->pool(),
+                                                &li, &ri, tp()));
         } else {
-          PF_RETURN_NOT_OK(bat::ThetaJoinIndices(*lk, *rk, op.cmp,
-                                                 *ctx_->pool(), &li, &ri));
+          PF_RETURN_NOT_OK(bat::ThetaJoinIndices(
+              *lk, *rk, op.cmp, *ctx_->pool(), &li, &ri, tp()));
         }
         Table t;
         for (size_t i = 0; i < l.num_cols(); ++i) {
-          t.AddCol(l.name(i), bat::Gather(*l.col(i), li));
+          t.AddCol(l.name(i), bat::Gather(*l.col(i), li, tp()));
         }
         for (size_t i = 0; i < r.num_cols(); ++i) {
-          t.AddCol(r.name(i), bat::Gather(*r.col(i), ri));
+          t.AddCol(r.name(i), bat::Gather(*r.col(i), ri, tp()));
         }
         return t;
       }
@@ -532,18 +532,18 @@ class Exec {
         }
         Table t;
         for (size_t i = 0; i < l.num_cols(); ++i) {
-          t.AddCol(l.name(i), bat::Gather(*l.col(i), li));
+          t.AddCol(l.name(i), bat::Gather(*l.col(i), li, tp()));
         }
         for (size_t i = 0; i < r.num_cols(); ++i) {
-          t.AddCol(r.name(i), bat::Gather(*r.col(i), ri));
+          t.AddCol(r.name(i), bat::Gather(*r.col(i), ri, tp()));
         }
         return t;
       }
       case OpKind::kRowNum: {
         const Table& in = Child(op, 0);
         PF_ASSIGN_OR_RETURN(
-            ColumnPtr col,
-            bat::Mark(in, op.part, op.order, *ctx_->pool(), op.order_desc));
+            ColumnPtr col, bat::Mark(in, op.part, op.order, *ctx_->pool(),
+                                     op.order_desc, tp()));
         Table t = in;
         t.AddCol(op.out, std::move(col));
         return t;
@@ -600,12 +600,13 @@ class Exec {
       }
       case OpKind::kAggr:
         return bat::GroupAgg(Child(op, 0), op.col, op.col2, op.agg,
-                             *ctx_->pool(), op.col, op.out);
+                             *ctx_->pool(), op.col, op.out, tp());
       case OpKind::kSerialize: {
         const Table& in = Child(op, 0);
-        PF_ASSIGN_OR_RETURN(IdxVec perm, bat::SortPerm(in, {"iter", "pos"},
-                                                       *ctx_->pool()));
-        return bat::GatherTable(in, perm);
+        PF_ASSIGN_OR_RETURN(
+            IdxVec perm,
+            bat::SortPerm(in, {"iter", "pos"}, *ctx_->pool(), {}, tp()));
+        return bat::GatherTable(in, perm, tp());
       }
     }
     return Status::Internal("unhandled operator in executor");
@@ -659,7 +660,7 @@ class Exec {
         results.clear();
         if (ctx_->use_staircase) {
           accel::StaircaseJoin(doc, contexts, op.axis, op.test, &results,
-                               &ctx_->scj_stats);
+                               &ctx_->scj_stats, tp());
         } else {
           // Ablation baseline: per-context naive region selection, then
           // an explicit sort + duplicate elimination.
@@ -690,8 +691,9 @@ class Exec {
   /// per iter sorted by pos.
   Result<std::vector<std::pair<int64_t, std::vector<Item>>>> GroupContent(
       const Table& in) {
-    PF_ASSIGN_OR_RETURN(IdxVec perm,
-                        bat::SortPerm(in, {"iter", "pos"}, *ctx_->pool()));
+    PF_ASSIGN_OR_RETURN(
+        IdxVec perm,
+        bat::SortPerm(in, {"iter", "pos"}, *ctx_->pool(), {}, tp()));
     PF_ASSIGN_OR_RETURN(ColumnPtr iter_c, in.GetCol("iter"));
     PF_ASSIGN_OR_RETURN(ColumnPtr item_c, in.GetCol("item"));
     std::vector<std::pair<int64_t, std::vector<Item>>> groups;
@@ -715,8 +717,8 @@ class Exec {
     }
 
     // One element per iter of the name relation (first name row wins).
-    PF_ASSIGN_OR_RETURN(IdxVec perm,
-                        bat::SortPerm(names, {"iter"}, *ctx_->pool()));
+    PF_ASSIGN_OR_RETURN(
+        IdxVec perm, bat::SortPerm(names, {"iter"}, *ctx_->pool(), {}, tp()));
     PF_ASSIGN_OR_RETURN(ColumnPtr iter_c, names.GetCol("iter"));
     PF_ASSIGN_OR_RETURN(ColumnPtr item_c, names.GetCol("item"));
 
@@ -804,6 +806,8 @@ class Exec {
     t.AddCol("item", std::move(out_item));
     return t;
   }
+
+  ThreadPool* tp() const { return ctx_->thread_pool(); }
 
   QueryContext* ctx_;
   std::unordered_map<const Op*, Table> memo_;

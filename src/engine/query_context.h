@@ -6,6 +6,7 @@
 
 #include "accel/step.h"
 #include "base/result.h"
+#include "base/thread_pool.h"
 #include "xml/database.h"
 
 namespace pathfinder::engine {
@@ -46,6 +47,27 @@ class QueryContext {
 
   size_t num_constructed() const { return constructed_.size(); }
 
+  /// Worker pool for morsel-parallel operator evaluation; nullptr means
+  /// the serial code paths. Defaults to the process-wide pool (sized by
+  /// PF_THREADS, falling back to the hardware concurrency).
+  ThreadPool* thread_pool() const { return thread_pool_; }
+
+  /// Override the parallelism degree for this query. n <= 0 restores
+  /// the process default, n == 1 forces the serial paths, n > 1 uses a
+  /// dedicated pool owned by this context.
+  void SetNumThreads(int n) {
+    if (n <= 0) {
+      owned_pool_.reset();
+      thread_pool_ = ThreadPool::Default();
+    } else if (n == 1) {
+      owned_pool_.reset();
+      thread_pool_ = nullptr;
+    } else {
+      owned_pool_ = std::make_unique<ThreadPool>(n);
+      thread_pool_ = owned_pool_.get();
+    }
+  }
+
   /// Ablation switch (bench E6): evaluate Step operators with per-node
   /// naive region selection instead of the staircase join.
   bool use_staircase = true;
@@ -56,6 +78,8 @@ class QueryContext {
  private:
   xml::Database* db_;
   std::vector<std::unique_ptr<xml::Document>> constructed_;
+  ThreadPool* thread_pool_ = ThreadPool::Default();
+  std::unique_ptr<ThreadPool> owned_pool_;
 };
 
 }  // namespace pathfinder::engine
