@@ -52,6 +52,16 @@ struct Row {
 
 std::vector<Row> g_rows;
 
+struct PipeRow {
+  int query;
+  int threads;
+  double ms_materialized;
+  double ms_pipelined;
+  double speedup;
+};
+
+std::vector<PipeRow> g_pipe_rows;
+
 // Run `fn(tp)` at every thread count; returns false on a mismatch
 // reported by the caller-supplied check.
 void Sweep(const std::string& name,
@@ -218,6 +228,60 @@ int Main() {
     }
   }
 
+  // --- pipelined vs. materialized execution ------------------------------
+  // Every XMark query, fused-fragment execution against one BAT per
+  // operator, at 1/2/4 threads. Results are checked byte-identical
+  // before timing.
+  {
+    double sf = ScaleFactors().back();
+    xml::Database* db = XMarkDb(sf);
+    Pathfinder pf(db);
+    auto run = [&](const char* text, int pipeline, int threads) {
+      QueryOptions opts;
+      opts.context_doc = "auction.xml";
+      opts.pipeline = pipeline;
+      opts.num_threads = threads;
+      return pf.Run(text, opts);
+    };
+    constexpr int kPipeThreads[] = {1, 2, 4};
+    std::printf("\nPipelined vs. materialized execution (XMark)\n");
+    std::printf("%-10s", "query");
+    for (int t : kPipeThreads) {
+      std::printf("  t=%d mat      pipe   speedup", t);
+    }
+    std::printf("\n");
+    for (const auto& q : xmark::XMarkQueries()) {
+      auto base = run(q.text, /*pipeline=*/0, /*threads=*/1);
+      auto base_s = base.ok() ? base->Serialize()
+                              : Result<std::string>(base.status());
+      if (!base_s.ok()) {
+        std::fprintf(stderr, "Q%d: %s\n", q.number,
+                     base_s.status().ToString().c_str());
+        return 1;
+      }
+      for (int t : kPipeThreads) {
+        auto p = run(q.text, /*pipeline=*/1, t);
+        auto ps = p.ok() ? p->Serialize() : Result<std::string>(p.status());
+        if (!ps.ok() || *ps != *base_s) {
+          std::fprintf(stderr, "Q%d: pipelined result diverges at t=%d\n",
+                       q.number, t);
+          return 1;
+        }
+      }
+      std::printf("xmark-q%-3d", q.number);
+      for (int t : kPipeThreads) {
+        double mat = BestOfMs(3, [&] { (void)run(q.text, 0, t); });
+        double pipe = BestOfMs(3, [&] { (void)run(q.text, 1, t); });
+        double sp = pipe > 0 ? mat / pipe : 1.0;
+        g_pipe_rows.push_back({q.number, t, mat, pipe, sp});
+        std::printf(" %9s %9s %6.2fx", FmtMs(mat).c_str(),
+                    FmtMs(pipe).c_str(), sp);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+
   // --- JSON report -------------------------------------------------------
   std::FILE* f = std::fopen("BENCH_parallel.json", "w");
   if (f != nullptr) {
@@ -233,6 +297,23 @@ int Main() {
     std::fprintf(f, "]\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_parallel.json (%zu rows)\n", g_rows.size());
+  }
+  f = std::fopen("BENCH_pipeline.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < g_pipe_rows.size(); ++i) {
+      const PipeRow& r = g_pipe_rows[i];
+      std::fprintf(f,
+                   "  {\"query\": %d, \"threads\": %d, "
+                   "\"ms_materialized\": %.3f, \"ms_pipelined\": %.3f, "
+                   "\"speedup\": %.3f}%s\n",
+                   r.query, r.threads, r.ms_materialized, r.ms_pipelined,
+                   r.speedup, i + 1 < g_pipe_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_pipeline.json (%zu rows)\n",
+                g_pipe_rows.size());
   }
   std::printf(
       "\nSpeedups are relative to t=1, which runs the exact serial legacy "

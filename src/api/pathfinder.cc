@@ -39,13 +39,21 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
   } else {
     res.plan_opt = res.plan;
   }
+  bool pipeline =
+      opts.pipeline < 0 ? engine::PipelineDefault() : opts.pipeline != 0;
+  if (pipeline) {
+    PF_RETURN_NOT_OK(
+        opt::AnnotatePipelines(res.plan_opt, &res.pipeline_stats));
+  }
   res.ctx = std::make_unique<engine::QueryContext>(db_);
   res.ctx->use_staircase = opts.use_staircase;
+  res.ctx->pipeline = pipeline;
   res.ctx->SetNumThreads(opts.num_threads);
   PF_ASSIGN_OR_RETURN(bat::Table t,
                       engine::Execute(res.plan_opt, res.ctx.get()));
   PF_ASSIGN_OR_RETURN(res.items, runtime::TableToSequence(t));
   res.scj_stats = res.ctx->scj_stats;
+  res.pipe_stats = res.ctx->pipe_stats;
   return res;
 }
 

@@ -12,6 +12,7 @@
 #include "engine/query_context.h"
 #include "frontend/ast.h"
 #include "opt/optimize.h"
+#include "opt/pipeline.h"
 #include "xml/database.h"
 
 namespace pathfinder {
@@ -31,6 +32,13 @@ struct QueryOptions {
   /// 1 = the exact serial code paths. Results are identical at every
   /// setting.
   int num_threads = 0;
+  /// Pipelined execution: fuse chains of row-local operators (σ, π,
+  /// attach, ~ maps, join probes) into single morsel-driven passes so
+  /// intermediate BATs are never materialized. -1 = the process
+  /// default (PF_PIPELINE env var; on unless set to "0"), 0 = off
+  /// (materialize every operator), 1 = on. Results are identical
+  /// either way.
+  int pipeline = -1;
 };
 
 /// A completed query: the result sequence plus every intermediate stage
@@ -44,6 +52,8 @@ struct QueryResult {
   compiler::CompileStats compile_stats;
   opt::OptimizeStats opt_stats;
   accel::StaircaseStats scj_stats;
+  opt::PipelineStats pipeline_stats;       // fragment annotation counters
+  engine::PipelineExecStats pipe_stats;    // fused execution counters
 
   /// Owns fragments constructed during evaluation; `items` referencing
   /// constructed nodes stay valid while this lives.

@@ -1,22 +1,57 @@
 #include "base/string_pool.h"
 
+#include <cassert>
+
 namespace pathfinder {
 
+StringPool::StringPool()
+    : blocks_(new std::atomic<const std::string*>[kMaxBlocks]) {
+  for (size_t b = 0; b < kMaxBlocks; ++b) {
+    blocks_[b].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+StringPool::~StringPool() {
+  for (size_t b = 0; b < kMaxBlocks; ++b) {
+    delete[] blocks_[b].load(std::memory_order_relaxed);
+  }
+}
+
 StrId StringPool::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;
-  StrId id = static_cast<StrId>(strings_.size());
-  strings_.emplace_back(s);
+  size_t id = size_.load(std::memory_order_relaxed);
+  size_t b = id >> kBlockBits;
+  assert(b < kMaxBlocks && "StringPool capacity exceeded");
+  // const_cast: slots are only mutated here, under mu_, before their id
+  // is published; readers see them as const.
+  auto* block =
+      const_cast<std::string*>(blocks_[b].load(std::memory_order_relaxed));
+  if (block == nullptr) {
+    block = new std::string[kBlockSize];
+    blocks_[b].store(block, std::memory_order_release);
+  }
+  std::string& slot = block[id & kBlockMask];
+  slot.assign(s.data(), s.size());
   payload_bytes_ += s.size();
-  index_.emplace(std::string_view(strings_.back()), id);
-  return id;
+  index_.emplace(std::string_view(slot), static_cast<StrId>(id));
+  // Publish the id only after the slot holds its final contents.
+  size_.store(id + 1, std::memory_order_release);
+  return static_cast<StrId>(id);
 }
 
 bool StringPool::Find(std::string_view s, StrId* id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(s);
   if (it == index_.end()) return false;
   *id = it->second;
   return true;
+}
+
+size_t StringPool::payload_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return payload_bytes_;
 }
 
 }  // namespace pathfinder

@@ -1,8 +1,10 @@
 #ifndef PATHFINDER_BASE_STRING_POOL_H_
 #define PATHFINDER_BASE_STRING_POOL_H_
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -19,9 +21,20 @@ using StrId = uint32_t;
 /// referenced by surrogate (StrId). Nodes with identical properties share
 /// the same surrogate, which both avoids string comparisons at query time
 /// and reduces storage.
+///
+/// Thread safety: `Get` is wait-free and may run concurrently with
+/// `Intern`/`Find` on other threads; `Intern` and `Find` serialize on an
+/// internal mutex. Storage is a two-level directory of fixed-size string
+/// blocks: a published id's block pointer and slot are written before the
+/// id escapes the mutex, and neither ever moves afterwards, so readers
+/// never observe a slot under construction. Note that the *numbering* of
+/// ids depends on interning order (and hence on morsel scheduling); ids
+/// must therefore only be used for equality and resolved to content
+/// before any ordering or serialization decision.
 class StringPool {
  public:
-  StringPool() = default;
+  StringPool();
+  ~StringPool();
   StringPool(const StringPool&) = delete;
   StringPool& operator=(const StringPool&) = delete;
 
@@ -31,19 +44,33 @@ class StringPool {
   /// Look up an already-interned string; returns false if absent.
   bool Find(std::string_view s, StrId* id) const;
 
-  /// The string for a surrogate. `id` must be valid.
-  std::string_view Get(StrId id) const { return strings_[id]; }
+  /// The string for a surrogate. `id` must be valid (obtained from a
+  /// prior Intern/Find whose completion happens-before this call).
+  std::string_view Get(StrId id) const {
+    const std::string* block =
+        blocks_[id >> kBlockBits].load(std::memory_order_acquire);
+    return block[id & kBlockMask];
+  }
 
-  size_t size() const { return strings_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
   /// Total bytes of unique string payload (for storage accounting).
-  size_t payload_bytes() const { return payload_bytes_; }
+  size_t payload_bytes() const;
 
  private:
-  // deque: element addresses are stable under growth, so the string_view
-  // keys in index_ stay valid (a vector would move SSO buffers on
-  // reallocation).
-  std::deque<std::string> strings_;
+  static constexpr size_t kBlockBits = 13;  // 8192 strings per block
+  static constexpr size_t kBlockSize = size_t{1} << kBlockBits;
+  static constexpr size_t kBlockMask = kBlockSize - 1;
+  static constexpr size_t kMaxBlocks = size_t{1} << 15;  // 2^28 strings
+
+  // Directory of lazily-allocated blocks. Fixed-size so readers index it
+  // without synchronizing on growth.
+  std::unique_ptr<std::atomic<const std::string*>[]> blocks_;
+  std::atomic<size_t> size_{0};
+
+  mutable std::mutex mu_;
+  // Guarded by mu_. Keys view into block slots, whose addresses are
+  // stable for the pool's lifetime.
   std::unordered_map<std::string_view, StrId> index_;
   size_t payload_bytes_ = 0;
 };

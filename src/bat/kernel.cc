@@ -227,6 +227,70 @@ Table GatherTable(const Table& t, const IdxVec& idx, ThreadPool* tp) {
 
 namespace {
 
+// Fused filter scatter: each morsel writes its surviving rows straight
+// into its pre-computed slice of the output column.
+template <typename T>
+void FilterInto(const std::vector<T>& src, const std::vector<uint8_t>& b,
+                const std::vector<size_t>& offs, std::vector<T>* dst,
+                ThreadPool* tp) {
+  dst->resize(offs.back());
+  ParallelFor(tp, b.size(), kMorselRows, [&](size_t c, size_t lo, size_t hi) {
+    size_t w = offs[c];
+    for (size_t i = lo; i < hi; ++i) {
+      if (b[i]) (*dst)[w++] = src[i];
+    }
+  });
+}
+
+ColumnPtr FilterColumn(const Column& c, const std::vector<uint8_t>& b,
+                       const std::vector<size_t>& offs, ThreadPool* tp) {
+  auto out = std::make_shared<Column>(c.type());
+  switch (c.type()) {
+    case ColType::kInt:
+      FilterInto(c.ints(), b, offs, &out->ints(), tp);
+      break;
+    case ColType::kDbl:
+      FilterInto(c.dbls(), b, offs, &out->dbls(), tp);
+      break;
+    case ColType::kStr:
+      FilterInto(c.strs(), b, offs, &out->strs(), tp);
+      break;
+    case ColType::kBool:
+      FilterInto(c.bools(), b, offs, &out->bools(), tp);
+      break;
+    case ColType::kItem:
+      FilterInto(c.items(), b, offs, &out->items(), tp);
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+Table FilterGather(const Table& t, const Column& pred, ThreadPool* tp) {
+  assert(pred.type() == ColType::kBool);
+  const auto& b = pred.bools();
+  // Per-morsel popcount + exclusive prefix sizes every column's output
+  // exactly; the surviving-row positions are recomputed per column
+  // instead of being staged in an index vector (cheap: the predicate
+  // scan is branch-predictable and stays in cache per morsel).
+  size_t chunks = ThreadPool::NumChunks(b.size(), kMorselRows);
+  std::vector<size_t> offs(chunks + 1, 0);
+  ParallelFor(tp, b.size(), kMorselRows, [&](size_t c, size_t lo, size_t hi) {
+    size_t n = 0;
+    for (size_t i = lo; i < hi; ++i) n += b[i] ? 1 : 0;
+    offs[c + 1] = n;
+  });
+  for (size_t c = 0; c < chunks; ++c) offs[c + 1] += offs[c];
+  Table out;
+  for (size_t i = 0; i < t.num_cols(); ++i) {
+    out.AddCol(t.name(i), FilterColumn(*t.col(i), b, offs, tp));
+  }
+  return out;
+}
+
+namespace {
+
 // See HashJoinIndices: canonical representation for item join keys,
 // mirroring ItemCompareValue's equality: numbers (and numeric-looking
 // strings/untyped atomics) compare by double value, everything else by
@@ -246,20 +310,24 @@ Item CanonicalJoinKey(const Item& it, const StringPool& pool) {
   }
 }
 
-// Shared skeleton of the typed hash-join branches. The parallel path is
-// morsel-driven in all three phases:
+// Shared skeleton of the typed hash-join branches, emitting pairs
+// grouped by probe-side chunk. The parallel path is morsel-driven in
+// all three phases:
 //   build 1: each build-side morsel hash-partitions its rows,
 //   build 2: each partition builds its table visiting morsels in order
 //            (keeps every key's row list ascending = serial order),
-//   probe:   each probe-side morsel emits pairs locally; ordered
-//            concatenation reproduces the serial left-major pair order.
+//   probe:   each probe-side morsel emits pairs locally; chunk order
+//            reproduces the serial left-major pair order.
 template <typename Key, typename Hash, typename LKeyFn, typename RKeyFn>
 void HashJoinTyped(size_t nl, size_t nr, const LKeyFn& lkey,
-                   const RKeyFn& rkey, IdxVec* li, IdxVec* ri,
-                   ThreadPool* tp) {
+                   const RKeyFn& rkey, JoinPairChunks* out, ThreadPool* tp) {
   using Map = std::unordered_map<Key, IdxVec, Hash>;
   Hash hasher;
   if (tp == nullptr || (nl < kMorselRows && nr < kMorselRows)) {
+    out->li.resize(1);
+    out->ri.resize(1);
+    IdxVec& lv = out->li[0];
+    IdxVec& rv = out->ri[0];
     Map ht;
     ht.reserve(nr * 2);
     for (size_t j = 0; j < nr; ++j) {
@@ -269,10 +337,11 @@ void HashJoinTyped(size_t nl, size_t nr, const LKeyFn& lkey,
       auto it = ht.find(lkey(i));
       if (it == ht.end()) continue;
       for (RowIdx j : it->second) {
-        li->push_back(static_cast<RowIdx>(i));
-        ri->push_back(j);
+        lv.push_back(static_cast<RowIdx>(i));
+        rv.push_back(j);
       }
     }
+    out->total = lv.size();
     return;
   }
   size_t bchunks = ThreadPool::NumChunks(nr, kMorselRows);
@@ -292,10 +361,11 @@ void HashJoinTyped(size_t nl, size_t nr, const LKeyFn& lkey,
     }
   });
   size_t pchunks = ThreadPool::NumChunks(nl, kMorselRows);
-  std::vector<IdxVec> lout(pchunks), rout(pchunks);
+  out->li.resize(pchunks);
+  out->ri.resize(pchunks);
   ParallelFor(tp, nl, kMorselRows, [&](size_t c, size_t lo, size_t hi) {
-    IdxVec& lv = lout[c];
-    IdxVec& rv = rout[c];
+    IdxVec& lv = out->li[c];
+    IdxVec& rv = out->ri[c];
     for (size_t i = lo; i < hi; ++i) {
       Key k = lkey(i);
       const Map& ht = parts[PartitionOf(hasher(k))];
@@ -307,35 +377,53 @@ void HashJoinTyped(size_t nl, size_t nr, const LKeyFn& lkey,
       }
     }
   });
-  std::vector<size_t> offs(pchunks + 1, 0);
-  for (size_t c = 0; c < pchunks; ++c) {
-    offs[c + 1] = offs[c] + lout[c].size();
+  for (const IdxVec& lv : out->li) out->total += lv.size();
+}
+
+// Exclusive prefix offsets of a chunked pair list.
+std::vector<size_t> ChunkOffsets(const std::vector<IdxVec>& chunks) {
+  std::vector<size_t> offs(chunks.size() + 1, 0);
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    offs[c + 1] = offs[c] + chunks[c].size();
   }
-  li->resize(offs[pchunks]);
-  ri->resize(offs[pchunks]);
-  ParallelFor(tp, pchunks, 1, [&](size_t c, size_t, size_t) {
-    std::copy(lout[c].begin(), lout[c].end(), li->begin() + offs[c]);
-    std::copy(rout[c].begin(), rout[c].end(), ri->begin() + offs[c]);
+  return offs;
+}
+
+// Flatten pair chunks into global index vectors (the legacy *Indices
+// result). A single chunk is moved, not copied, so the serial paths
+// cost what they did before the chunked refactor.
+void FlattenPairs(JoinPairChunks&& pc, IdxVec* li, IdxVec* ri,
+                  ThreadPool* tp) {
+  if (pc.li.size() == 1) {
+    *li = std::move(pc.li[0]);
+    *ri = std::move(pc.ri[0]);
+    return;
+  }
+  std::vector<size_t> offs = ChunkOffsets(pc.li);
+  li->resize(offs.back());
+  ri->resize(offs.back());
+  ParallelFor(tp, pc.li.size(), 1, [&](size_t c, size_t, size_t) {
+    std::copy(pc.li[c].begin(), pc.li[c].end(), li->begin() + offs[c]);
+    std::copy(pc.ri[c].begin(), pc.ri[c].end(), ri->begin() + offs[c]);
   });
 }
 
 }  // namespace
 
-Status HashJoinIndices(const Column& l, const Column& r,
-                       const StringPool& pool, IdxVec* li, IdxVec* ri,
-                       ThreadPool* tp) {
+Status HashJoinPairsChunked(const Column& l, const Column& r,
+                            const StringPool& pool, JoinPairChunks* out,
+                            ThreadPool* tp) {
   if (l.type() != r.type()) {
     return Status::Internal("hash join key type mismatch");
   }
-  li->clear();
-  ri->clear();
+  *out = JoinPairChunks{};
   switch (l.type()) {
     case ColType::kInt: {
       const auto& lv = l.ints();
       const auto& rv = r.ints();
       HashJoinTyped<int64_t, std::hash<int64_t>>(
           lv.size(), rv.size(), [&](size_t i) { return lv[i]; },
-          [&](size_t j) { return rv[j]; }, li, ri, tp);
+          [&](size_t j) { return rv[j]; }, out, tp);
       return Status::OK();
     }
     case ColType::kStr: {
@@ -343,7 +431,7 @@ Status HashJoinIndices(const Column& l, const Column& r,
       const auto& rv = r.strs();
       HashJoinTyped<StrId, std::hash<StrId>>(
           lv.size(), rv.size(), [&](size_t i) { return lv[i]; },
-          [&](size_t j) { return rv[j]; }, li, ri, tp);
+          [&](size_t j) { return rv[j]; }, out, tp);
       return Status::OK();
     }
     case ColType::kItem: {
@@ -368,7 +456,7 @@ Status HashJoinIndices(const Column& l, const Column& r,
                   });
       HashJoinTyped<Item, ItemHash>(
           lc.size(), rc.size(), [&](size_t i) { return lc[i]; },
-          [&](size_t j) { return rc[j]; }, li, ri, tp);
+          [&](size_t j) { return rc[j]; }, out, tp);
       return Status::OK();
     }
     default:
@@ -376,14 +464,25 @@ Status HashJoinIndices(const Column& l, const Column& r,
   }
 }
 
-Status ThetaJoinIndices(const Column& l, const Column& r, CmpOp op,
-                        const StringPool& pool, IdxVec* li, IdxVec* ri,
-                        ThreadPool* tp) {
+Status HashJoinIndices(const Column& l, const Column& r,
+                       const StringPool& pool, IdxVec* li, IdxVec* ri,
+                       ThreadPool* tp) {
+  li->clear();
+  ri->clear();
+  JoinPairChunks pc;
+  PF_RETURN_NOT_OK(HashJoinPairsChunked(l, r, pool, &pc, tp));
+  FlattenPairs(std::move(pc), li, ri, tp);
+  return Status::OK();
+}
+
+Status ThetaJoinPairsChunked(const Column& l, const Column& r, CmpOp op,
+                             const StringPool& pool, JoinPairChunks* out,
+                             ThreadPool* tp) {
   // Materialize both sides as doubles once, then nested-loop compare.
   // The paper notes (Section 3.4) that theta-join output here is
   // inherently quadratic in the input, so the loop is not the bottleneck
   // — but the pair space splits cleanly into left-row morsels whose
-  // outputs concatenate in chunk order to the serial i-major pair order.
+  // chunk order reproduces the serial i-major pair order.
   auto materialize = [&](const Column& c) -> Result<std::vector<double>> {
     std::vector<double> v;
     v.reserve(c.size());
@@ -403,8 +502,11 @@ Status ThetaJoinIndices(const Column& l, const Column& r, CmpOp op,
         return Status::Internal("theta join key must be numeric");
     }
   };
-  li->clear();
-  ri->clear();
+  *out = JoinPairChunks{};
+  auto finish = [out] {
+    for (const IdxVec& lv : out->li) out->total += lv.size();
+    return Status::OK();
+  };
   auto lm = materialize(l);
   auto rm = materialize(r);
   if (!lm.ok() || !rm.ok()) {
@@ -433,23 +535,26 @@ Status ThetaJoinIndices(const Column& l, const Column& r, CmpOp op,
       return false;
     };
     if (tp == nullptr || la.size() * ra.size() < 2 * kThetaPairsPerMorsel) {
+      out->li.resize(1);
+      out->ri.resize(1);
       for (size_t i = 0; i < la.size(); ++i) {
         for (size_t j = 0; j < ra.size(); ++j) {
           PF_ASSIGN_OR_RETURN(int c, ItemCompareValue(la[i], ra[j], pool));
           if (keep_of(c)) {
-            li->push_back(static_cast<RowIdx>(i));
-            ri->push_back(static_cast<RowIdx>(j));
+            out->li[0].push_back(static_cast<RowIdx>(i));
+            out->ri[0].push_back(static_cast<RowIdx>(j));
           }
         }
       }
-      return Status::OK();
+      return finish();
     }
     // Left-row morsels sized to a fixed pair budget (a function of the
     // input sizes only, never the thread count).
     size_t grain = std::max<size_t>(
         1, kThetaPairsPerMorsel / std::max<size_t>(1, ra.size()));
     size_t chunks = ThreadPool::NumChunks(la.size(), grain);
-    std::vector<IdxVec> lout(chunks), rout(chunks);
+    out->li.resize(chunks);
+    out->ri.resize(chunks);
     PF_RETURN_NOT_OK(ParallelForStatus(
         tp, la.size(), grain,
         [&](size_t c, size_t lo, size_t hi) -> Status {
@@ -458,18 +563,14 @@ Status ThetaJoinIndices(const Column& l, const Column& r, CmpOp op,
               PF_ASSIGN_OR_RETURN(int cmp,
                                   ItemCompareValue(la[i], ra[j], pool));
               if (keep_of(cmp)) {
-                lout[c].push_back(static_cast<RowIdx>(i));
-                rout[c].push_back(static_cast<RowIdx>(j));
+                out->li[c].push_back(static_cast<RowIdx>(i));
+                out->ri[c].push_back(static_cast<RowIdx>(j));
               }
             }
           }
           return Status::OK();
         }));
-    for (size_t c = 0; c < chunks; ++c) {
-      li->insert(li->end(), lout[c].begin(), lout[c].end());
-      ri->insert(ri->end(), rout[c].begin(), rout[c].end());
-    }
-    return Status::OK();
+    return finish();
   }
   std::vector<double> lv = std::move(lm).value();
   std::vector<double> rv = std::move(rm).value();
@@ -491,34 +592,117 @@ Status ThetaJoinIndices(const Column& l, const Column& r, CmpOp op,
     return false;
   };
   if (tp == nullptr || lv.size() * rv.size() < 2 * kThetaPairsPerMorsel) {
+    out->li.resize(1);
+    out->ri.resize(1);
     for (size_t i = 0; i < lv.size(); ++i) {
       for (size_t j = 0; j < rv.size(); ++j) {
         if (test(lv[i], rv[j])) {
-          li->push_back(static_cast<RowIdx>(i));
-          ri->push_back(static_cast<RowIdx>(j));
+          out->li[0].push_back(static_cast<RowIdx>(i));
+          out->ri[0].push_back(static_cast<RowIdx>(j));
         }
       }
     }
-    return Status::OK();
+    return finish();
   }
   size_t grain = std::max<size_t>(
       1, kThetaPairsPerMorsel / std::max<size_t>(1, rv.size()));
   size_t chunks = ThreadPool::NumChunks(lv.size(), grain);
-  std::vector<IdxVec> lout(chunks), rout(chunks);
+  out->li.resize(chunks);
+  out->ri.resize(chunks);
   ParallelFor(tp, lv.size(), grain, [&](size_t c, size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       for (size_t j = 0; j < rv.size(); ++j) {
         if (test(lv[i], rv[j])) {
-          lout[c].push_back(static_cast<RowIdx>(i));
-          rout[c].push_back(static_cast<RowIdx>(j));
+          out->li[c].push_back(static_cast<RowIdx>(i));
+          out->ri[c].push_back(static_cast<RowIdx>(j));
         }
       }
     }
   });
-  for (size_t c = 0; c < chunks; ++c) {
-    li->insert(li->end(), lout[c].begin(), lout[c].end());
-    ri->insert(ri->end(), rout[c].begin(), rout[c].end());
+  return finish();
+}
+
+Status ThetaJoinIndices(const Column& l, const Column& r, CmpOp op,
+                        const StringPool& pool, IdxVec* li, IdxVec* ri,
+                        ThreadPool* tp) {
+  li->clear();
+  ri->clear();
+  JoinPairChunks pc;
+  PF_RETURN_NOT_OK(ThetaJoinPairsChunked(l, r, op, pool, &pc, tp));
+  FlattenPairs(std::move(pc), li, ri, tp);
+  return Status::OK();
+}
+
+namespace {
+
+// Gather src rows named by chunked pair indices straight into each
+// chunk's output slice (one task per chunk: chunk pair counts vary, so
+// row-range chunking would misalign with `offs`).
+template <typename T>
+void GatherChunksInto(const std::vector<T>& src,
+                      const std::vector<IdxVec>& idx,
+                      const std::vector<size_t>& offs, std::vector<T>* dst,
+                      ThreadPool* tp) {
+  dst->resize(offs.back());
+  ParallelFor(tp, idx.size(), 1, [&](size_t c, size_t, size_t) {
+    size_t w = offs[c];
+    for (RowIdx k : idx[c]) (*dst)[w++] = src[k];
+  });
+}
+
+ColumnPtr GatherChunks(const Column& c, const std::vector<IdxVec>& idx,
+                       const std::vector<size_t>& offs, ThreadPool* tp) {
+  auto out = std::make_shared<Column>(c.type());
+  switch (c.type()) {
+    case ColType::kInt:
+      GatherChunksInto(c.ints(), idx, offs, &out->ints(), tp);
+      break;
+    case ColType::kDbl:
+      GatherChunksInto(c.dbls(), idx, offs, &out->dbls(), tp);
+      break;
+    case ColType::kStr:
+      GatherChunksInto(c.strs(), idx, offs, &out->strs(), tp);
+      break;
+    case ColType::kBool:
+      GatherChunksInto(c.bools(), idx, offs, &out->bools(), tp);
+      break;
+    case ColType::kItem:
+      GatherChunksInto(c.items(), idx, offs, &out->items(), tp);
+      break;
   }
+  return out;
+}
+
+Table JoinGatherTables(const Table& l, const Table& r,
+                       const JoinPairChunks& pc, ThreadPool* tp) {
+  std::vector<size_t> offs = ChunkOffsets(pc.li);
+  Table out;
+  for (size_t i = 0; i < l.num_cols(); ++i) {
+    out.AddCol(l.name(i), GatherChunks(*l.col(i), pc.li, offs, tp));
+  }
+  for (size_t i = 0; i < r.num_cols(); ++i) {
+    out.AddCol(r.name(i), GatherChunks(*r.col(i), pc.ri, offs, tp));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status HashJoinGather(const Table& l, const Table& r, const Column& lk,
+                      const Column& rk, const StringPool& pool, Table* out,
+                      ThreadPool* tp) {
+  JoinPairChunks pc;
+  PF_RETURN_NOT_OK(HashJoinPairsChunked(lk, rk, pool, &pc, tp));
+  *out = JoinGatherTables(l, r, pc, tp);
+  return Status::OK();
+}
+
+Status ThetaJoinGather(const Table& l, const Table& r, const Column& lk,
+                       const Column& rk, CmpOp op, const StringPool& pool,
+                       Table* out, ThreadPool* tp) {
+  JoinPairChunks pc;
+  PF_RETURN_NOT_OK(ThetaJoinPairsChunked(lk, rk, op, pool, &pc, tp));
+  *out = JoinGatherTables(l, r, pc, tp);
   return Status::OK();
 }
 

@@ -35,6 +35,47 @@ ColumnPtr Gather(const Column& c, const IdxVec& idx,
 Table GatherTable(const Table& t, const IdxVec& idx,
                   ThreadPool* tp = nullptr);
 
+/// Fused σ+gather: the rows of `t` whose BOOL predicate cell is true,
+/// in row order — equivalent to GatherTable(t, FilterIndices(pred)) but
+/// scatters each column directly into its exact output slice, skipping
+/// the intermediate index vector. Backbone of singleton-σ pipeline
+/// fragments.
+Table FilterGather(const Table& t, const Column& pred,
+                   ThreadPool* tp = nullptr);
+
+/// Matching join row pairs grouped by probe-side chunk, in chunk order:
+/// concatenating (li[c], ri[c]) over all c yields exactly the pair list
+/// HashJoinIndices / ThetaJoinIndices emit. Fused pipeline fragments
+/// consume the chunks directly — one morsel per chunk — instead of
+/// materializing a global pair vector and a joined table.
+struct JoinPairChunks {
+  std::vector<IdxVec> li, ri;
+  size_t total = 0;  ///< sum of li[c].size() over all chunks
+};
+
+/// Chunked-pair form of HashJoinIndices (same key/canonicalization
+/// semantics, same deterministic pair order).
+Status HashJoinPairsChunked(const Column& l, const Column& r,
+                            const StringPool& pool, JoinPairChunks* out,
+                            ThreadPool* tp = nullptr);
+
+/// Chunked-pair form of ThetaJoinIndices.
+Status ThetaJoinPairsChunked(const Column& l, const Column& r, CmpOp op,
+                             const StringPool& pool, JoinPairChunks* out,
+                             ThreadPool* tp = nullptr);
+
+/// Fused probe+gather equi-join: the joined table (left columns first,
+/// then right columns, names preserved) built straight from the pair
+/// chunks — the global pair index vectors are never materialized.
+Status HashJoinGather(const Table& l, const Table& r, const Column& lk,
+                      const Column& rk, const StringPool& pool, Table* out,
+                      ThreadPool* tp = nullptr);
+
+/// Fused probe+gather theta join (see ThetaJoinIndices for semantics).
+Status ThetaJoinGather(const Table& l, const Table& r, const Column& lk,
+                       const Column& rk, CmpOp op, const StringPool& pool,
+                       Table* out, ThreadPool* tp = nullptr);
+
 /// Hash equi-join on one key column per side. Emits matching row pairs:
 /// for each left row in order, all matching right rows in right order
 /// (so the left order is the major result order, as the loop-lifting

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <map>
+#include <string_view>
 #include <unordered_map>
 
 #include "accel/step.h"
@@ -24,6 +26,7 @@ using bat::ColType;
 using bat::Column;
 using bat::ColumnPtr;
 using bat::IdxVec;
+using bat::RowIdx;
 using bat::Table;
 
 // --- item-level helpers -------------------------------------------------
@@ -393,6 +396,347 @@ Result<ColumnPtr> EvalFun2(Fun2 f, const Column& a, const Column& b,
   return Status::Internal("unhandled Fun2");
 }
 
+// --- fused pipeline fragments ---------------------------------------------
+//
+// A pipeline fragment (annotated by opt::AnnotatePipelines) is a chain
+// of row-local operators compiled here into a flat step program over
+// symbolic column references. Execution is morsel-driven: each morsel
+// carries row indices into the fragment's input table(s) plus any
+// computed columns, flows through every step — selections compress the
+// morsel in place, maps append computed columns — and only the
+// fragment tail's output is materialized, by concatenating per-morsel
+// outputs in chunk order (which preserves the byte-identical
+// determinism guarantee: morsel boundaries depend on input sizes only,
+// and all order-sensitive consumers compare string *content*, never
+// StrIds, whose numbering may vary with interning order).
+
+// Same fixed morsel grain as the BAT kernels (never thread-derived).
+constexpr size_t kPipeMorselRows = 4096;
+
+// A symbolic column: one of the fragment's input columns (left/right
+// by position) or a morsel-local computed slot.
+struct PipeRef {
+  enum Kind : uint8_t { kLeftCol, kRightCol, kComputed };
+  Kind kind = kLeftCol;
+  size_t idx = 0;
+};
+
+// One fused operator application. `op` is restricted to the fusable
+// row-local kinds; kProject never appears (projection is resolved at
+// compile time into the output references).
+struct PipeStep {
+  OpKind op = OpKind::kSelect;
+  PipeRef a, b;        // inputs (kSelect: a = predicate)
+  size_t out_slot = 0; // computed slot written by kAttach/kFun1/kFun2
+  Fun1 fun1 = Fun1::kNot;
+  Fun2 fun2 = Fun2::kAdd;
+  ColType attach_type = ColType::kInt;
+  Item attach_val{ItemKind::kInt, 0};
+};
+
+struct PipeProgram {
+  std::vector<PipeStep> steps;
+  // Output schema of the fragment tail, in legacy column order.
+  std::vector<std::string> out_names;
+  std::vector<PipeRef> out_refs;
+  std::vector<ColType> out_types;
+  // Types of the computed slots (for typed empty outputs).
+  std::vector<ColType> slot_types;
+};
+
+ColType Fun1ResultType(Fun1 f) {
+  switch (f) {
+    case Fun1::kNot:
+    case Fun1::kItemToBool:
+    case Fun1::kIsElement:
+    case Fun1::kIsAttribute:
+    case Fun1::kIsText:
+    case Fun1::kIsNode:
+    case Fun1::kIsInt:
+    case Fun1::kIsDouble:
+    case Fun1::kIsString:
+    case Fun1::kIsBool:
+      return ColType::kBool;
+    default:
+      return ColType::kItem;
+  }
+}
+
+ColType Fun2ResultType(Fun2 f) {
+  switch (f) {
+    case Fun2::kAdd:
+    case Fun2::kSub:
+    case Fun2::kMul:
+    case Fun2::kDiv:
+    case Fun2::kIdiv:
+    case Fun2::kMod:
+    case Fun2::kConcat:
+    case Fun2::kSubstrFrom:
+    case Fun2::kSubstrLen:
+      return ColType::kItem;
+    default:
+      return ColType::kBool;
+  }
+}
+
+// Compile a fragment chain (head first, join head excluded — the
+// caller feeds its pairs in as morsels) against the materialized input
+// table(s). The environment tracks, per visible column name, where its
+// values come from; name resolution is first-match, exactly like
+// Table::FindCol on the legacy path.
+Result<PipeProgram> CompileFragment(const std::vector<const Op*>& chain,
+                                    const Table& left, const Table* right) {
+  PipeProgram prog;
+  struct EnvCol {
+    std::string name;
+    PipeRef ref;
+    ColType type;
+  };
+  std::vector<EnvCol> env;
+  for (size_t i = 0; i < left.num_cols(); ++i) {
+    env.push_back(
+        {left.name(i), {PipeRef::kLeftCol, i}, left.col(i)->type()});
+  }
+  if (right != nullptr) {
+    for (size_t i = 0; i < right->num_cols(); ++i) {
+      env.push_back(
+          {right->name(i), {PipeRef::kRightCol, i}, right->col(i)->type()});
+    }
+  }
+  auto lookup = [&env](const std::string& n) -> Result<EnvCol> {
+    for (const EnvCol& c : env) {
+      if (c.name == n) return c;
+    }
+    return Status::Internal("pipeline: no column '" + n + "'");
+  };
+  for (const Op* op : chain) {
+    switch (op->kind) {
+      case OpKind::kSelect: {
+        PF_ASSIGN_OR_RETURN(EnvCol p, lookup(op->col));
+        PipeStep s;
+        s.op = OpKind::kSelect;
+        s.a = p.ref;
+        prog.steps.push_back(s);
+        break;
+      }
+      case OpKind::kProject: {
+        std::vector<EnvCol> nenv;
+        nenv.reserve(op->proj.size());
+        for (const auto& [nw, old] : op->proj) {
+          PF_ASSIGN_OR_RETURN(EnvCol p, lookup(old));
+          nenv.push_back({nw, p.ref, p.type});
+        }
+        env = std::move(nenv);
+        break;
+      }
+      case OpKind::kAttach: {
+        PipeStep s;
+        s.op = OpKind::kAttach;
+        s.out_slot = prog.slot_types.size();
+        s.attach_type = op->types[0];
+        s.attach_val = op->attach_val;
+        prog.steps.push_back(s);
+        prog.slot_types.push_back(op->types[0]);
+        env.push_back(
+            {op->out, {PipeRef::kComputed, s.out_slot}, op->types[0]});
+        break;
+      }
+      case OpKind::kFun1: {
+        PF_ASSIGN_OR_RETURN(EnvCol p, lookup(op->col));
+        PipeStep s;
+        s.op = OpKind::kFun1;
+        s.fun1 = op->fun1;
+        s.a = p.ref;
+        s.out_slot = prog.slot_types.size();
+        prog.steps.push_back(s);
+        ColType t = Fun1ResultType(op->fun1);
+        prog.slot_types.push_back(t);
+        env.push_back({op->out, {PipeRef::kComputed, s.out_slot}, t});
+        break;
+      }
+      case OpKind::kFun2: {
+        PF_ASSIGN_OR_RETURN(EnvCol pa, lookup(op->col));
+        PF_ASSIGN_OR_RETURN(EnvCol pb, lookup(op->col2));
+        PipeStep s;
+        s.op = OpKind::kFun2;
+        s.fun2 = op->fun2;
+        s.a = pa.ref;
+        s.b = pb.ref;
+        s.out_slot = prog.slot_types.size();
+        prog.steps.push_back(s);
+        ColType t = Fun2ResultType(op->fun2);
+        prog.slot_types.push_back(t);
+        env.push_back({op->out, {PipeRef::kComputed, s.out_slot}, t});
+        break;
+      }
+      default:
+        return Status::Internal("non-fusable operator in pipeline fragment");
+    }
+  }
+  prog.out_names.reserve(env.size());
+  for (const EnvCol& c : env) {
+    prog.out_names.push_back(c.name);
+    prog.out_refs.push_back(c.ref);
+    prog.out_types.push_back(c.type);
+  }
+  return prog;
+}
+
+// One in-flight morsel: parallel row-index vectors into the fragment
+// inputs (ri empty for single-input fragments) plus computed columns,
+// all aligned by position.
+struct PipeMorsel {
+  IdxVec li, ri;
+  std::vector<ColumnPtr> computed;
+};
+
+ColumnPtr ConstColumn(ColType t, const Item& v, size_t n) {
+  auto col = std::make_shared<Column>(t);
+  switch (t) {
+    case ColType::kInt:
+      col->ints().assign(n, v.AsInt());
+      break;
+    case ColType::kDbl:
+      col->dbls().assign(n, v.AsDbl());
+      break;
+    case ColType::kStr:
+      col->strs().assign(n, v.AsStr());
+      break;
+    case ColType::kBool:
+      col->bools().assign(n, v.AsBool() ? 1 : 0);
+      break;
+    case ColType::kItem:
+      col->items().assign(n, v);
+      break;
+  }
+  return col;
+}
+
+void CompressIdx(IdxVec* v, const IdxVec& keep) {
+  IdxVec out;
+  out.reserve(keep.size());
+  for (RowIdx k : keep) out.push_back((*v)[k]);
+  *v = std::move(out);
+}
+
+// Resolve a symbolic column for the morsel's current rows: computed
+// slots pass through; input columns gather the morsel's rows into a
+// dense morsel-sized column (serial — the morsel IS the parallel unit).
+Result<ColumnPtr> MorselColumn(const PipeMorsel& m, const Table& left,
+                               const Table* right, const PipeRef& ref) {
+  switch (ref.kind) {
+    case PipeRef::kComputed:
+      if (m.computed[ref.idx] == nullptr) {
+        return Status::Internal("pipeline: computed slot read before write");
+      }
+      return m.computed[ref.idx];
+    case PipeRef::kLeftCol:
+      return bat::Gather(*left.col(ref.idx), m.li, nullptr);
+    case PipeRef::kRightCol:
+      return bat::Gather(*right->col(ref.idx), m.ri, nullptr);
+  }
+  return Status::Internal("pipeline: bad column reference");
+}
+
+Status RunMorsel(const PipeProgram& prog, const Table& left,
+                 const Table* right, QueryContext* ctx, PipeMorsel* m) {
+  m->computed.assign(prog.slot_types.size(), nullptr);
+  for (const PipeStep& s : prog.steps) {
+    size_t n = m->li.size();
+    switch (s.op) {
+      case OpKind::kSelect: {
+        PF_ASSIGN_OR_RETURN(ColumnPtr pred,
+                            MorselColumn(*m, left, right, s.a));
+        const auto& bits = pred->bools();
+        IdxVec keep;
+        keep.reserve(n);
+        for (size_t k = 0; k < n; ++k) {
+          if (bits[k]) keep.push_back(static_cast<RowIdx>(k));
+        }
+        if (keep.size() == n) break;
+        CompressIdx(&m->li, keep);
+        if (!m->ri.empty()) CompressIdx(&m->ri, keep);
+        for (ColumnPtr& c : m->computed) {
+          if (c != nullptr) c = bat::Gather(*c, keep, nullptr);
+        }
+        break;
+      }
+      case OpKind::kAttach:
+        m->computed[s.out_slot] = ConstColumn(s.attach_type, s.attach_val, n);
+        break;
+      case OpKind::kFun1: {
+        PF_ASSIGN_OR_RETURN(ColumnPtr in, MorselColumn(*m, left, right, s.a));
+        PF_ASSIGN_OR_RETURN(m->computed[s.out_slot],
+                            EvalFun1(s.fun1, *in, ctx));
+        break;
+      }
+      case OpKind::kFun2: {
+        PF_ASSIGN_OR_RETURN(ColumnPtr a, MorselColumn(*m, left, right, s.a));
+        PF_ASSIGN_OR_RETURN(ColumnPtr b, MorselColumn(*m, left, right, s.b));
+        PF_ASSIGN_OR_RETURN(m->computed[s.out_slot],
+                            EvalFun2(s.fun2, *a, *b, ctx));
+        break;
+      }
+      default:
+        return Status::Internal("pipeline: bad step kind");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ColumnPtr>> MorselOutput(const PipeProgram& prog,
+                                            const PipeMorsel& m,
+                                            const Table& left,
+                                            const Table* right) {
+  std::vector<ColumnPtr> cols;
+  cols.reserve(prog.out_refs.size());
+  for (const PipeRef& ref : prog.out_refs) {
+    PF_ASSIGN_OR_RETURN(ColumnPtr c, MorselColumn(m, left, right, ref));
+    cols.push_back(std::move(c));
+  }
+  return cols;
+}
+
+void AppendColumn(Column* dst, const Column& src) {
+  switch (dst->type()) {
+    case ColType::kInt:
+      dst->ints().insert(dst->ints().end(), src.ints().begin(),
+                         src.ints().end());
+      break;
+    case ColType::kDbl:
+      dst->dbls().insert(dst->dbls().end(), src.dbls().begin(),
+                         src.dbls().end());
+      break;
+    case ColType::kStr:
+      dst->strs().insert(dst->strs().end(), src.strs().begin(),
+                         src.strs().end());
+      break;
+    case ColType::kBool:
+      dst->bools().insert(dst->bools().end(), src.bools().begin(),
+                          src.bools().end());
+      break;
+    case ColType::kItem:
+      dst->items().insert(dst->items().end(), src.items().begin(),
+                          src.items().end());
+      break;
+  }
+}
+
+// Materialize the fragment's output BAT: per-morsel output columns
+// concatenated in chunk order.
+Table ConcatChunks(const PipeProgram& prog,
+                   const std::vector<std::vector<ColumnPtr>>& outs) {
+  Table t;
+  for (size_t c = 0; c < prog.out_refs.size(); ++c) {
+    auto col = std::make_shared<Column>(prog.out_types[c]);
+    for (const auto& chunk : outs) {
+      AppendColumn(col.get(), *chunk[c]);
+    }
+    t.AddCol(prog.out_names[c], std::move(col));
+  }
+  return t;
+}
+
 // --- per-op evaluation ----------------------------------------------------
 
 class Exec {
@@ -400,7 +744,16 @@ class Exec {
   explicit Exec(QueryContext* ctx) : ctx_(ctx) {}
 
   Result<Table> Run(const alg::OpPtr& root) {
+    bool pipe = ctx_->pipeline;
     for (Op* op : alg::TopoOrder(root)) {
+      if (pipe && op->pipe_frag >= 0) {
+        // Interior fragment members never materialize: the tail
+        // evaluates the whole chain in one fused pass.
+        if (!op->pipe_tail) continue;
+        PF_ASSIGN_OR_RETURN(Table t, EvalFragment(*op));
+        memo_.emplace(op, std::move(t));
+        continue;
+      }
       PF_ASSIGN_OR_RETURN(Table t, EvalOne(*op));
       memo_.emplace(op, std::move(t));
     }
@@ -410,6 +763,98 @@ class Exec {
  private:
   const Table& Child(const Op& op, size_t i) {
     return memo_.at(op.children[i].get());
+  }
+
+  // Evaluate the fragment ending at `tail` as one fused morsel pass.
+  Result<Table> EvalFragment(const Op& tail) {
+    // Reconstruct the chain head-first. Interior members are exactly
+    // the ops sharing the tail's fragment id along the unary spine.
+    std::vector<const Op*> chain;
+    for (const Op* cur = &tail;;) {
+      chain.push_back(cur);
+      if (alg::IsPipelineJoinOp(cur->kind)) break;
+      const Op* c = cur->children[0].get();
+      if (c->pipe_frag != tail.pipe_frag) break;
+      cur = c;
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    PipelineExecStats& ps = ctx_->pipe_stats;
+    ps.fragments++;
+    ps.fused_ops += static_cast<int64_t>(chain.size());
+    ps.max_chain =
+        std::max(ps.max_chain, static_cast<int64_t>(chain.size()));
+    for (const Op* op : chain) {
+      ps.by_kind[static_cast<size_t>(op->kind)]++;
+    }
+
+    const Op& head = *chain.front();
+    if (alg::IsPipelineJoinOp(head.kind)) {
+      const Table& l = Child(head, 0);
+      const Table& r = Child(head, 1);
+      PF_ASSIGN_OR_RETURN(ColumnPtr lk, l.GetCol(head.col));
+      PF_ASSIGN_OR_RETURN(ColumnPtr rk, r.GetCol(head.col2));
+      if (chain.size() == 1) {
+        // Bare join: fused probe+gather kernel, no pair vectors.
+        Table out;
+        if (head.kind == OpKind::kEquiJoin) {
+          PF_RETURN_NOT_OK(bat::HashJoinGather(l, r, *lk, *rk,
+                                               *ctx_->pool(), &out, tp()));
+        } else {
+          PF_RETURN_NOT_OK(bat::ThetaJoinGather(
+              l, r, *lk, *rk, head.cmp, *ctx_->pool(), &out, tp()));
+        }
+        return out;
+      }
+      // Join-headed chain: each probe chunk's pair list is one morsel.
+      bat::JoinPairChunks pc;
+      if (head.kind == OpKind::kEquiJoin) {
+        PF_RETURN_NOT_OK(bat::HashJoinPairsChunked(*lk, *rk, *ctx_->pool(),
+                                                   &pc, tp()));
+      } else {
+        PF_RETURN_NOT_OK(bat::ThetaJoinPairsChunked(
+            *lk, *rk, head.cmp, *ctx_->pool(), &pc, tp()));
+      }
+      std::vector<const Op*> body(chain.begin() + 1, chain.end());
+      PF_ASSIGN_OR_RETURN(PipeProgram prog, CompileFragment(body, l, &r));
+      std::vector<std::vector<ColumnPtr>> outs(pc.li.size());
+      PF_RETURN_NOT_OK(ParallelForStatus(
+          tp(), pc.li.size(), 1,
+          [&](size_t c, size_t, size_t) -> Status {
+            PipeMorsel m;
+            m.li = std::move(pc.li[c]);
+            m.ri = std::move(pc.ri[c]);
+            PF_RETURN_NOT_OK(RunMorsel(prog, l, &r, ctx_, &m));
+            PF_ASSIGN_OR_RETURN(outs[c], MorselOutput(prog, m, l, &r));
+            return Status::OK();
+          }));
+      return ConcatChunks(prog, outs);
+    }
+
+    // Map-headed fragment over a single input.
+    const Table& in = Child(head, 0);
+    if (chain.size() == 1 && head.kind == OpKind::kSelect) {
+      PF_ASSIGN_OR_RETURN(ColumnPtr pred, in.GetCol(head.col));
+      return bat::FilterGather(in, *pred, tp());
+    }
+    PF_ASSIGN_OR_RETURN(PipeProgram prog,
+                        CompileFragment(chain, in, nullptr));
+    size_t n = in.rows();
+    std::vector<std::vector<ColumnPtr>> outs(
+        ThreadPool::NumChunks(n, kPipeMorselRows));
+    PF_RETURN_NOT_OK(ParallelForStatus(
+        tp(), n, kPipeMorselRows,
+        [&](size_t c, size_t lo, size_t hi) -> Status {
+          PipeMorsel m;
+          m.li.reserve(hi - lo);
+          for (size_t i = lo; i < hi; ++i) {
+            m.li.push_back(static_cast<RowIdx>(i));
+          }
+          PF_RETURN_NOT_OK(RunMorsel(prog, in, nullptr, ctx_, &m));
+          PF_ASSIGN_OR_RETURN(outs[c], MorselOutput(prog, m, in, nullptr));
+          return Status::OK();
+        }));
+    return ConcatChunks(prog, outs);
   }
 
   Result<Table> EvalOne(const Op& op) {
@@ -818,6 +1263,14 @@ class Exec {
 Result<Table> Execute(const algebra::OpPtr& root, QueryContext* ctx) {
   Exec exec(ctx);
   return exec.Run(root);
+}
+
+bool PipelineDefault() {
+  static const bool on = [] {
+    const char* e = std::getenv("PF_PIPELINE");
+    return e == nullptr || std::string_view(e) != "0";
+  }();
+  return on;
 }
 
 }  // namespace pathfinder::engine

@@ -16,6 +16,10 @@ namespace pathfinder::engine {
 /// the runtime serializer.
 Result<bat::Table> Execute(const algebra::OpPtr& root, QueryContext* ctx);
 
+/// Process-wide default for pipelined execution: the PF_PIPELINE
+/// environment variable, read once. Unset or any value but "0" = on.
+bool PipelineDefault();
+
 }  // namespace pathfinder::engine
 
 #endif  // PATHFINDER_ENGINE_EXECUTOR_H_

@@ -1,15 +1,36 @@
 #ifndef PATHFINDER_ENGINE_QUERY_CONTEXT_H_
 #define PATHFINDER_ENGINE_QUERY_CONTEXT_H_
 
+#include <array>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "accel/step.h"
+#include "algebra/op.h"
 #include "base/result.h"
 #include "base/thread_pool.h"
 #include "xml/database.h"
 
 namespace pathfinder::engine {
+
+/// Counters for the pipelined (fused fragment) execution path.
+struct PipelineExecStats {
+  int64_t fragments = 0;  ///< fused fragments executed
+  int64_t fused_ops = 0;  ///< operators evaluated inside fused passes
+  int64_t max_chain = 0;  ///< longest executed fragment (member count)
+  /// Fused evaluations per operator kind, indexed by OpKind. An entry
+  /// stays 0 for any kind that never ran under the fused path (the
+  /// operator-coverage test keys off this).
+  std::array<int64_t, algebra::kOpKindCount> by_kind{};
+
+  void Merge(const PipelineExecStats& o) {
+    fragments += o.fragments;
+    fused_ops += o.fused_ops;
+    max_chain = max_chain > o.max_chain ? max_chain : o.max_chain;
+    for (size_t k = 0; k < by_kind.size(); ++k) by_kind[k] += o.by_kind[k];
+  }
+};
 
 /// Per-query runtime state: resolves fragment ids (persistent documents
 /// first, then fragments constructed by ε/τ during this query) and
@@ -72,8 +93,18 @@ class QueryContext {
   /// naive region selection instead of the staircase join.
   bool use_staircase = true;
 
+  /// Execute annotated pipeline fragments as fused morsel passes
+  /// instead of one materialized BAT per operator. Off by default: the
+  /// executor only honors fragments when the plan was annotated (see
+  /// opt::AnnotatePipelines), which api::Pathfinder does whenever it
+  /// turns this on.
+  bool pipeline = false;
+
   /// Aggregated staircase join counters for this query.
   accel::StaircaseStats scj_stats;
+
+  /// Fused-pipeline execution counters for this query.
+  PipelineExecStats pipe_stats;
 
  private:
   xml::Database* db_;

@@ -42,6 +42,10 @@ class QueryGen {
 
   /// A path producing element nodes of the fixture document.
   std::string NodePath() {
+    // Occasionally stack extra value predicates on a base path: each
+    // predicate compiles to its own select (plus attach/fun maps), so
+    // these produce the deep σ→map chains the pipelined executor fuses.
+    if (rng_.Chance(0.3)) return DeepNodePath();
     return Pick({
         "//item",
         "//dept",
@@ -53,6 +57,30 @@ class QueryGen {
         "//item/following-sibling::*",
         "//note/ancestor::dept",
     });
+  }
+
+  /// A multi-predicate path: base step plus 1..3 value predicates,
+  /// optionally continued by a trailing step. Predicates compare
+  /// against attributes that may be absent on some elements — a
+  /// comparison with the empty sequence is false, which both engines
+  /// must agree on.
+  std::string DeepNodePath() {
+    std::string p = Pick({"//item", "/shop/dept/item", "//dept/item"});
+    size_t preds = rng_.Range(1, 3);
+    for (size_t i = 0; i < preds; ++i) {
+      p += Pick({
+          "[@price > 2]",
+          "[@price < 50]",
+          "[@price >= 3]",
+          "[contains(@sku, \"a\")]",
+          "[contains(@sku, \"t\")]",
+          "[contains(string(.), \"a\")]",
+          "[exists(@sku)]",
+          "[not(@price = 30)]",
+      });
+    }
+    if (rng_.Chance(0.4)) p += Pick({"/@sku", "/@price", "/note"});
+    return p;
   }
 
   /// An expression producing numbers (possibly a sequence).
@@ -200,7 +228,13 @@ class QueryGen {
       q += "let $" + lv + " := " + init + " ";
     }
     if (rng_.Chance(0.5)) {
-      q += "where " + BoolExpr() + " ";
+      // Sometimes a multi-conjunct where clause: each conjunct becomes
+      // its own select over the loop relation, extending the fusable
+      // chain.
+      std::string cond = BoolExpr();
+      size_t extra = rng_.Chance(0.4) ? rng_.Range(1, 2) : 0;
+      for (size_t i = 0; i < extra; ++i) cond += " and " + BoolExpr();
+      q += "where " + cond + " ";
     }
     if (rng_.Chance(0.3)) {
       q += "order by " + NumExpr() + (rng_.Chance(0.5) ? " descending" : "") +
@@ -227,12 +261,10 @@ class QueryGen {
   std::vector<std::string> vars_;
 };
 
-class RandomQueryTest : public ::testing::TestWithParam<uint64_t> {
- protected:
-  static xml::Database* db() {
-    static xml::Database* db = [] {
-      auto* d = new xml::Database();
-      auto r = d->LoadXml("shop.xml", R"(
+xml::Database* ShopDb() {
+  static xml::Database* db = [] {
+    auto* d = new xml::Database();
+    auto r = d->LoadXml("shop.xml", R"(
 <shop>
   <dept name="fruit">
     <item sku="a1" price="3">apple</item>
@@ -244,11 +276,15 @@ class RandomQueryTest : public ::testing::TestWithParam<uint64_t> {
   </dept>
   <orders><order ref="a1" qty="2"/><order ref="t2" qty="500"/></orders>
 </shop>)");
-      EXPECT_TRUE(r.ok());
-      return d;
-    }();
-    return db;
-  }
+    EXPECT_TRUE(r.ok());
+    return d;
+  }();
+  return db;
+}
+
+class RandomQueryTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static xml::Database* db() { return ShopDb(); }
 };
 
 TEST_P(RandomQueryTest, EnginesAgreeOnGeneratedQueries) {
@@ -266,11 +302,20 @@ TEST_P(RandomQueryTest, EnginesAgreeOnGeneratedQueries) {
     ASSERT_TRUE(bs.ok());
 
     Pathfinder pf(db());
-    for (int mask = 0; mask < 3; ++mask) {
+    // Masks 0-2 toggle compiler knobs (mask 0 runs the process-default
+    // pipeline setting); 3 forces materialized, 4 forces pipelined with
+    // two worker threads — the pipelined-vs-materialized differential
+    // over the whole random dialect.
+    for (int mask = 0; mask < 5; ++mask) {
       QueryOptions o;
       o.context_doc = "shop.xml";
       o.join_recognition = mask != 1;
       o.optimize = mask != 2;
+      if (mask == 3) o.pipeline = 0;
+      if (mask == 4) {
+        o.pipeline = 1;
+        o.num_threads = 2;
+      }
       auto pr = pf.Run(q, o);
       ASSERT_TRUE(pr.ok()) << pr.status().ToString() << " mask=" << mask;
       auto ps = pr->Serialize();
@@ -281,7 +326,28 @@ TEST_P(RandomQueryTest, EnginesAgreeOnGeneratedQueries) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryTest,
-                         ::testing::Range<uint64_t>(1, 31));
+                         ::testing::Range<uint64_t>(1, 46));
+
+// Multi-predicate paths must compile to fragments the executor fuses
+// as chains of length >= 3 — the generator rules above exist to hit
+// this shape, so pin it down on handcrafted instances.
+TEST(DeepChainFusion, HandcraftedChainsFuse) {
+  Pathfinder pf(ShopDb());
+  QueryOptions o;
+  o.context_doc = "shop.xml";
+  o.pipeline = 1;
+  const char* kDeep[] = {
+      "//item[@price > 2][@price < 50][contains(@sku, \"a\")]",
+      "for $v in //item where $v/@price > 2 and contains($v/@sku, \"t\") "
+      "return $v/@sku",
+  };
+  for (const char* q : kDeep) {
+    auto r = pf.Run(q, o);
+    ASSERT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+    EXPECT_GT(r->pipe_stats.fragments, 0) << q;
+    EXPECT_GE(r->pipe_stats.max_chain, 3) << q;
+  }
+}
 
 }  // namespace
 }  // namespace pathfinder
