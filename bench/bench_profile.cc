@@ -1,0 +1,311 @@
+// Per-operator execution profiler: overhead measurement + profile dump
+// for every XMark query.
+//
+// For each query the wall time with profiling off (the default,
+// timer-free executor path) is compared against profiling on, and the
+// profile-on run's serialization is checked byte-identical to the
+// profile-off run before any timing. Emits BENCH_profile.json with one
+// entry per query: timings, overhead, and the full per-operator
+// profile tree (schema in DESIGN.md "Operator profiling").
+//
+//   --smoke   tiny scale factor, 1 rep, then re-read the emitted JSON
+//             and fail unless it parses — the CI gate.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/pathfinder.h"
+#include "bench/bench_util.h"
+#include "xmark/queries.h"
+
+namespace pathfinder::bench {
+namespace {
+
+// --- minimal recursive-descent JSON validator ---------------------------
+// Just enough to prove the emitted report is well-formed JSON; no DOM.
+
+struct JsonCursor {
+  const char* p;
+  const char* end;
+};
+
+void SkipWs(JsonCursor* c) {
+  while (c->p < c->end && std::isspace(static_cast<unsigned char>(*c->p))) {
+    ++c->p;
+  }
+}
+
+bool ValidValue(JsonCursor* c);
+
+bool ValidString(JsonCursor* c) {
+  if (c->p >= c->end || *c->p != '"') return false;
+  ++c->p;
+  while (c->p < c->end && *c->p != '"') {
+    if (*c->p == '\\') {
+      ++c->p;
+      if (c->p >= c->end) return false;
+      if (*c->p == 'u') {
+        for (int i = 0; i < 4; ++i) {
+          ++c->p;
+          if (c->p >= c->end ||
+              !std::isxdigit(static_cast<unsigned char>(*c->p))) {
+            return false;
+          }
+        }
+      }
+    }
+    ++c->p;
+  }
+  if (c->p >= c->end) return false;
+  ++c->p;  // closing quote
+  return true;
+}
+
+bool ValidNumber(JsonCursor* c) {
+  const char* start = c->p;
+  if (c->p < c->end && *c->p == '-') ++c->p;
+  while (c->p < c->end && std::isdigit(static_cast<unsigned char>(*c->p))) {
+    ++c->p;
+  }
+  if (c->p < c->end && *c->p == '.') {
+    ++c->p;
+    while (c->p < c->end &&
+           std::isdigit(static_cast<unsigned char>(*c->p))) {
+      ++c->p;
+    }
+  }
+  if (c->p < c->end && (*c->p == 'e' || *c->p == 'E')) {
+    ++c->p;
+    if (c->p < c->end && (*c->p == '+' || *c->p == '-')) ++c->p;
+    while (c->p < c->end &&
+           std::isdigit(static_cast<unsigned char>(*c->p))) {
+      ++c->p;
+    }
+  }
+  return c->p > start;
+}
+
+bool ValidLiteral(JsonCursor* c, const char* lit) {
+  size_t n = std::strlen(lit);
+  if (static_cast<size_t>(c->end - c->p) < n ||
+      std::strncmp(c->p, lit, n) != 0) {
+    return false;
+  }
+  c->p += n;
+  return true;
+}
+
+bool ValidObject(JsonCursor* c) {
+  ++c->p;  // '{'
+  SkipWs(c);
+  if (c->p < c->end && *c->p == '}') {
+    ++c->p;
+    return true;
+  }
+  for (;;) {
+    SkipWs(c);
+    if (!ValidString(c)) return false;
+    SkipWs(c);
+    if (c->p >= c->end || *c->p != ':') return false;
+    ++c->p;
+    if (!ValidValue(c)) return false;
+    SkipWs(c);
+    if (c->p >= c->end) return false;
+    if (*c->p == ',') {
+      ++c->p;
+      continue;
+    }
+    if (*c->p == '}') {
+      ++c->p;
+      return true;
+    }
+    return false;
+  }
+}
+
+bool ValidArray(JsonCursor* c) {
+  ++c->p;  // '['
+  SkipWs(c);
+  if (c->p < c->end && *c->p == ']') {
+    ++c->p;
+    return true;
+  }
+  for (;;) {
+    if (!ValidValue(c)) return false;
+    SkipWs(c);
+    if (c->p >= c->end) return false;
+    if (*c->p == ',') {
+      ++c->p;
+      continue;
+    }
+    if (*c->p == ']') {
+      ++c->p;
+      return true;
+    }
+    return false;
+  }
+}
+
+bool ValidValue(JsonCursor* c) {
+  SkipWs(c);
+  if (c->p >= c->end) return false;
+  switch (*c->p) {
+    case '{':
+      return ValidObject(c);
+    case '[':
+      return ValidArray(c);
+    case '"':
+      return ValidString(c);
+    case 't':
+      return ValidLiteral(c, "true");
+    case 'f':
+      return ValidLiteral(c, "false");
+    case 'n':
+      return ValidLiteral(c, "null");
+    default:
+      return ValidNumber(c);
+  }
+}
+
+bool ValidJsonDocument(const std::string& s) {
+  JsonCursor c{s.data(), s.data() + s.size()};
+  if (!ValidValue(&c)) return false;
+  SkipWs(&c);
+  return c.p == c.end;
+}
+
+// ------------------------------------------------------------------------
+
+struct QueryReport {
+  int query = 0;
+  double ms_off = 0;
+  double ms_on = 0;
+  double overhead_pct = 0;
+  std::string profile_json;
+};
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  double sf = smoke ? 0.002 : ScaleFactors().back();
+  int reps = smoke ? 1 : 3;
+
+  xml::Database* db = XMarkDb(sf);
+  Pathfinder pf(db);
+  auto run = [&](const char* text, int profile) {
+    QueryOptions opts;
+    opts.context_doc = "auction.xml";
+    opts.profile = profile;
+    return pf.Run(text, opts);
+  };
+
+  std::printf("Per-operator profiling overhead (XMark, sf=%g)\n\n", sf);
+  std::printf("%-10s %10s %10s %9s %7s\n", "query", "off", "on", "overhead",
+              "ops");
+  std::vector<QueryReport> reports;
+  for (const auto& q : xmark::XMarkQueries()) {
+    // Profiling must be an observer: byte-identical serialization.
+    auto off = run(q.text, 0);
+    auto on = run(q.text, 1);
+    if (!off.ok() || !on.ok()) {
+      std::fprintf(stderr, "Q%d: %s\n", q.number,
+                   (off.ok() ? on : off).status().ToString().c_str());
+      return 1;
+    }
+    auto off_s = off->Serialize();
+    auto on_s = on->Serialize();
+    if (!off_s.ok() || !on_s.ok() || *off_s != *on_s) {
+      std::fprintf(stderr, "Q%d: profiled result diverges\n", q.number);
+      return 1;
+    }
+    if (on->profile == nullptr) {
+      std::fprintf(stderr, "Q%d: no profile collected\n", q.number);
+      return 1;
+    }
+
+    QueryReport rep;
+    rep.query = q.number;
+    rep.profile_json = on->ProfileJson();
+    rep.ms_off = BestOfMs(reps, [&] { (void)run(q.text, 0); });
+    rep.ms_on = BestOfMs(reps, [&] { (void)run(q.text, 1); });
+    rep.overhead_pct =
+        rep.ms_off > 0 ? (rep.ms_on / rep.ms_off - 1.0) * 100.0 : 0.0;
+    size_t ops = 0;
+    for (size_t pos = 0;
+         (pos = rep.profile_json.find("\"op\"", pos)) != std::string::npos;
+         ++pos) {
+      ++ops;
+    }
+    std::printf("xmark-q%-3d %10s %10s %8.2f%% %7zu\n", q.number,
+                FmtMs(rep.ms_off).c_str(), FmtMs(rep.ms_on).c_str(),
+                rep.overhead_pct, ops);
+    std::fflush(stdout);
+    reports.push_back(std::move(rep));
+  }
+
+  const char* path = "BENCH_profile.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const QueryReport& r = reports[i];
+    std::fprintf(f,
+                 "  {\"query\": %d, \"ms_off\": %.3f, \"ms_on\": %.3f, "
+                 "\"overhead_pct\": %.2f, \"profile\": %s}%s\n",
+                 r.query, r.ms_off, r.ms_on, r.overhead_pct,
+                 r.profile_json.c_str(),
+                 i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu queries)\n", path, reports.size());
+
+  // Re-read and validate the emitted file — the smoke gate proves the
+  // report (operator labels included) is machine-readable JSON.
+  f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot re-read %s\n", path);
+    return 1;
+  }
+  std::string contents;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, got);
+  }
+  std::fclose(f);
+  if (!ValidJsonDocument(contents)) {
+    std::fprintf(stderr, "%s: emitted JSON does not parse\n", path);
+    return 1;
+  }
+  std::printf("%s parses as valid JSON (%zu bytes)\n", path,
+              contents.size());
+
+  if (!smoke) {
+    double sum_off = 0, sum_on = 0;
+    for (const auto& r : reports) {
+      sum_off += r.ms_off;
+      sum_on += r.ms_on;
+    }
+    std::printf(
+        "\naggregate overhead: %.2f%% (profiling off is the timer-free "
+        "default path; the budget is <2%% when PF_PROFILE=0)\n",
+        sum_off > 0 ? (sum_on / sum_off - 1.0) * 100.0 : 0.0);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathfinder::bench
+
+int main(int argc, char** argv) {
+  return pathfinder::bench::Main(argc, argv);
+}

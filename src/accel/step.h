@@ -27,6 +27,15 @@ struct StaircaseStats {
   size_t results = 0;
 
   void Reset() { *this = StaircaseStats{}; }
+
+  /// Accumulate counters from another evaluation (used to fold
+  /// per-group stats back together when Step groups run in parallel).
+  void Merge(const StaircaseStats& o) {
+    contexts_in += o.contexts_in;
+    contexts_pruned += o.contexts_pruned;
+    nodes_scanned += o.nodes_scanned;
+    results += o.results;
+  }
 };
 
 /// Staircase join (paper [7], Sec. 2 "XPath axes"): evaluate one axis

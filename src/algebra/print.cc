@@ -131,7 +131,8 @@ std::string OpLabel(const Op& op, const StringPool& pool) {
 namespace {
 
 void PrintText(const OpPtr& op, const StringPool& pool, int indent,
-               std::unordered_set<const Op*>* printed, std::ostream& os) {
+               std::unordered_set<const Op*>* printed, std::ostream& os,
+               const OpAnnotator* annot) {
   for (int i = 0; i < indent; ++i) os << "  ";
   if (printed->count(op.get())) {
     os << "^" << op->id << "\n";
@@ -139,9 +140,14 @@ void PrintText(const OpPtr& op, const StringPool& pool, int indent,
   }
   // Only mark nodes with multiple possible visits; cheap to mark all.
   printed->insert(op.get());
-  os << "#" << op->id << " " << OpLabel(*op, pool) << "\n";
+  os << "#" << op->id << " " << OpLabel(*op, pool);
+  if (annot != nullptr) {
+    std::string a = (*annot)(*op);
+    if (!a.empty()) os << "  " << a;
+  }
+  os << "\n";
   for (const auto& c : op->children) {
-    PrintText(c, pool, indent + 1, printed, os);
+    PrintText(c, pool, indent + 1, printed, os, annot);
   }
 }
 
@@ -159,7 +165,15 @@ std::string DotEscape(const std::string& s) {
 std::string PlanToText(const OpPtr& root, const StringPool& pool) {
   std::ostringstream os;
   std::unordered_set<const Op*> printed;
-  PrintText(root, pool, 0, &printed, os);
+  PrintText(root, pool, 0, &printed, os, nullptr);
+  return os.str();
+}
+
+std::string PlanToTextAnnotated(const OpPtr& root, const StringPool& pool,
+                                const OpAnnotator& annot) {
+  std::ostringstream os;
+  std::unordered_set<const Op*> printed;
+  PrintText(root, pool, 0, &printed, os, &annot);
   return os.str();
 }
 

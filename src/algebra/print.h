@@ -1,6 +1,7 @@
 #ifndef PATHFINDER_ALGEBRA_PRINT_H_
 #define PATHFINDER_ALGEBRA_PRINT_H_
 
+#include <functional>
 #include <string>
 
 #include "algebra/op.h"
@@ -16,6 +17,16 @@ std::string OpLabel(const Op& op, const StringPool& pool);
 /// once and referenced as "^<id>" afterwards (plans are DAGs, paper
 /// Sec. 2).
 std::string PlanToText(const OpPtr& root, const StringPool& pool);
+
+/// Per-operator annotation hook for PlanToTextAnnotated: returns extra
+/// text appended to the operator's line (empty = no annotation). Used
+/// by the execution profiler to render timings/row counts next to each
+/// plan node.
+using OpAnnotator = std::function<std::string(const Op&)>;
+
+/// PlanToText with a per-operator annotation appended to each line.
+std::string PlanToTextAnnotated(const OpPtr& root, const StringPool& pool,
+                                const OpAnnotator& annot);
 
 /// Graphviz dot rendering (the demo's "graphical output of relational
 /// query plans", paper Sec. 4 / Fig. 5).

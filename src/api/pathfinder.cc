@@ -1,5 +1,10 @@
 #include "api/pathfinder.h"
 
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+#include "algebra/print.h"
 #include "engine/executor.h"
 #include "frontend/normalize.h"
 #include "frontend/parser.h"
@@ -7,8 +12,53 @@
 
 namespace pathfinder {
 
+namespace {
+
+std::string FmtProfileNs(int64_t ns) {
+  char buf[32];
+  if (ns >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", static_cast<double>(ns) / 1e3);
+  }
+  return buf;
+}
+
+void IndexProfile(
+    const engine::OperatorProfile& p,
+    std::unordered_map<int, const engine::OperatorProfile*>* by_id) {
+  by_id->emplace(p.op_id, &p);
+  for (const auto& c : p.children) IndexProfile(c, by_id);
+}
+
+}  // namespace
+
 Result<std::string> QueryResult::Serialize() const {
   return runtime::SerializeSequence(*ctx, items);
+}
+
+std::string QueryResult::ProfileText() const {
+  if (profile == nullptr || plan_opt == nullptr || ctx == nullptr) return "";
+  std::unordered_map<int, const engine::OperatorProfile*> by_id;
+  IndexProfile(*profile, &by_id);
+  return algebra::PlanToTextAnnotated(
+      plan_opt, *ctx->pool(), [&](const algebra::Op& op) -> std::string {
+        auto it = by_id.find(op.id);
+        if (it == by_id.end()) return "";
+        const engine::OperatorProfile& p = *it->second;
+        if (p.fused) return "[fused]";
+        std::ostringstream os;
+        os << "[" << FmtProfileNs(p.wall_ns) << ", ";
+        if (p.in_rows >= 0) os << p.in_rows << "->";
+        os << p.out_rows << " rows, " << p.morsels << " morsels, "
+           << p.out_bytes << " B]";
+        return os.str();
+      });
+}
+
+std::string QueryResult::ProfileJson() const {
+  if (profile == nullptr) return "";
+  return engine::ProfileToJson(*profile);
 }
 
 Result<frontend::ExprPtr> Pathfinder::Translate(
@@ -48,12 +98,15 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
   res.ctx = std::make_unique<engine::QueryContext>(db_);
   res.ctx->use_staircase = opts.use_staircase;
   res.ctx->pipeline = pipeline;
+  res.ctx->profile =
+      opts.profile < 0 ? engine::ProfileDefault() : opts.profile != 0;
   res.ctx->SetNumThreads(opts.num_threads);
   PF_ASSIGN_OR_RETURN(bat::Table t,
                       engine::Execute(res.plan_opt, res.ctx.get()));
   PF_ASSIGN_OR_RETURN(res.items, runtime::TableToSequence(t));
   res.scj_stats = res.ctx->scj_stats;
   res.pipe_stats = res.ctx->pipe_stats;
+  res.profile = std::move(res.ctx->profile_result);
   return res;
 }
 

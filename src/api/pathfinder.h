@@ -39,6 +39,11 @@ struct QueryOptions {
   /// (materialize every operator), 1 = on. Results are identical
   /// either way.
   int pipeline = -1;
+  /// Per-operator execution profiling: wall time, row/byte counts and
+  /// morsel counts for every plan operator. -1 = the process default
+  /// (PF_PROFILE env var; OFF unless set to a value other than "0"),
+  /// 0 = off, 1 = on. When off, the executor performs no timer calls.
+  int profile = -1;
 };
 
 /// A completed query: the result sequence plus every intermediate stage
@@ -55,12 +60,23 @@ struct QueryResult {
   opt::PipelineStats pipeline_stats;       // fragment annotation counters
   engine::PipelineExecStats pipe_stats;    // fused execution counters
 
+  /// Per-operator execution profile (QueryOptions::profile / PF_PROFILE);
+  /// null when profiling was off.
+  engine::OperatorProfilePtr profile;
+
   /// Owns fragments constructed during evaluation; `items` referencing
   /// constructed nodes stay valid while this lives.
   std::unique_ptr<engine::QueryContext> ctx;
 
   /// Serialize the result sequence to XML/text.
   Result<std::string> Serialize() const;
+
+  /// The executed plan with each operator's profile rendered inline
+  /// ("" when profiling was off).
+  std::string ProfileText() const;
+
+  /// The profile tree as JSON ("" when profiling was off).
+  std::string ProfileJson() const;
 };
 
 /// Facade over the full stack: parse -> normalize -> loop-lift ->

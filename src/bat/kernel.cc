@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -799,16 +800,65 @@ Result<IdxVec> SortPerm(const Table& t, const std::vector<std::string>& keys,
 }
 
 Result<IdxVec> DistinctIndices(const Table& t,
-                               const std::vector<std::string>& keys) {
+                               const std::vector<std::string>& keys,
+                               ThreadPool* tp) {
   PF_ASSIGN_OR_RETURN(std::vector<const Column*> cols, ResolveCols(t, keys));
-  std::unordered_set<std::string> seen;
-  seen.reserve(t.rows() * 2);
-  IdxVec out;
-  for (size_t r = 0; r < t.rows(); ++r) {
-    if (seen.insert(RowKey(cols, r)).second) {
-      out.push_back(static_cast<RowIdx>(r));
+  size_t n = t.rows();
+  if (tp == nullptr || n < 2 * kMorselRows) {
+    std::unordered_set<std::string> seen;
+    seen.reserve(n * 2);
+    IdxVec out;
+    for (size_t r = 0; r < n; ++r) {
+      if (seen.insert(RowKey(cols, r)).second) {
+        out.push_back(static_cast<RowIdx>(r));
+      }
     }
+    return out;
   }
+  // Parallel first-occurrence marking. Rows are hash-partitioned per
+  // morsel; each partition then scans its rows visiting morsels in
+  // chunk order — within a partition rows therefore arrive in ascending
+  // global row order, so the per-partition set marks exactly the rows
+  // the serial scan would keep. Distinct partitions never share a row,
+  // so the byte-per-row marks vector is written race-free.
+  size_t chunks = ThreadPool::NumChunks(n, kMorselRows);
+  std::vector<std::string> rowkeys(n);
+  std::vector<std::vector<IdxVec>> buckets(
+      chunks, std::vector<IdxVec>(kJoinPartitions));
+  std::hash<std::string_view> hasher;
+  ParallelFor(tp, n, kMorselRows, [&](size_t c, size_t lo, size_t hi) {
+    auto& bk = buckets[c];
+    for (size_t r = lo; r < hi; ++r) {
+      rowkeys[r] = RowKey(cols, r);
+      bk[PartitionOf(hasher(rowkeys[r]))].push_back(static_cast<RowIdx>(r));
+    }
+  });
+  std::vector<uint8_t> first(n, 0);
+  ParallelFor(tp, kJoinPartitions, 1, [&](size_t p, size_t, size_t) {
+    std::unordered_set<std::string_view> seen;
+    for (size_t c = 0; c < chunks; ++c) {
+      for (RowIdx r : buckets[c][p]) {
+        if (seen.insert(rowkeys[r]).second) first[r] = 1;
+      }
+    }
+  });
+  // Two-pass collect: per-morsel counts, exclusive prefix, scatter into
+  // exact output slices — kept rows stay in row order.
+  std::vector<size_t> counts(chunks, 0);
+  ParallelFor(tp, n, kMorselRows, [&](size_t c, size_t lo, size_t hi) {
+    size_t cnt = 0;
+    for (size_t r = lo; r < hi; ++r) cnt += first[r];
+    counts[c] = cnt;
+  });
+  std::vector<size_t> offs(chunks + 1, 0);
+  for (size_t c = 0; c < chunks; ++c) offs[c + 1] = offs[c] + counts[c];
+  IdxVec out(offs.back());
+  ParallelFor(tp, n, kMorselRows, [&](size_t c, size_t lo, size_t hi) {
+    size_t o = offs[c];
+    for (size_t r = lo; r < hi; ++r) {
+      if (first[r]) out[o++] = static_cast<RowIdx>(r);
+    }
+  });
   return out;
 }
 
@@ -849,20 +899,82 @@ Result<ColumnPtr> Mark(const Table& t, const std::vector<std::string>& part,
 }
 
 Result<IdxVec> DifferenceIndices(const Table& a, const Table& b,
-                                 const std::vector<std::string>& keys) {
+                                 const std::vector<std::string>& keys,
+                                 ThreadPool* tp) {
   PF_ASSIGN_OR_RETURN(std::vector<const Column*> acols,
                       ResolveCols(a, keys));
+  size_t na = a.rows();
+  size_t nb = b.rows();
+  if (nb == 0) {
+    // Nothing can be subtracted: a \ ∅ = a. Skip key encoding entirely
+    // and hand back the identity index vector.
+    IdxVec out(na);
+    for (size_t r = 0; r < na; ++r) out[r] = static_cast<RowIdx>(r);
+    return out;
+  }
   PF_ASSIGN_OR_RETURN(std::vector<const Column*> bcols,
                       ResolveCols(b, keys));
-  std::unordered_set<std::string> present;
-  present.reserve(b.rows() * 2);
-  for (size_t r = 0; r < b.rows(); ++r) present.insert(RowKey(bcols, r));
-  IdxVec out;
-  for (size_t r = 0; r < a.rows(); ++r) {
-    if (!present.count(RowKey(acols, r))) {
-      out.push_back(static_cast<RowIdx>(r));
+  if (tp == nullptr || (na < 2 * kMorselRows && nb < 2 * kMorselRows)) {
+    std::unordered_set<std::string> present;
+    present.reserve(nb * 2);
+    for (size_t r = 0; r < nb; ++r) present.insert(RowKey(bcols, r));
+    IdxVec out;
+    for (size_t r = 0; r < na; ++r) {
+      if (!present.count(RowKey(acols, r))) {
+        out.push_back(static_cast<RowIdx>(r));
+      }
     }
+    return out;
   }
+  // Parallel anti-semijoin: build hash-partitioned key sets from b
+  // (set membership is order-free, so partition builds need no chunk
+  // discipline), then probe a's morsels independently and collect the
+  // kept rows with the two-pass prefix pattern — output order is a's
+  // row order, identical to the serial scan.
+  size_t bchunks = ThreadPool::NumChunks(nb, kMorselRows);
+  std::vector<std::string> bkeys(nb);
+  std::vector<std::vector<IdxVec>> buckets(
+      bchunks, std::vector<IdxVec>(kJoinPartitions));
+  std::hash<std::string_view> hasher;
+  ParallelFor(tp, nb, kMorselRows, [&](size_t c, size_t lo, size_t hi) {
+    auto& bk = buckets[c];
+    for (size_t r = lo; r < hi; ++r) {
+      bkeys[r] = RowKey(bcols, r);
+      bk[PartitionOf(hasher(bkeys[r]))].push_back(static_cast<RowIdx>(r));
+    }
+  });
+  std::vector<std::unordered_set<std::string_view>> parts(kJoinPartitions);
+  ParallelFor(tp, kJoinPartitions, 1, [&](size_t p, size_t, size_t) {
+    for (size_t c = 0; c < bchunks; ++c) {
+      for (RowIdx r : buckets[c][p]) parts[p].insert(bkeys[r]);
+    }
+  });
+  size_t achunks = ThreadPool::NumChunks(na, kMorselRows);
+  std::vector<uint8_t> keep(na, 0);
+  std::vector<size_t> counts(achunks, 0);
+  ParallelFor(tp, na, kMorselRows, [&](size_t c, size_t lo, size_t hi) {
+    size_t cnt = 0;
+    std::string key;
+    for (size_t r = lo; r < hi; ++r) {
+      key.clear();
+      for (const Column* col : acols) AppendCellKey(&key, *col, r);
+      const auto& ht = parts[PartitionOf(hasher(key))];
+      if (ht.find(std::string_view(key)) == ht.end()) {
+        keep[r] = 1;
+        ++cnt;
+      }
+    }
+    counts[c] = cnt;
+  });
+  std::vector<size_t> offs(achunks + 1, 0);
+  for (size_t c = 0; c < achunks; ++c) offs[c + 1] = offs[c] + counts[c];
+  IdxVec out(offs.back());
+  ParallelFor(tp, na, kMorselRows, [&](size_t c, size_t lo, size_t hi) {
+    size_t o = offs[c];
+    for (size_t r = lo; r < hi; ++r) {
+      if (keep[r]) out[o++] = static_cast<RowIdx>(r);
+    }
+  });
   return out;
 }
 

@@ -109,9 +109,12 @@ Result<IdxVec> SortPerm(const Table& t, const std::vector<std::string>& keys,
                         ThreadPool* tp = nullptr);
 
 /// First-occurrence row indices per distinct key tuple, in row order.
-/// Empty `keys` means all columns.
+/// Empty `keys` means all columns. Parallel evaluation hash-partitions
+/// the rows per morsel; each partition keeps its rows in ascending row
+/// order, so first-occurrence winners match the serial scan exactly.
 Result<IdxVec> DistinctIndices(const Table& t,
-                               const std::vector<std::string>& keys);
+                               const std::vector<std::string>& keys,
+                               ThreadPool* tp = nullptr);
 
 /// Row numbering (the paper's % operator / MonetDB mark): a new INT
 /// column counting 1,2,... per `part` partition in `order`-key order
@@ -123,8 +126,12 @@ Result<ColumnPtr> Mark(const Table& t, const std::vector<std::string>& part,
                        ThreadPool* tp = nullptr);
 
 /// Rows of `a` whose key tuple does not appear in `b` (paper's \).
+/// An empty `b` short-circuits to the identity index vector. Parallel
+/// evaluation builds the probe sets hash-partitioned from b and probes
+/// a's morsels independently; the kept-row order is a's row order.
 Result<IdxVec> DifferenceIndices(const Table& a, const Table& b,
-                                 const std::vector<std::string>& keys);
+                                 const std::vector<std::string>& keys,
+                                 ThreadPool* tp = nullptr);
 
 /// Append b's rows under a's schema (paper's disjoint union; the caller
 /// guarantees disjointness). b must contain every column of a, matched

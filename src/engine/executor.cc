@@ -12,6 +12,7 @@
 #include "bat/item_ops.h"
 #include "bat/kernel.h"
 #include "engine/node_build.h"
+#include "engine/profile.h"
 
 namespace pathfinder::engine {
 
@@ -745,17 +746,36 @@ class Exec {
 
   Result<Table> Run(const alg::OpPtr& root) {
     bool pipe = ctx_->pipeline;
+    // Profiling is a single predictable branch per operator when off:
+    // no timer calls, no map writes, no allocation on the hot path.
+    bool prof = ctx_->profile;
     for (Op* op : alg::TopoOrder(root)) {
-      if (pipe && op->pipe_frag >= 0) {
+      bool fragment = pipe && op->pipe_frag >= 0;
+      if (fragment && !op->pipe_tail) {
         // Interior fragment members never materialize: the tail
         // evaluates the whole chain in one fused pass.
-        if (!op->pipe_tail) continue;
-        PF_ASSIGN_OR_RETURN(Table t, EvalFragment(*op));
-        memo_.emplace(op, std::move(t));
+        if (prof) recs_[op].fused = true;
         continue;
       }
-      PF_ASSIGN_OR_RETURN(Table t, EvalOne(*op));
+      int64_t t0 = prof ? ProfileNowNs() : 0;
+      Table t;
+      if (fragment) {
+        frag_morsels_ = 0;
+        PF_ASSIGN_OR_RETURN(t, EvalFragment(*op));
+      } else {
+        PF_ASSIGN_OR_RETURN(t, EvalOne(*op));
+      }
+      if (prof) {
+        OpProfileRec& rec = recs_[op];
+        rec.wall_ns = ProfileNowNs() - t0;
+        rec.out_rows = static_cast<int64_t>(t.rows());
+        rec.out_bytes = static_cast<int64_t>(t.ByteSize());
+        rec.morsels = fragment ? frag_morsels_ : MorselCount(*op, t);
+      }
       memo_.emplace(op, std::move(t));
+    }
+    if (prof) {
+      ctx_->profile_result = BuildProfileTree(root, recs_, *ctx_->pool());
     }
     return memo_.at(root.get());
   }
@@ -763,6 +783,20 @@ class Exec {
  private:
   const Table& Child(const Op& op, size_t i) {
     return memo_.at(op.children[i].get());
+  }
+
+  /// Morsel decomposition of a materialized (non-fragment) operator:
+  /// chunk count of its major input (largest child, or its own output
+  /// for leaves) under the fixed kernel grain. Fragment tails instead
+  /// report the exact number of fused morsels executed.
+  int64_t MorselCount(const Op& op, const Table& out) const {
+    size_t basis = out.rows();
+    for (const auto& c : op.children) {
+      auto it = memo_.find(c.get());
+      if (it != memo_.end()) basis = std::max(basis, it->second.rows());
+    }
+    return static_cast<int64_t>(
+        ThreadPool::NumChunks(basis, kPipeMorselRows));
   }
 
   // Evaluate the fragment ending at `tail` as one fused morsel pass.
@@ -796,6 +830,8 @@ class Exec {
       PF_ASSIGN_OR_RETURN(ColumnPtr rk, r.GetCol(head.col2));
       if (chain.size() == 1) {
         // Bare join: fused probe+gather kernel, no pair vectors.
+        frag_morsels_ = static_cast<int64_t>(
+            ThreadPool::NumChunks(l.rows(), kPipeMorselRows));
         Table out;
         if (head.kind == OpKind::kEquiJoin) {
           PF_RETURN_NOT_OK(bat::HashJoinGather(l, r, *lk, *rk,
@@ -817,6 +853,7 @@ class Exec {
       }
       std::vector<const Op*> body(chain.begin() + 1, chain.end());
       PF_ASSIGN_OR_RETURN(PipeProgram prog, CompileFragment(body, l, &r));
+      frag_morsels_ = static_cast<int64_t>(pc.li.size());
       std::vector<std::vector<ColumnPtr>> outs(pc.li.size());
       PF_RETURN_NOT_OK(ParallelForStatus(
           tp(), pc.li.size(), 1,
@@ -833,6 +870,8 @@ class Exec {
 
     // Map-headed fragment over a single input.
     const Table& in = Child(head, 0);
+    frag_morsels_ = static_cast<int64_t>(
+        ThreadPool::NumChunks(in.rows(), kPipeMorselRows));
     if (chain.size() == 1 && head.kind == OpKind::kSelect) {
       PF_ASSIGN_OR_RETURN(ColumnPtr pred, in.GetCol(head.col));
       return bat::FilterGather(in, *pred, tp());
@@ -930,14 +969,14 @@ class Exec {
       case OpKind::kDisjointUnion:
         return bat::UnionAll(Child(op, 0), Child(op, 1));
       case OpKind::kDifference: {
-        PF_ASSIGN_OR_RETURN(
-            IdxVec idx,
-            bat::DifferenceIndices(Child(op, 0), Child(op, 1), op.keys));
+        PF_ASSIGN_OR_RETURN(IdxVec idx,
+                            bat::DifferenceIndices(Child(op, 0), Child(op, 1),
+                                                   op.keys, tp()));
         return bat::GatherTable(Child(op, 0), idx, tp());
       }
       case OpKind::kDistinct: {
-        PF_ASSIGN_OR_RETURN(IdxVec idx,
-                            bat::DistinctIndices(Child(op, 0), op.keys));
+        PF_ASSIGN_OR_RETURN(
+            IdxVec idx, bat::DistinctIndices(Child(op, 0), op.keys, tp()));
         return bat::GatherTable(Child(op, 0), idx, tp());
       }
       case OpKind::kEquiJoin:
@@ -1057,33 +1096,59 @@ class Exec {
     return Status::Internal("unhandled operator in executor");
   }
 
+  // One (iter, fragment) context group of a Step: a slice of the
+  // deduplicated context-pre vector built by the grouping scan.
+  struct StepGroup {
+    int64_t iter = 0;
+    uint32_t frag = 0;
+    size_t ctx_begin = 0, ctx_end = 0;
+  };
+
   Result<Table> EvalStep(const Op& op) {
     const Table& in = Child(op, 0);
     PF_ASSIGN_OR_RETURN(ColumnPtr iter_c, in.GetCol("iter"));
     PF_ASSIGN_OR_RETURN(ColumnPtr item_c, in.GetCol("item"));
     const auto& iters = iter_c->ints();
     const auto& items = item_c->items();
+    size_t n = in.rows();
 
-    // Group rows by iter, contexts per fragment in document order.
-    IdxVec perm(in.rows());
-    for (size_t i = 0; i < perm.size(); ++i) {
-      perm[i] = static_cast<bat::RowIdx>(i);
+    // Order rows by (iter, item.raw). Parallel evaluation sorts fixed
+    // chunks and merges them; rows that tie are bit-identical under
+    // this key, so any tie order yields the same grouping (contexts are
+    // deduplicated below) and the output stays byte-identical at every
+    // thread count.
+    IdxVec perm(n);
+    for (size_t i = 0; i < n; ++i) perm[i] = static_cast<bat::RowIdx>(i);
+    auto lt = [&](bat::RowIdx a, bat::RowIdx b) {
+      if (iters[a] != iters[b]) return iters[a] < iters[b];
+      return items[a].raw < items[b].raw;
+    };
+    constexpr size_t kStepSortChunkRows = 8192;  // fixed, never thread-derived
+    ThreadPool* pool = tp();
+    if (pool != nullptr && n >= 2 * kStepSortChunkRows) {
+      ParallelFor(pool, n, kStepSortChunkRows,
+                  [&](size_t, size_t lo, size_t hi) {
+                    std::sort(perm.begin() + lo, perm.begin() + hi, lt);
+                  });
+      for (size_t width = kStepSortChunkRows; width < n; width *= 2) {
+        for (size_t lo = 0; lo + width < n; lo += 2 * width) {
+          std::inplace_merge(perm.begin() + lo, perm.begin() + lo + width,
+                             perm.begin() + std::min(lo + 2 * width, n), lt);
+        }
+      }
+    } else {
+      std::sort(perm.begin(), perm.end(), lt);
     }
-    std::sort(perm.begin(), perm.end(),
-              [&](bat::RowIdx a, bat::RowIdx b) {
-                if (iters[a] != iters[b]) return iters[a] < iters[b];
-                return items[a].raw < items[b].raw;
-              });
 
-    auto out_iter = Column::MakeInt();
-    auto out_item = Column::MakeItem();
-
+    // Serial grouping scan: one group per (iter, fragment) run, with
+    // consecutive duplicate context nodes dropped.
+    std::vector<StepGroup> groups;
+    std::vector<xml::Pre> ctxs;
     size_t i = 0;
-    std::vector<xml::Pre> contexts, results;
-    while (i < perm.size()) {
-      size_t j = i;
+    while (i < n) {
       int64_t iter = iters[perm[i]];
-      while (j < perm.size() && iters[perm[j]] == iter) ++j;
+      size_t j = i;
+      while (j < n && iters[perm[j]] == iter) ++j;
       // Per fragment within [i, j).
       size_t k = i;
       while (k < j) {
@@ -1092,40 +1157,82 @@ class Exec {
           return Status::TypeError("path step applied to an atomic value");
         }
         uint32_t frag = first.NodeFrag();
-        contexts.clear();
+        size_t begin = ctxs.size();
         size_t m = k;
         while (m < j && items[perm[m]].NodeFrag() == frag) {
           xml::Pre p = items[perm[m]].NodePre();
-          if (contexts.empty() || contexts.back() != p) {
-            contexts.push_back(p);
-          }
+          if (ctxs.size() == begin || ctxs.back() != p) ctxs.push_back(p);
           ++m;
         }
-        const xml::Document& doc = ctx_->doc(frag);
-        results.clear();
-        if (ctx_->use_staircase) {
-          accel::StaircaseJoin(doc, contexts, op.axis, op.test, &results,
-                               &ctx_->scj_stats, tp());
-        } else {
-          // Ablation baseline: per-context naive region selection, then
-          // an explicit sort + duplicate elimination.
-          for (xml::Pre c : contexts) {
-            accel::NaiveStep(doc, c, op.axis, op.test, &results);
-          }
-          std::sort(results.begin(), results.end());
-          results.erase(std::unique(results.begin(), results.end()),
-                        results.end());
-        }
-        for (xml::Pre r : results) {
-          out_iter->ints().push_back(iter);
-          out_item->items().push_back(doc.kind(r) == xml::NodeKind::kAttr
-                                          ? Item::Attr(frag, r)
-                                          : Item::Node(frag, r));
-        }
+        groups.push_back({iter, frag, begin, ctxs.size()});
         k = m;
       }
       i = j;
     }
+
+    auto eval_group = [&](const StepGroup& g, std::vector<xml::Pre>* results,
+                          accel::StaircaseStats* stats, ThreadPool* inner) {
+      const xml::Document& doc = ctx_->doc(g.frag);
+      std::vector<xml::Pre> contexts(ctxs.begin() + g.ctx_begin,
+                                     ctxs.begin() + g.ctx_end);
+      if (ctx_->use_staircase) {
+        accel::StaircaseJoin(doc, contexts, op.axis, op.test, results, stats,
+                             inner);
+      } else {
+        // Ablation baseline: per-context naive region selection, then
+        // an explicit sort + duplicate elimination.
+        for (xml::Pre c : contexts) {
+          accel::NaiveStep(doc, c, op.axis, op.test, results);
+        }
+        std::sort(results->begin(), results->end());
+        results->erase(std::unique(results->begin(), results->end()),
+                       results->end());
+      }
+    };
+
+    // Evaluate the groups. A lone group (the common single-document
+    // case) keeps the pool for the staircase join's own morsel-parallel
+    // scan; with many groups the groups themselves are the morsels (the
+    // nested join call then runs inline) and per-group stats are folded
+    // back in group order, matching the serial accumulation.
+    std::vector<std::vector<xml::Pre>> gres(groups.size());
+    if (groups.size() <= 1) {
+      if (!groups.empty()) {
+        eval_group(groups[0], &gres[0], &ctx_->scj_stats, pool);
+      }
+    } else {
+      std::vector<accel::StaircaseStats> gstats(groups.size());
+      ParallelFor(pool, groups.size(), 1,
+                  [&](size_t, size_t lo, size_t hi) {
+                    for (size_t g = lo; g < hi; ++g) {
+                      eval_group(groups[g], &gres[g], &gstats[g], pool);
+                    }
+                  });
+      for (const auto& s : gstats) ctx_->scj_stats.Merge(s);
+    }
+
+    // Scatter each group's results into its exact output slice.
+    std::vector<size_t> off(groups.size() + 1, 0);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      off[g + 1] = off[g] + gres[g].size();
+    }
+    auto out_iter = Column::MakeInt(off.back());
+    auto out_item = Column::MakeItem(off.back());
+    out_iter->ints().resize(off.back());
+    out_item->items().resize(off.back());
+    ParallelFor(pool, groups.size(), 1, [&](size_t, size_t lo, size_t hi) {
+      for (size_t g = lo; g < hi; ++g) {
+        const xml::Document& doc = ctx_->doc(groups[g].frag);
+        size_t o = off[g];
+        for (xml::Pre r : gres[g]) {
+          out_iter->ints()[o] = groups[g].iter;
+          out_item->items()[o] = doc.kind(r) == xml::NodeKind::kAttr
+                                     ? Item::Attr(groups[g].frag, r)
+                                     : Item::Node(groups[g].frag, r);
+          ++o;
+        }
+      }
+    });
     Table t;
     t.AddCol("iter", std::move(out_iter));
     t.AddCol("item", std::move(out_item));
@@ -1256,6 +1363,8 @@ class Exec {
 
   QueryContext* ctx_;
   std::unordered_map<const Op*, Table> memo_;
+  std::unordered_map<const Op*, OpProfileRec> recs_;  // profiling only
+  int64_t frag_morsels_ = 0;  // morsels of the last fused fragment
 };
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "algebra/op.h"
 #include "base/result.h"
 #include "base/thread_pool.h"
+#include "engine/profile.h"
 #include "xml/database.h"
 
 namespace pathfinder::engine {
@@ -99,6 +100,14 @@ class QueryContext {
   /// opt::AnnotatePipelines), which api::Pathfinder does whenever it
   /// turns this on.
   bool pipeline = false;
+
+  /// Collect a per-operator execution profile (wall time, row counts,
+  /// morsel counts, output bytes). Off by default; when off the
+  /// executor's hot path performs no timer calls at all.
+  bool profile = false;
+
+  /// The profile tree, filled by the executor when `profile` is on.
+  OperatorProfilePtr profile_result;
 
   /// Aggregated staircase join counters for this query.
   accel::StaircaseStats scj_stats;

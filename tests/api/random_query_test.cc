@@ -305,8 +305,10 @@ TEST_P(RandomQueryTest, EnginesAgreeOnGeneratedQueries) {
     // Masks 0-2 toggle compiler knobs (mask 0 runs the process-default
     // pipeline setting); 3 forces materialized, 4 forces pipelined with
     // two worker threads — the pipelined-vs-materialized differential
-    // over the whole random dialect.
-    for (int mask = 0; mask < 5; ++mask) {
+    // over the whole random dialect. Masks 5-6 re-run representative
+    // configurations with profiling on: collection must never perturb
+    // results, and the profile tree must materialize.
+    for (int mask = 0; mask < 7; ++mask) {
       QueryOptions o;
       o.context_doc = "shop.xml";
       o.join_recognition = mask != 1;
@@ -316,11 +318,22 @@ TEST_P(RandomQueryTest, EnginesAgreeOnGeneratedQueries) {
         o.pipeline = 1;
         o.num_threads = 2;
       }
+      o.profile = mask >= 5 ? 1 : 0;  // pin against ambient PF_PROFILE
+      if (mask == 6) {
+        o.pipeline = 1;
+        o.num_threads = 2;
+      }
       auto pr = pf.Run(q, o);
       ASSERT_TRUE(pr.ok()) << pr.status().ToString() << " mask=" << mask;
       auto ps = pr->Serialize();
       ASSERT_TRUE(ps.ok());
       ASSERT_EQ(*ps, *bs) << "mask=" << mask;
+      if (mask >= 5) {
+        ASSERT_NE(pr->profile, nullptr) << "mask=" << mask;
+        EXPECT_FALSE(pr->ProfileJson().empty()) << "mask=" << mask;
+      } else {
+        EXPECT_EQ(pr->profile, nullptr) << "mask=" << mask;
+      }
     }
   }
 }

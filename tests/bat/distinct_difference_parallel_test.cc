@@ -1,0 +1,263 @@
+// Byte-identity of the parallel DistinctIndices / DifferenceIndices
+// code paths across thread counts, and semantic agreement with a naive
+// quadratic reference that spells out representation equality (doubles
+// by bit pattern, items by kind+raw). Inputs are sized past the
+// parallel-engagement threshold with heavy duplicate skew so the
+// hash-partitioned first-occurrence merge actually decides winners.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "bat/kernel.h"
+#include "bat/table.h"
+
+namespace pathfinder::bat {
+namespace {
+
+// Representation equality of two cells, possibly across two columns of
+// the same type — the equality DistinctIndices/DifferenceIndices key
+// encodings implement.
+bool CellEq(const Column& ca, size_t ra, const Column& cb, size_t rb) {
+  switch (ca.type()) {
+    case ColType::kInt:
+      return ca.ints()[ra] == cb.ints()[rb];
+    case ColType::kDbl: {
+      uint64_t x = 0, y = 0;
+      std::memcpy(&x, &ca.dbls()[ra], sizeof(x));
+      std::memcpy(&y, &cb.dbls()[rb], sizeof(y));
+      return x == y;
+    }
+    case ColType::kStr:
+      return ca.strs()[ra] == cb.strs()[rb];
+    case ColType::kBool:
+      return ca.bools()[ra] == cb.bools()[rb];
+    case ColType::kItem:
+      return ca.items()[ra].kind == cb.items()[rb].kind &&
+             ca.items()[ra].raw == cb.items()[rb].raw;
+  }
+  return false;
+}
+
+bool RowEq(const std::vector<const Column*>& as, size_t ra,
+           const std::vector<const Column*>& bs, size_t rb) {
+  for (size_t c = 0; c < as.size(); ++c) {
+    if (!CellEq(*as[c], ra, *bs[c], rb)) return false;
+  }
+  return true;
+}
+
+std::vector<const Column*> Cols(const Table& t,
+                                const std::vector<std::string>& keys) {
+  std::vector<const Column*> cols;
+  if (keys.empty()) {
+    for (size_t i = 0; i < t.num_cols(); ++i) cols.push_back(t.col(i).get());
+    return cols;
+  }
+  for (const auto& k : keys) {
+    cols.push_back(t.col(static_cast<size_t>(t.FindCol(k))).get());
+  }
+  return cols;
+}
+
+// O(n^2) first-occurrence reference.
+IdxVec NaiveDistinct(const Table& t, const std::vector<std::string>& keys) {
+  std::vector<const Column*> cols = Cols(t, keys);
+  IdxVec out;
+  for (size_t r = 0; r < t.rows(); ++r) {
+    bool dup = false;
+    for (RowIdx p : out) {
+      if (RowEq(cols, r, cols, p)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(static_cast<RowIdx>(r));
+  }
+  return out;
+}
+
+// O(na*nb) anti-semijoin reference.
+IdxVec NaiveDifference(const Table& a, const Table& b,
+                       const std::vector<std::string>& keys) {
+  std::vector<const Column*> acols = Cols(a, keys);
+  std::vector<const Column*> bcols = Cols(b, keys);
+  IdxVec out;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    bool hit = false;
+    for (size_t s = 0; s < b.rows(); ++s) {
+      if (RowEq(acols, r, bcols, s)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) out.push_back(static_cast<RowIdx>(r));
+  }
+  return out;
+}
+
+class DistinctDifferenceParallelTest : public ::testing::Test {
+ protected:
+  std::vector<ThreadPool*> Pools() {
+    return {&pool1_, &pool2_, &pool4_, &pool7_};
+  }
+
+  // Skewed random table: `domain` distinct int keys Zipf-ishly reused,
+  // an item column mixing all atomic kinds from a small value set, and
+  // a double column where 0.0 / -0.0 exercise bit-pattern equality.
+  Table RandTable(size_t n, int64_t domain, uint64_t seed) {
+    Table t;
+    auto ic = Column::MakeInt(n);
+    auto it = Column::MakeItem(n);
+    auto dc = Column::MakeDbl(n);
+    Rng rng(seed);
+    for (size_t i = 0; i < n; ++i) {
+      // Skew: half the rows land in a tenth of the domain.
+      int64_t hi = rng.Chance(0.5) ? (domain / 10 + 1) : domain;
+      ic->ints().push_back(rng.Range(0, hi));
+      switch (rng.Below(4)) {
+        case 0:
+          it->items().push_back(Item::Int(rng.Range(-20, 20)));
+          break;
+        case 1:
+          it->items().push_back(Item::Dbl(rng.Range(-20, 20) * 0.5));
+          break;
+        case 2:
+          it->items().push_back(
+              Item::Str(pool_.Intern("v" + std::to_string(rng.Below(16)))));
+          break;
+        default:
+          it->items().push_back(Item::Bool(rng.Chance(0.5)));
+          break;
+      }
+      double d = rng.Chance(0.25) ? 0.0 : static_cast<double>(rng.Range(0, 4));
+      if (rng.Chance(0.5)) d = -d;  // -0.0 != 0.0 representationally
+      dc->dbls().push_back(d);
+    }
+    t.AddCol("k", std::move(ic));
+    t.AddCol("v", std::move(it));
+    t.AddCol("d", std::move(dc));
+    return t;
+  }
+
+  StringPool pool_;
+  ThreadPool pool1_{1};
+  ThreadPool pool2_{2};
+  ThreadPool pool4_{4};
+  ThreadPool pool7_{7};
+};
+
+TEST_F(DistinctDifferenceParallelTest, DistinctMatchesNaiveReference) {
+  // Small enough for the quadratic oracle, duplicate-heavy enough that
+  // most rows are dropped.
+  Table t = RandTable(2500, 40, 101);
+  for (const std::vector<std::string>& keys :
+       {std::vector<std::string>{}, {"k"}, {"k", "v"}, {"d"}}) {
+    IdxVec expect = NaiveDistinct(t, keys);
+    auto serial = DistinctIndices(t, keys, nullptr);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(*serial, expect);
+    for (ThreadPool* tp : Pools()) {
+      auto par = DistinctIndices(t, keys, tp);
+      ASSERT_TRUE(par.ok());
+      EXPECT_EQ(*par, expect);
+    }
+  }
+}
+
+TEST_F(DistinctDifferenceParallelTest, DistinctParallelMatchesSerialLarge) {
+  // Past the 2*kMorselRows engagement threshold; dense duplicates mean
+  // the partition-ordered first-occurrence merge decides every winner.
+  Table t = RandTable(50000, 3000, 202);
+  for (const std::vector<std::string>& keys :
+       {std::vector<std::string>{}, {"k"}, {"v", "d"}}) {
+    auto serial = DistinctIndices(t, keys, nullptr);
+    ASSERT_TRUE(serial.ok());
+    // First-occurrence sanity: strictly ascending row indices.
+    for (size_t i = 1; i < serial->size(); ++i) {
+      ASSERT_LT((*serial)[i - 1], (*serial)[i]);
+    }
+    for (ThreadPool* tp : Pools()) {
+      auto par = DistinctIndices(t, keys, tp);
+      ASSERT_TRUE(par.ok());
+      EXPECT_EQ(*par, *serial);
+    }
+  }
+}
+
+TEST_F(DistinctDifferenceParallelTest, DistinctEmptyInput) {
+  Table t = RandTable(0, 10, 7);
+  for (ThreadPool* tp : Pools()) {
+    auto r = DistinctIndices(t, {"k"}, tp);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->empty());
+  }
+}
+
+TEST_F(DistinctDifferenceParallelTest, DifferenceMatchesNaiveReference) {
+  Table a = RandTable(2000, 60, 303);
+  Table b = RandTable(1500, 60, 304);
+  for (const std::vector<std::string>& keys :
+       {std::vector<std::string>{}, {"k"}, {"k", "v"}}) {
+    IdxVec expect = NaiveDifference(a, b, keys);
+    auto serial = DifferenceIndices(a, b, keys, nullptr);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(*serial, expect);
+    for (ThreadPool* tp : Pools()) {
+      auto par = DifferenceIndices(a, b, keys, tp);
+      ASSERT_TRUE(par.ok());
+      EXPECT_EQ(*par, expect);
+    }
+  }
+}
+
+TEST_F(DistinctDifferenceParallelTest, DifferenceParallelMatchesSerialLarge) {
+  Table a = RandTable(50000, 4000, 405);
+  Table b = RandTable(30000, 4000, 406);
+  for (const std::vector<std::string>& keys :
+       {std::vector<std::string>{}, {"k"}, {"v", "d"}}) {
+    auto serial = DifferenceIndices(a, b, keys, nullptr);
+    ASSERT_TRUE(serial.ok());
+    for (ThreadPool* tp : Pools()) {
+      auto par = DifferenceIndices(a, b, keys, tp);
+      ASSERT_TRUE(par.ok());
+      EXPECT_EQ(*par, *serial);
+    }
+  }
+}
+
+TEST_F(DistinctDifferenceParallelTest, DifferenceEmptyA) {
+  Table a = RandTable(0, 10, 1);
+  Table b = RandTable(100, 10, 2);
+  for (ThreadPool* tp : Pools()) {
+    auto r = DifferenceIndices(a, b, {"k"}, tp);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->empty());
+  }
+}
+
+// Regression: an empty subtrahend must short-circuit to the identity
+// index vector — every row of `a` survives, at any thread count, and
+// past the parallel threshold too.
+TEST_F(DistinctDifferenceParallelTest, DifferenceEmptyBIsIdentity) {
+  Table a = RandTable(20000, 50, 3);
+  Table b = RandTable(0, 50, 4);
+  IdxVec expect(a.rows());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    expect[i] = static_cast<RowIdx>(i);
+  }
+  auto serial = DifferenceIndices(a, b, {"k"}, nullptr);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(*serial, expect);
+  for (ThreadPool* tp : Pools()) {
+    auto par = DifferenceIndices(a, b, {}, tp);
+    ASSERT_TRUE(par.ok());
+    EXPECT_EQ(*par, expect);
+  }
+}
+
+}  // namespace
+}  // namespace pathfinder::bat
