@@ -1,0 +1,231 @@
+// Cross-query cache benchmark: cold-vs-warm sweep over every XMark
+// query under three configurations — caching off, plan cache only, and
+// plan + subplan-result cache.
+//
+// For each query the cold time is the first run against a fresh
+// Pathfinder (empty cache) and the warm time is the best of the
+// subsequent repeats against the same instance; a warm run's
+// serialization is checked byte-identical to the cold run's before any
+// timing is reported. Emits BENCH_cache.json with per-query cold/warm
+// timings, speedups, and the cache counters after the sweep.
+//
+//   --smoke   tiny scale factor, 1 rep, then re-read the emitted JSON
+//             and fail unless it parses and every warm run matched the
+//             cold bytes — the CI gate.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/pathfinder.h"
+#include "bench/bench_util.h"
+#include "xmark/queries.h"
+
+namespace pathfinder::bench {
+namespace {
+
+struct Config {
+  const char* name;
+  int plan_cache;
+  int subplan_cache;
+};
+
+constexpr Config kConfigs[] = {
+    {"off", 0, 0},
+    {"plan", 1, 0},
+    {"plan+subplan", 1, 1},
+};
+
+struct QueryReport {
+  int query = 0;
+  double cold_ms = 0;
+  double warm_ms = 0;
+};
+
+struct ConfigReport {
+  const Config* config = nullptr;
+  std::vector<QueryReport> queries;
+  double total_cold = 0;
+  double total_warm = 0;
+  engine::CacheStats stats;
+};
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  double sf = smoke ? 0.002 : ScaleFactors().back();
+  int warm_reps = smoke ? 1 : 3;
+
+  xml::Database* db = XMarkDb(sf);
+  std::printf("Cross-query cache: cold vs warm (XMark, sf=%g)\n", sf);
+
+  std::vector<ConfigReport> reports;
+  for (const Config& cfg : kConfigs) {
+    ConfigReport rep;
+    rep.config = &cfg;
+    // One Pathfinder (one cache) per configuration: the sweep measures
+    // how much the *second and later* runs of each query benefit.
+    Pathfinder pf(db);
+    auto run = [&](const char* text) {
+      QueryOptions opts;
+      opts.context_doc = "auction.xml";
+      opts.plan_cache = cfg.plan_cache;
+      opts.subplan_cache = cfg.subplan_cache;
+      // Pin the budget so an ambient PF_CACHE_MB=0 cannot silently turn
+      // the cached configurations into replays of the "off" one.
+      opts.cache_budget_bytes = int64_t{64} << 20;
+      return pf.Run(text, opts);
+    };
+
+    std::printf("\n[%s]\n%-10s %10s %10s %9s\n", cfg.name, "query", "cold",
+                "warm", "speedup");
+    for (const auto& q : xmark::XMarkQueries()) {
+      std::string cold_bytes;
+      QueryReport qr;
+      qr.query = q.number;
+      bool failed = false;
+      qr.cold_ms = TimeMs([&] {
+        auto r = run(q.text);
+        if (!r.ok()) {
+          std::fprintf(stderr, "Q%d (cold): %s\n", q.number,
+                       r.status().ToString().c_str());
+          failed = true;
+          return;
+        }
+        auto s = r->Serialize();
+        if (!s.ok()) {
+          failed = true;
+          return;
+        }
+        cold_bytes = *s;
+      });
+      if (failed) return 1;
+      // Warm correctness gate: cached results must be byte-identical.
+      {
+        auto r = run(q.text);
+        if (!r.ok()) {
+          std::fprintf(stderr, "Q%d (warm): %s\n", q.number,
+                       r.status().ToString().c_str());
+          return 1;
+        }
+        auto s = r->Serialize();
+        if (!s.ok() || *s != cold_bytes) {
+          std::fprintf(stderr, "Q%d: warm result diverges from cold\n",
+                       q.number);
+          return 1;
+        }
+      }
+      qr.warm_ms = BestOfMs(warm_reps, [&] { (void)run(q.text); });
+      std::printf("xmark-q%-3d %10s %10s %8sx\n", q.number,
+                  FmtMs(qr.cold_ms).c_str(), FmtMs(qr.warm_ms).c_str(),
+                  FmtFactor(qr.warm_ms > 0 ? qr.cold_ms / qr.warm_ms : 0)
+                      .c_str());
+      std::fflush(stdout);
+      rep.total_cold += qr.cold_ms;
+      rep.total_warm += qr.warm_ms;
+      rep.queries.push_back(qr);
+    }
+    rep.stats = pf.cache()->Stats();
+    std::printf("%-10s %10s %10s %8sx\n", "total",
+                FmtMs(rep.total_cold).c_str(), FmtMs(rep.total_warm).c_str(),
+                FmtFactor(rep.total_warm > 0
+                              ? rep.total_cold / rep.total_warm
+                              : 0)
+                    .c_str());
+    reports.push_back(std::move(rep));
+  }
+
+  const char* path = "BENCH_cache.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\"sf\": %g, \"configs\": [\n", sf);
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const ConfigReport& r = reports[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"plan_cache\": %d, "
+                 "\"subplan_cache\": %d,\n   \"queries\": [",
+                 r.config->name, r.config->plan_cache,
+                 r.config->subplan_cache);
+    for (size_t qi = 0; qi < r.queries.size(); ++qi) {
+      const QueryReport& qr = r.queries[qi];
+      std::fprintf(f,
+                   "%s\n    {\"query\": %d, \"cold_ms\": %.3f, "
+                   "\"warm_ms\": %.3f, \"speedup\": %.2f}",
+                   qi ? "," : "", qr.query, qr.cold_ms, qr.warm_ms,
+                   qr.warm_ms > 0 ? qr.cold_ms / qr.warm_ms : 0.0);
+    }
+    std::fprintf(
+        f,
+        "],\n   \"total_cold_ms\": %.3f, \"total_warm_ms\": %.3f, "
+        "\"total_speedup\": %.2f,\n   \"cache\": {\"plan\": {\"hits\": "
+        "%lld, \"misses\": %lld, \"evictions\": %lld, \"entries\": %lld, "
+        "\"bytes\": %lld}, \"subplan\": {\"hits\": %lld, \"misses\": "
+        "%lld, \"evictions\": %lld, \"entries\": %lld, \"bytes\": %lld}, "
+        "\"invalidations\": %lld, \"budget_bytes\": %lld}}%s\n",
+        r.total_cold, r.total_warm,
+        r.total_warm > 0 ? r.total_cold / r.total_warm : 0.0,
+        static_cast<long long>(r.stats.plan.hits),
+        static_cast<long long>(r.stats.plan.misses),
+        static_cast<long long>(r.stats.plan.evictions),
+        static_cast<long long>(r.stats.plan.entries),
+        static_cast<long long>(r.stats.plan.bytes),
+        static_cast<long long>(r.stats.subplan.hits),
+        static_cast<long long>(r.stats.subplan.misses),
+        static_cast<long long>(r.stats.subplan.evictions),
+        static_cast<long long>(r.stats.subplan.entries),
+        static_cast<long long>(r.stats.subplan.bytes),
+        static_cast<long long>(r.stats.invalidations),
+        static_cast<long long>(r.stats.budget_bytes),
+        i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+
+  // Re-read and validate — the smoke gate.
+  f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot re-read %s\n", path);
+    return 1;
+  }
+  std::string contents;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, got);
+  }
+  std::fclose(f);
+  if (!ValidJsonDocument(contents)) {
+    std::fprintf(stderr, "%s: emitted JSON does not parse\n", path);
+    return 1;
+  }
+  std::printf("%s parses as valid JSON (%zu bytes)\n", path,
+              contents.size());
+
+  if (!smoke) {
+    const ConfigReport& full = reports.back();
+    double speedup =
+        full.total_warm > 0 ? full.total_cold / full.total_warm : 0.0;
+    std::printf("\nplan+subplan warm speedup over cold: %.2fx "
+                "(acceptance target >= 3x)\n",
+                speedup);
+    if (speedup < 3.0) {
+      std::fprintf(stderr, "warm speedup below 3x target\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathfinder::bench
+
+int main(int argc, char** argv) {
+  return pathfinder::bench::Main(argc, argv);
+}

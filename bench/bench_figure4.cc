@@ -42,6 +42,9 @@ int Main() {
       Pathfinder pf(db);
       QueryOptions o;
       o.context_doc = "auction.xml";
+      // Repeat runs must re-execute, not hit the cross-query cache.
+      o.plan_cache = 0;
+      o.subplan_cache = 0;
       times.push_back(BestOfMs(2, [&] {
         auto r = pf.Run(q.text, o);
         if (!r.ok()) {

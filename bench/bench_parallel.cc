@@ -216,6 +216,9 @@ int Main() {
       Sweep(name, [&](ThreadPool* tp) {
         QueryOptions opts;
         opts.context_doc = "auction.xml";
+        // Repeat runs must re-execute, not hit the cross-query cache.
+        opts.plan_cache = 0;
+        opts.subplan_cache = 0;
         // tp is built per thread count by Sweep; the API takes a count.
         opts.num_threads = tp == nullptr ? 1 : tp->num_threads();
         auto r = pf.Run(q.text, opts);
@@ -239,6 +242,9 @@ int Main() {
     auto run = [&](const char* text, int pipeline, int threads) {
       QueryOptions opts;
       opts.context_doc = "auction.xml";
+      // Repeat runs must re-execute, not hit the cross-query cache.
+      opts.plan_cache = 0;
+      opts.subplan_cache = 0;
       opts.pipeline = pipeline;
       opts.num_threads = threads;
       return pf.Run(text, opts);

@@ -1,0 +1,236 @@
+#include "algebra/hash.h"
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pathfinder::algebra {
+
+namespace {
+
+constexpr uint64_t kSeed = 0x853C49E6748FEA9Bull;
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  v *= 0x9E3779B97F4A7C15ull;
+  v ^= v >> 32;
+  v *= 0xBF58476D1CE4E5B9ull;
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t HashStr(std::string_view s) {
+  // FNV-1a 64.
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+uint64_t HashItem(const Item& it) {
+  return Mix(static_cast<uint64_t>(it.kind), it.raw);
+}
+
+/// Fun2 operators whose operands may swap without changing any result
+/// bit: integer +/* wrap symmetrically, IEEE double +/* are commutative
+/// (the engine only ever produces the canonical quiet NaN), eq/ne are
+/// symmetric value comparisons, and/or are boolean.
+bool IsCommutativeFun2(Fun2 f) {
+  switch (f) {
+    case Fun2::kAdd:
+    case Fun2::kMul:
+    case Fun2::kCmpEq:
+    case Fun2::kCmpNe:
+    case Fun2::kAnd:
+    case Fun2::kOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Does this kind compare its (col, col2) pair unordered?
+bool UnorderedColPair(const Op& op) {
+  return op.kind == OpKind::kFun2 && IsCommutativeFun2(op.fun2);
+}
+
+/// Does this kind treat `keys` as a set?
+bool UnorderedKeys(OpKind k) {
+  return k == OpKind::kDistinct || k == OpKind::kDifference;
+}
+
+std::vector<std::string> Sorted(const std::vector<std::string>& v) {
+  std::vector<std::string> s = v;
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+}  // namespace
+
+uint64_t LocalParamsHash(const Op& op) {
+  uint64_t h = Mix(kSeed, static_cast<uint64_t>(op.kind));
+  h = Mix(h, op.proj.size());
+  for (const auto& [nw, old] : op.proj) {
+    h = Mix(h, HashStr(nw));
+    h = Mix(h, HashStr(old));
+  }
+  if (UnorderedColPair(op)) {
+    // Order-insensitive combination of the operand pair.
+    h = Mix(h, HashStr(op.col) + HashStr(op.col2));
+  } else {
+    h = Mix(h, HashStr(op.col));
+    h = Mix(h, HashStr(op.col2));
+  }
+  h = Mix(h, HashStr(op.out));
+  if (op.kind == OpKind::kRowNum) {
+    for (const auto& p : Sorted(op.part)) h = Mix(h, HashStr(p));
+  } else {
+    for (const auto& p : op.part) h = Mix(h, HashStr(p));
+  }
+  for (const auto& o : op.order) h = Mix(h, HashStr(o));
+  for (uint8_t d : op.order_desc) h = Mix(h, d);
+  if (UnorderedKeys(op.kind)) {
+    for (const auto& k : Sorted(op.keys)) h = Mix(h, HashStr(k));
+  } else {
+    for (const auto& k : op.keys) h = Mix(h, HashStr(k));
+  }
+  h = Mix(h, static_cast<uint64_t>(op.axis));
+  h = Mix(h, static_cast<uint64_t>(op.test.kind));
+  h = Mix(h, op.test.name);
+  h = Mix(h, static_cast<uint64_t>(op.fun1));
+  h = Mix(h, static_cast<uint64_t>(op.fun2));
+  h = Mix(h, static_cast<uint64_t>(op.cmp));
+  h = Mix(h, static_cast<uint64_t>(op.agg));
+  for (const auto& n : op.names) h = Mix(h, HashStr(n));
+  for (auto t : op.types) h = Mix(h, static_cast<uint64_t>(t));
+  h = Mix(h, op.rows.size());
+  for (const auto& row : op.rows) {
+    for (const Item& cell : row) h = Mix(h, HashItem(cell));
+  }
+  h = Mix(h, HashItem(op.attach_val));
+  return h;
+}
+
+bool LocalParamsEqual(const Op& a, const Op& b) {
+  if (a.kind != b.kind) return false;
+  if (a.proj != b.proj) return false;
+  if (UnorderedColPair(a)) {
+    if (a.fun2 != b.fun2) return false;
+    bool straight = a.col == b.col && a.col2 == b.col2;
+    bool swapped = a.col == b.col2 && a.col2 == b.col;
+    if (!straight && !swapped) return false;
+  } else {
+    if (a.col != b.col || a.col2 != b.col2) return false;
+  }
+  if (a.out != b.out) return false;
+  if (a.kind == OpKind::kRowNum) {
+    if (Sorted(a.part) != Sorted(b.part)) return false;
+  } else {
+    if (a.part != b.part) return false;
+  }
+  if (a.order != b.order || a.order_desc != b.order_desc) return false;
+  if (UnorderedKeys(a.kind)) {
+    if (Sorted(a.keys) != Sorted(b.keys)) return false;
+  } else {
+    if (a.keys != b.keys) return false;
+  }
+  if (a.axis != b.axis || a.test.kind != b.test.kind ||
+      a.test.name != b.test.name) {
+    return false;
+  }
+  if (a.fun1 != b.fun1 || a.fun2 != b.fun2 || a.cmp != b.cmp ||
+      a.agg != b.agg) {
+    return false;
+  }
+  if (a.names != b.names || a.types != b.types) return false;
+  if (a.rows.size() != b.rows.size()) return false;
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    if (a.rows[r].size() != b.rows[r].size()) return false;
+    for (size_t c = 0; c < a.rows[r].size(); ++c) {
+      if (!(a.rows[r][c] == b.rows[r][c])) return false;
+    }
+  }
+  return a.attach_val == b.attach_val;
+}
+
+uint64_t CombineChildHash(uint64_t h, uint64_t child_hash) {
+  return Mix(h, child_hash);
+}
+
+void StructuralHashes(const OpPtr& root,
+                      std::unordered_map<const Op*, uint64_t>* out) {
+  for (Op* op : TopoOrder(root)) {
+    uint64_t h = LocalParamsHash(*op);
+    for (const auto& c : op->children) {
+      h = CombineChildHash(h, out->at(c.get()));
+    }
+    (*out)[op] = h;
+  }
+}
+
+uint64_t StructuralHash(const OpPtr& root) {
+  std::unordered_map<const Op*, uint64_t> hashes;
+  StructuralHashes(root, &hashes);
+  return hashes.at(root.get());
+}
+
+namespace {
+
+struct PairHash {
+  size_t operator()(const std::pair<const Op*, const Op*>& p) const {
+    return Mix(reinterpret_cast<uintptr_t>(p.first),
+               reinterpret_cast<uintptr_t>(p.second));
+  }
+};
+
+bool EqualRec(
+    const Op& a, const Op& b,
+    std::unordered_map<std::pair<const Op*, const Op*>, bool, PairHash>*
+        memo) {
+  if (&a == &b) return true;
+  auto key = std::make_pair(&a, &b);
+  auto it = memo->find(key);
+  if (it != memo->end()) return it->second;
+  // Optimistically assume equal while descending: plans are DAGs (no
+  // cycles), so the provisional entry is only ever read by sibling
+  // paths that reached the same pair through shared nodes.
+  (*memo)[key] = true;
+  bool eq = LocalParamsEqual(a, b) && a.children.size() == b.children.size();
+  for (size_t i = 0; eq && i < a.children.size(); ++i) {
+    eq = EqualRec(*a.children[i], *b.children[i], memo);
+  }
+  (*memo)[key] = eq;
+  return eq;
+}
+
+}  // namespace
+
+bool StructurallyEqual(const Op& a, const Op& b) {
+  std::unordered_map<std::pair<const Op*, const Op*>, bool, PairHash> memo;
+  return EqualRec(a, b, &memo);
+}
+
+size_t ApproxPlanBytes(const OpPtr& root) {
+  size_t total = 0;
+  for (const Op* op : TopoOrder(root)) {
+    total += sizeof(Op);
+    for (const auto& [nw, old] : op->proj) {
+      total += nw.capacity() + old.capacity();
+    }
+    total += op->col.capacity() + op->col2.capacity() + op->out.capacity();
+    for (const auto& s : op->part) total += s.capacity() + sizeof(s);
+    for (const auto& s : op->order) total += s.capacity() + sizeof(s);
+    for (const auto& s : op->keys) total += s.capacity() + sizeof(s);
+    total += op->order_desc.capacity();
+    for (const auto& s : op->names) total += s.capacity() + sizeof(s);
+    total += op->types.capacity() * sizeof(bat::ColType);
+    for (const auto& row : op->rows) total += row.capacity() * sizeof(Item);
+    total += op->children.capacity() * sizeof(OpPtr);
+  }
+  return total;
+}
+
+}  // namespace pathfinder::algebra

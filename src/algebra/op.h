@@ -168,6 +168,14 @@ struct Op {
   // evaluation).
   int pipe_frag = -1;
   bool pipe_tail = false;
+
+  // Subplan-result cache annotation, set by engine::AnnotateCacheCandidates
+  // on freshly built plans. A candidate roots a pure (constructor-free),
+  // document-derived subtree whose materialized result may be reused
+  // across queries; `cache_hash` is its structural hash (the cache key,
+  // see algebra/hash.h). 0 / false on unannotated plans.
+  uint64_t cache_hash = 0;
+  bool cache_cand = false;
 };
 
 /// Number of distinct operator nodes in the DAG under `root`

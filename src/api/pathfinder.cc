@@ -4,8 +4,10 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "algebra/hash.h"
 #include "algebra/print.h"
 #include "engine/executor.h"
+#include "frontend/canonical.h"
 #include "frontend/normalize.h"
 #include "frontend/parser.h"
 #include "runtime/serialize.h"
@@ -31,6 +33,42 @@ void IndexProfile(
   for (const auto& c : p.children) IndexProfile(c, by_id);
 }
 
+/// Plan-cache key fingerprint: exactly the options that change the
+/// built plan (context document, join recognition, optimizer, CSE,
+/// pipeline annotation). Execution-only knobs — threads, staircase,
+/// profiling, the cache switches themselves — produce identical plans
+/// and share entries.
+std::string KeyFingerprint(const QueryOptions& o, bool cse, bool pipeline) {
+  std::string f;
+  f += o.join_recognition ? 'j' : '-';
+  f += o.optimize ? 'o' : '-';
+  f += cse ? 'c' : '-';
+  f += pipeline ? 'p' : '-';
+  f += '|';
+  f += std::to_string(o.context_doc.size());
+  f += ':';
+  f += o.context_doc;
+  f += '|';
+  return f;
+}
+
+void SectionToJson(const char* name, const engine::CacheSectionStats& s,
+                   std::string* out) {
+  *out += '"';
+  *out += name;
+  *out += "\": {\"hits\": ";
+  *out += std::to_string(s.hits);
+  *out += ", \"misses\": ";
+  *out += std::to_string(s.misses);
+  *out += ", \"evictions\": ";
+  *out += std::to_string(s.evictions);
+  *out += ", \"entries\": ";
+  *out += std::to_string(s.entries);
+  *out += ", \"bytes\": ";
+  *out += std::to_string(s.bytes);
+  *out += "}";
+}
+
 }  // namespace
 
 Result<std::string> QueryResult::Serialize() const {
@@ -41,24 +79,72 @@ std::string QueryResult::ProfileText() const {
   if (profile == nullptr || plan_opt == nullptr || ctx == nullptr) return "";
   std::unordered_map<int, const engine::OperatorProfile*> by_id;
   IndexProfile(*profile, &by_id);
-  return algebra::PlanToTextAnnotated(
-      plan_opt, *ctx->pool(), [&](const algebra::Op& op) -> std::string {
-        auto it = by_id.find(op.id);
-        if (it == by_id.end()) return "";
-        const engine::OperatorProfile& p = *it->second;
-        if (p.fused) return "[fused]";
-        std::ostringstream os;
-        os << "[" << FmtProfileNs(p.wall_ns) << ", ";
-        if (p.in_rows >= 0) os << p.in_rows << "->";
-        os << p.out_rows << " rows, " << p.morsels << " morsels, "
-           << p.out_bytes << " B]";
-        return os.str();
-      });
+  std::ostringstream head;
+  head << "# opt: " << opt_stats.ops_before << "->" << opt_stats.ops_after
+       << " ops, " << opt_stats.cse_merges << " cse merges, "
+       << opt_stats.rounds << " rounds\n";
+  head << "# cache: plan " << (plan_cache_hit ? "hit" : "miss")
+       << ", subplan " << subplan_cache_hits << " hits / "
+       << subplan_cache_misses << " misses; resident "
+       << cache_stats.plan.entries << " plans ("
+       << cache_stats.plan.bytes << " B), " << cache_stats.subplan.entries
+       << " subplans (" << cache_stats.subplan.bytes << " B), "
+       << (cache_stats.plan.evictions + cache_stats.subplan.evictions)
+       << " evictions, budget " << cache_stats.budget_bytes << " B\n";
+  return head.str() +
+         algebra::PlanToTextAnnotated(
+             plan_opt, *ctx->pool(), [&](const algebra::Op& op) -> std::string {
+               auto it = by_id.find(op.id);
+               if (it == by_id.end()) return "";
+               const engine::OperatorProfile& p = *it->second;
+               if (p.fused) return "[fused]";
+               std::ostringstream os;
+               os << "[";
+               if (p.cached) os << "cached, ";
+               os << FmtProfileNs(p.wall_ns) << ", ";
+               if (p.in_rows >= 0) os << p.in_rows << "->";
+               os << p.out_rows << " rows, " << p.morsels << " morsels, "
+                  << p.out_bytes << " B]";
+               return os.str();
+             });
 }
 
 std::string QueryResult::ProfileJson() const {
   if (profile == nullptr) return "";
-  return engine::ProfileToJson(*profile);
+  std::string out = "{\"opt_stats\": {\"ops_before\": ";
+  out += std::to_string(opt_stats.ops_before);
+  out += ", \"ops_after\": ";
+  out += std::to_string(opt_stats.ops_after);
+  out += ", \"projections_fused\": ";
+  out += std::to_string(opt_stats.projections_fused);
+  out += ", \"dead_columns_pruned\": ";
+  out += std::to_string(opt_stats.dead_columns_pruned);
+  out += ", \"distincts_removed\": ";
+  out += std::to_string(opt_stats.distincts_removed);
+  out += ", \"unions_simplified\": ";
+  out += std::to_string(opt_stats.unions_simplified);
+  out += ", \"cse_merges\": ";
+  out += std::to_string(opt_stats.cse_merges);
+  out += ", \"rounds\": ";
+  out += std::to_string(opt_stats.rounds);
+  out += "}, \"cache\": {\"plan_hit\": ";
+  out += plan_cache_hit ? "true" : "false";
+  out += ", \"subplan_hits\": ";
+  out += std::to_string(subplan_cache_hits);
+  out += ", \"subplan_misses\": ";
+  out += std::to_string(subplan_cache_misses);
+  out += ", ";
+  SectionToJson("plan", cache_stats.plan, &out);
+  out += ", ";
+  SectionToJson("subplan", cache_stats.subplan, &out);
+  out += ", \"invalidations\": ";
+  out += std::to_string(cache_stats.invalidations);
+  out += ", \"budget_bytes\": ";
+  out += std::to_string(cache_stats.budget_bytes);
+  out += "}, \"plan\": ";
+  out += engine::ProfileToJson(*profile);
+  out += "}";
+  return out;
 }
 
 Result<frontend::ExprPtr> Pathfinder::Translate(
@@ -80,32 +166,106 @@ Result<algebra::OpPtr> Pathfinder::CompilePlan(
 Result<QueryResult> Pathfinder::Run(const std::string& query,
                                     const QueryOptions& opts) const {
   QueryResult res;
-  PF_ASSIGN_OR_RETURN(res.core, Translate(query, opts));
-  PF_ASSIGN_OR_RETURN(res.plan,
-                      CompilePlan(res.core, opts, &res.compile_stats));
-  if (opts.optimize) {
-    PF_ASSIGN_OR_RETURN(res.plan_opt,
-                        opt::Optimize(res.plan, &res.opt_stats));
-  } else {
-    res.plan_opt = res.plan;
-  }
   bool pipeline =
       opts.pipeline < 0 ? engine::PipelineDefault() : opts.pipeline != 0;
-  if (pipeline) {
-    PF_RETURN_NOT_OK(
-        opt::AnnotatePipelines(res.plan_opt, &res.pipeline_stats));
+  bool cse =
+      opts.optimize && (opts.cse < 0 ? opt::CseDefault() : opts.cse != 0);
+  engine::QueryCache* cache = cache_.get();
+  if (opts.cache_budget_bytes >= 0) {
+    cache->SetBudget(static_cast<size_t>(opts.cache_budget_bytes));
   }
+  // Both cache sections are gated on a nonzero byte budget; within
+  // that, each can be forced on/off per query.
+  bool budget_on = cache->budget() > 0;
+  bool plan_cache =
+      budget_on && (opts.plan_cache < 0 || opts.plan_cache != 0);
+  bool subplan_cache =
+      budget_on && (opts.subplan_cache < 0 || opts.subplan_cache != 0);
+  if (plan_cache || subplan_cache) {
+    // Drops every entry if a document was (re)registered since the
+    // cache last saw the store.
+    cache->BeginQuery(db_->generation());
+  }
+
+  std::string raw_key, core_key;
+  engine::PlanEntryPtr entry;
+  if (plan_cache) {
+    raw_key = "r:" + KeyFingerprint(opts, cse, pipeline) + query;
+    entry = cache->LookupPlan(raw_key);
+  }
+  if (!entry) {
+    PF_ASSIGN_OR_RETURN(res.core, Translate(query, opts));
+    if (plan_cache) {
+      // Tier 2: a differently spelled query with the same Core shares
+      // the entry; remember the raw spelling for next time.
+      core_key = "c:" + KeyFingerprint(opts, cse, pipeline) +
+                 frontend::CanonicalCoreText(res.core);
+      entry = cache->LookupPlan(core_key);
+      if (entry) cache->AliasPlan(raw_key, entry);
+    }
+  }
+  if (entry) {
+    // Cached plans are shared and may be executing concurrently; they
+    // are used exactly as published, never re-annotated.
+    res.plan_cache_hit = true;
+    res.core = entry->core;
+    res.plan = entry->plan;
+    res.plan_opt = entry->plan_opt;
+    res.compile_stats = entry->compile_stats;
+    res.opt_stats = entry->opt_stats;
+    res.pipeline_stats = entry->pipeline_stats;
+  } else {
+    PF_ASSIGN_OR_RETURN(res.plan,
+                        CompilePlan(res.core, opts, &res.compile_stats));
+    if (opts.optimize) {
+      opt::OptimizeOptions oopts;
+      oopts.cse = cse;
+      PF_ASSIGN_OR_RETURN(res.plan_opt,
+                          opt::Optimize(res.plan, &res.opt_stats, oopts));
+    } else {
+      res.plan_opt = res.plan;
+    }
+    if (pipeline) {
+      PF_RETURN_NOT_OK(
+          opt::AnnotatePipelines(res.plan_opt, &res.pipeline_stats));
+    }
+    if (plan_cache || subplan_cache) {
+      engine::AnnotateCacheCandidates(res.plan_opt);
+    }
+    if (plan_cache) {
+      engine::PlanCacheEntry pe;
+      pe.core = res.core;
+      pe.plan = res.plan;
+      pe.plan_opt = res.plan_opt;
+      pe.compile_stats = res.compile_stats;
+      pe.opt_stats = res.opt_stats;
+      pe.pipeline_stats = res.pipeline_stats;
+      pe.bytes = algebra::ApproxPlanBytes(res.plan) +
+                 algebra::ApproxPlanBytes(res.plan_opt) + core_key.size();
+      entry = cache->InsertPlan(raw_key, core_key, std::move(pe));
+      // Insert-if-absent: on a concurrent race the resident entry wins
+      // so every executor shares one (immutably annotated) DAG.
+      res.core = entry->core;
+      res.plan = entry->plan;
+      res.plan_opt = entry->plan_opt;
+    }
+  }
+
   res.ctx = std::make_unique<engine::QueryContext>(db_);
   res.ctx->use_staircase = opts.use_staircase;
   res.ctx->pipeline = pipeline;
   res.ctx->profile =
       opts.profile < 0 ? engine::ProfileDefault() : opts.profile != 0;
   res.ctx->SetNumThreads(opts.num_threads);
+  if (subplan_cache) res.ctx->result_cache = cache;
   PF_ASSIGN_OR_RETURN(bat::Table t,
                       engine::Execute(res.plan_opt, res.ctx.get()));
   PF_ASSIGN_OR_RETURN(res.items, runtime::TableToSequence(t));
   res.scj_stats = res.ctx->scj_stats;
   res.pipe_stats = res.ctx->pipe_stats;
+  res.subplan_cache_hits = res.ctx->subplan_cache_hits;
+  res.subplan_cache_misses = res.ctx->subplan_cache_misses;
+  if (plan_cache || subplan_cache) res.cache_stats = cache->Stats();
   res.profile = std::move(res.ctx->profile_result);
   return res;
 }

@@ -9,6 +9,7 @@
 #include "algebra/op.h"
 #include "base/result.h"
 #include "compiler/compile.h"
+#include "engine/cache.h"
 #include "engine/query_context.h"
 #include "frontend/ast.h"
 #include "opt/optimize.h"
@@ -44,6 +45,26 @@ struct QueryOptions {
   /// (PF_PROFILE env var; OFF unless set to a value other than "0"),
   /// 0 = off, 1 = on. When off, the executor performs no timer calls.
   int profile = -1;
+  /// CSE/DAG-ification after the peephole passes (merges structurally
+  /// identical subtrees into shared nodes). Only meaningful with
+  /// `optimize`. -1 = the process default (PF_CSE env var; on unless
+  /// "0"), 0 = off, 1 = on. Results are identical either way.
+  int cse = -1;
+  /// Cross-query plan cache: repeated query texts (or texts normalizing
+  /// to the same Core) skip parse/normalize/compile/optimize and reuse
+  /// the annotated plan. -1 = on whenever the cache budget is nonzero
+  /// (PF_CACHE_MB, default 64 MB; "0" disables), 0 = off, 1 = on
+  /// (still requires a nonzero budget). Results are identical.
+  int plan_cache = -1;
+  /// Cross-query subplan-result cache: materialized results of pure
+  /// document-derived subtrees (axis steps etc.) are reused across
+  /// queries against the unchanged database. Same -1/0/1 convention and
+  /// budget gate as `plan_cache`. Results are identical.
+  int subplan_cache = -1;
+  /// Override the shared cache byte budget for this Pathfinder before
+  /// running (-1 = leave as is; 0 = drop everything and disable).
+  /// Evicts immediately if lowered.
+  int64_t cache_budget_bytes = -1;
 };
 
 /// A completed query: the result sequence plus every intermediate stage
@@ -64,6 +85,16 @@ struct QueryResult {
   /// null when profiling was off.
   engine::OperatorProfilePtr profile;
 
+  /// Plan served from the cross-query plan cache (frontend + compiler +
+  /// optimizer were skipped entirely).
+  bool plan_cache_hit = false;
+  /// Subplan-result cache traffic of this query alone.
+  int64_t subplan_cache_hits = 0;
+  int64_t subplan_cache_misses = 0;
+  /// Snapshot of the shared cache's cumulative counters, taken after
+  /// this query (zero-valued when caching was off).
+  engine::CacheStats cache_stats;
+
   /// Owns fragments constructed during evaluation; `items` referencing
   /// constructed nodes stay valid while this lives.
   std::unique_ptr<engine::QueryContext> ctx;
@@ -71,11 +102,13 @@ struct QueryResult {
   /// Serialize the result sequence to XML/text.
   Result<std::string> Serialize() const;
 
-  /// The executed plan with each operator's profile rendered inline
-  /// ("" when profiling was off).
+  /// The executed plan with each operator's profile rendered inline,
+  /// headed by optimizer and cache counter summary lines ("" when
+  /// profiling was off).
   std::string ProfileText() const;
 
-  /// The profile tree as JSON ("" when profiling was off).
+  /// The profile as one JSON object: {"opt_stats": {...}, "cache":
+  /// {...}, "plan": <operator tree>} ("" when profiling was off).
   std::string ProfileJson() const;
 };
 
@@ -83,7 +116,10 @@ struct QueryResult {
 /// optimize -> execute on the column store -> serialize.
 class Pathfinder {
  public:
-  explicit Pathfinder(xml::Database* db) : db_(db) {}
+  explicit Pathfinder(xml::Database* db)
+      : db_(db),
+        cache_(std::make_shared<engine::QueryCache>(
+            engine::CacheDefaultBudgetBytes())) {}
 
   /// Parse and normalize only (the demo's Core output).
   Result<frontend::ExprPtr> Translate(const std::string& query,
@@ -101,8 +137,13 @@ class Pathfinder {
 
   xml::Database* db() const { return db_; }
 
+  /// The cross-query cache shared by every query this instance runs
+  /// (inspect its Stats() in tests/benches; internally synchronized).
+  engine::QueryCache* cache() const { return cache_.get(); }
+
  private:
   xml::Database* db_;
+  std::shared_ptr<engine::QueryCache> cache_;
 };
 
 }  // namespace pathfinder

@@ -92,4 +92,11 @@ size_t Column::ByteSize() const {
   return 0;
 }
 
+size_t Column::AllocBytes() const {
+  return sizeof(Column) + ints_.capacity() * sizeof(int64_t) +
+         dbls_.capacity() * sizeof(double) + strs_.capacity() * sizeof(StrId) +
+         bools_.capacity() * sizeof(uint8_t) +
+         items_.capacity() * sizeof(Item);
+}
+
 }  // namespace pathfinder::bat

@@ -89,6 +89,10 @@ class Column {
   /// Bytes of payload held (storage accounting).
   size_t ByteSize() const;
 
+  /// Bytes of payload *allocated* (vector capacity, not size) — honest
+  /// resident-memory accounting for the cross-query result cache.
+  size_t AllocBytes() const;
+
  private:
   ColType type_;
   std::vector<int64_t> ints_;

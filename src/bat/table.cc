@@ -39,6 +39,13 @@ size_t Table::ByteSize() const {
   return total;
 }
 
+size_t Table::AllocBytes() const {
+  size_t total = sizeof(Table);
+  for (const auto& c : cols_) total += c->AllocBytes();
+  for (const auto& n : names_) total += n.capacity() + sizeof(n);
+  return total;
+}
+
 namespace {
 
 void RenderCell(std::ostream& os, const Column& c, size_t row,

@@ -49,6 +49,11 @@ class Table {
   /// Sum of column payload bytes.
   size_t ByteSize() const;
 
+  /// Allocated bytes (column capacities + name strings) — resident
+  /// footprint of a cached result. Shared columns are counted once per
+  /// Table; the cache accepts the overestimate for shared ColumnPtrs.
+  size_t AllocBytes() const;
+
  private:
   std::vector<std::string> names_;
   std::vector<ColumnPtr> cols_;

@@ -1,0 +1,252 @@
+#include "engine/cache.h"
+
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "algebra/hash.h"
+
+namespace pathfinder::engine {
+
+namespace alg = pathfinder::algebra;
+
+// --- QueryCache -----------------------------------------------------------
+
+void QueryCache::BeginQuery(uint64_t db_generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation_seen_ && generation_ != db_generation) {
+    ClearLocked();
+    stats_.invalidations++;
+  }
+  generation_ = db_generation;
+  generation_seen_ = true;
+}
+
+PlanEntryPtr QueryCache::LookupPlan(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plan_map_.find(key);
+  if (it == plan_map_.end()) {
+    stats_.plan.misses++;
+    return nullptr;
+  }
+  stats_.plan.hits++;
+  plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+  return *it->second;
+}
+
+void QueryCache::AliasPlan(const std::string& key, const PlanEntryPtr& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_map_.count(key)) return;
+  // Locate the resident list node via one of the entry's known keys; if
+  // the entry was evicted between lookup and alias, do nothing.
+  for (const auto& k : entry->keys) {
+    auto it = plan_map_.find(k);
+    if (it == plan_map_.end() || *it->second != entry) continue;
+    plan_map_.emplace(key, it->second);
+    const_cast<PlanCacheEntry*>(entry.get())->keys.push_back(key);
+    plan_bytes_ += key.size();
+    return;
+  }
+}
+
+PlanEntryPtr QueryCache::InsertPlan(const std::string& raw_key,
+                                    const std::string& core_key,
+                                    PlanCacheEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Insert-if-absent: a concurrent query may have published the same
+  // plan first; the resident entry wins (all executors then share one
+  // annotated DAG).
+  if (auto it = plan_map_.find(raw_key); it != plan_map_.end()) {
+    plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+    return *it->second;
+  }
+  if (auto it = plan_map_.find(core_key); it != plan_map_.end()) {
+    PlanEntryPtr resident = *it->second;
+    plan_map_.emplace(raw_key, it->second);
+    const_cast<PlanCacheEntry*>(resident.get())->keys.push_back(raw_key);
+    plan_bytes_ += raw_key.size();
+    plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+    return resident;
+  }
+  entry.keys = {raw_key};
+  if (core_key != raw_key) entry.keys.push_back(core_key);
+  entry.bytes += raw_key.size() + core_key.size();
+  auto shared = std::make_shared<const PlanCacheEntry>(std::move(entry));
+  if (shared->bytes > PlanBudgetLocked()) return shared;  // never fits
+  EvictPlanLocked(shared->bytes);
+  plan_lru_.push_front(shared);
+  for (const auto& k : shared->keys) plan_map_.emplace(k, plan_lru_.begin());
+  plan_bytes_ += shared->bytes;
+  return shared;
+}
+
+void QueryCache::EvictPlanLocked(size_t needed) {
+  while (!plan_lru_.empty() && plan_bytes_ + needed > PlanBudgetLocked()) {
+    const PlanEntryPtr& victim = plan_lru_.back();
+    for (const auto& k : victim->keys) plan_map_.erase(k);
+    plan_bytes_ -= victim->bytes;
+    plan_lru_.pop_back();
+    stats_.plan.evictions++;
+  }
+}
+
+bool QueryCache::LookupSubplan(const algebra::Op& op, bat::Table* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sub_map_.find(op.cache_hash);
+  if (it != sub_map_.end()) {
+    for (SubLru::iterator e : it->second) {
+      // Hash match is a candidate only: confirm with the deep
+      // structural check before serving (collisions must never swap
+      // one query's subtree for another's).
+      if (alg::StructurallyEqual(*e->subtree, op)) {
+        sub_lru_.splice(sub_lru_.begin(), sub_lru_, e);
+        *out = e->table;  // shallow: columns shared, immutable
+        stats_.subplan.hits++;
+        return true;
+      }
+    }
+  }
+  stats_.subplan.misses++;
+  return false;
+}
+
+void QueryCache::InsertSubplan(const algebra::OpPtr& subtree,
+                               const bat::Table& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t hash = subtree->cache_hash;
+  auto it = sub_map_.find(hash);
+  if (it != sub_map_.end()) {
+    for (SubLru::iterator e : it->second) {
+      if (alg::StructurallyEqual(*e->subtree, *subtree)) return;  // raced
+    }
+  }
+  SubEntry entry;
+  entry.hash = hash;
+  entry.subtree = subtree;
+  entry.table = t;
+  entry.bytes = t.AllocBytes() + alg::ApproxPlanBytes(subtree);
+  if (entry.bytes > SubBudgetLocked()) return;  // would never fit
+  EvictSubLocked(entry.bytes);
+  sub_bytes_ += entry.bytes;
+  sub_lru_.push_front(std::move(entry));
+  sub_map_[hash].push_back(sub_lru_.begin());
+}
+
+void QueryCache::EvictSubLocked(size_t needed) {
+  while (!sub_lru_.empty() && sub_bytes_ + needed > SubBudgetLocked()) {
+    const SubEntry& victim = sub_lru_.back();
+    auto& bucket = sub_map_[victim.hash];
+    for (auto bit = bucket.begin(); bit != bucket.end(); ++bit) {
+      if (&**bit == &victim) {
+        bucket.erase(bit);
+        break;
+      }
+    }
+    if (bucket.empty()) sub_map_.erase(victim.hash);
+    sub_bytes_ -= victim.bytes;
+    sub_lru_.pop_back();
+    stats_.subplan.evictions++;
+  }
+}
+
+CacheStats QueryCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s = stats_;
+  s.plan.entries = static_cast<int64_t>(plan_lru_.size());
+  s.plan.bytes = static_cast<int64_t>(plan_bytes_);
+  s.subplan.entries = static_cast<int64_t>(sub_lru_.size());
+  s.subplan.bytes = static_cast<int64_t>(sub_bytes_);
+  s.budget_bytes = static_cast<int64_t>(budget_);
+  return s;
+}
+
+void QueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClearLocked();
+}
+
+void QueryCache::ClearLocked() {
+  // Resident state goes; cumulative hit/miss/eviction counters stay.
+  plan_map_.clear();
+  plan_lru_.clear();
+  plan_bytes_ = 0;
+  sub_map_.clear();
+  sub_lru_.clear();
+  sub_bytes_ = 0;
+}
+
+void QueryCache::SetBudget(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = bytes;
+  EvictPlanLocked(0);
+  EvictSubLocked(0);
+}
+
+size_t QueryCache::budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
+}
+
+// --- candidate annotation -------------------------------------------------
+
+namespace {
+
+/// Operators whose results depend on per-query state: node construction
+/// allocates fragment ids from the query's FragmentStore, so identical
+/// subtrees yield different (correct) items on every run.
+bool IsImpure(alg::OpKind k) {
+  return k == alg::OpKind::kElemConstr || k == alg::OpKind::kTextConstr ||
+         k == alg::OpKind::kAttrConstr;
+}
+
+}  // namespace
+
+void AnnotateCacheCandidates(const algebra::OpPtr& root) {
+  std::vector<alg::Op*> order = alg::TopoOrder(root);
+  std::unordered_map<const alg::Op*, bool> pure, has_doc;
+  for (alg::Op* op : order) {
+    bool p = !IsImpure(op->kind);
+    bool d = op->kind == alg::OpKind::kStep ||
+             op->kind == alg::OpKind::kDocRoot;
+    for (const auto& c : op->children) {
+      p = p && pure.at(c.get());
+      d = d || has_doc.at(c.get());
+    }
+    pure[op] = p;
+    has_doc[op] = d;
+    op->cache_cand = false;
+    op->cache_hash = 0;
+  }
+  // Candidates: maximal pure document-derived subtrees (pure child of
+  // an impure parent, or a pure root), plus every pure Step — axis
+  // steps are the expensive, highly reusable unit, worth a cache entry
+  // even in the middle of a larger pure region.
+  auto mark = [&](alg::Op* op) {
+    op->cache_cand = pure.at(op) && has_doc.at(op);
+  };
+  for (alg::Op* op : order) {
+    if (op->kind == alg::OpKind::kStep) mark(op);
+    if (!pure.at(op)) {
+      for (const auto& c : op->children) mark(c.get());
+    }
+  }
+  mark(root.get());
+  std::unordered_map<const alg::Op*, uint64_t> hashes;
+  alg::StructuralHashes(root, &hashes);
+  for (alg::Op* op : order) {
+    if (op->cache_cand) op->cache_hash = hashes.at(op);
+  }
+}
+
+size_t CacheDefaultBudgetBytes() {
+  static const size_t kBytes = [] {
+    const char* e = std::getenv("PF_CACHE_MB");
+    if (e == nullptr || *e == '\0') return size_t{64} << 20;
+    long mb = std::strtol(e, nullptr, 10);
+    if (mb <= 0) return size_t{0};
+    return static_cast<size_t>(mb) << 20;
+  }();
+  return kBytes;
+}
+
+}  // namespace pathfinder::engine

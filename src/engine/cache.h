@@ -1,0 +1,158 @@
+#ifndef PATHFINDER_ENGINE_CACHE_H_
+#define PATHFINDER_ENGINE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/op.h"
+#include "bat/table.h"
+#include "compiler/compile.h"
+#include "frontend/ast.h"
+#include "opt/optimize.h"
+#include "opt/pipeline.h"
+
+namespace pathfinder::engine {
+
+/// Counters of one cache section (exposed in profiler text/JSON).
+struct CacheSectionStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t entries = 0;  ///< resident entries (snapshot)
+  int64_t bytes = 0;    ///< resident bytes (snapshot)
+};
+
+struct CacheStats {
+  CacheSectionStats plan;
+  CacheSectionStats subplan;
+  int64_t invalidations = 0;  ///< whole-cache clears on db generation change
+  int64_t budget_bytes = 0;
+};
+
+/// Everything the api layer needs to skip the frontend/compile/optimize
+/// pipeline on a repeated query. `plan_opt` is fully annotated
+/// (pipelines + cache candidates) and is executed as-is — cached plans
+/// are never re-annotated, so concurrent executions of the same entry
+/// cannot race on plan-node annotation fields.
+struct PlanCacheEntry {
+  frontend::ExprPtr core;
+  algebra::OpPtr plan;      ///< compiled, pre-optimization
+  algebra::OpPtr plan_opt;  ///< optimized + pipeline/cache annotated
+  compiler::CompileStats compile_stats;
+  opt::OptimizeStats opt_stats;
+  opt::PipelineStats pipeline_stats;
+  size_t bytes = 0;
+  /// Every map key aliasing this entry ("r:"-prefixed raw query texts
+  /// plus the one "c:" canonical-core key) — erased together on evict.
+  std::vector<std::string> keys;
+};
+
+using PlanEntryPtr = std::shared_ptr<const PlanCacheEntry>;
+
+/// Cross-query cache: optimized plans keyed by query text, and
+/// materialized subplan results keyed by structural plan hash.
+///
+/// One instance lives inside api::Pathfinder and is shared by every
+/// query it runs; all methods are thread-safe (single internal mutex —
+/// the guarded work is map lookups and shallow Table copies, never
+/// operator evaluation). Byte budget: the plan section may use at most
+/// a quarter of the total, the subplan section the rest; least recently
+/// used entries are evicted when an insert overflows a section. Entries
+/// are dropped wholesale when the database generation changes (document
+/// (re)registration invalidates everything derived from documents).
+class QueryCache {
+ public:
+  explicit QueryCache(size_t budget_bytes) : budget_(budget_bytes) {}
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// Sync with the store: on a generation change, drop everything.
+  /// Call once per query, before any lookup.
+  void BeginQuery(uint64_t db_generation);
+
+  /// Plan lookup by exact ("r:" raw) or canonical ("c:" core) key.
+  /// nullptr on miss. A raw-key miss followed by a core-key hit should
+  /// be repaired with AliasPlan so the next lookup hits tier 1.
+  PlanEntryPtr LookupPlan(const std::string& key);
+
+  /// Register an extra key for an existing entry (tier-2 repair).
+  void AliasPlan(const std::string& key, const PlanEntryPtr& entry);
+
+  /// Insert a freshly built plan under both its keys. If a concurrent
+  /// query inserted the same raw key first, the resident entry wins and
+  /// is returned (insert-if-absent).
+  PlanEntryPtr InsertPlan(const std::string& raw_key,
+                          const std::string& core_key, PlanCacheEntry entry);
+
+  /// Materialized result of a cache-candidate subtree (`op.cache_hash`
+  /// must be set). On hit, `out` receives a shallow copy (columns are
+  /// shared and immutable). Counts a hit or miss.
+  bool LookupSubplan(const algebra::Op& op, bat::Table* out);
+
+  /// Store a candidate's materialized result. `subtree` keeps the plan
+  /// nodes alive for the deep structural-equality check on later
+  /// lookups. No-op if an equal entry is already resident or the table
+  /// alone overflows the section budget.
+  void InsertSubplan(const algebra::OpPtr& subtree, const bat::Table& t);
+
+  CacheStats Stats() const;
+  void Clear();
+
+  void SetBudget(size_t bytes);
+  size_t budget() const;
+
+ private:
+  struct SubEntry {
+    uint64_t hash = 0;
+    algebra::OpPtr subtree;
+    bat::Table table;
+    size_t bytes = 0;
+  };
+
+  using PlanLru = std::list<PlanEntryPtr>;
+  using SubLru = std::list<SubEntry>;
+
+  size_t PlanBudgetLocked() const { return budget_ / 4; }
+  size_t SubBudgetLocked() const { return budget_ - budget_ / 4; }
+  void EvictPlanLocked(size_t needed);
+  void EvictSubLocked(size_t needed);
+  void ClearLocked();
+
+  mutable std::mutex mu_;
+  size_t budget_;
+  uint64_t generation_ = 0;
+  bool generation_seen_ = false;
+
+  PlanLru plan_lru_;  // front = most recent
+  std::unordered_map<std::string, PlanLru::iterator> plan_map_;
+  size_t plan_bytes_ = 0;
+
+  SubLru sub_lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::vector<SubLru::iterator>> sub_map_;
+  size_t sub_bytes_ = 0;
+
+  CacheStats stats_;
+};
+
+/// Mark the subtrees of `root` whose materialized results the executor
+/// may exchange with a QueryCache: pure (constructor-free) subtrees
+/// that touch a document (contain a Step or DocRoot) and are maximal —
+/// their parent is impure or absent — plus every pure Step node (axis
+/// steps are the expensive, highly reusable building block, worth
+/// caching even mid-chain). Sets Op::cache_cand / Op::cache_hash;
+/// call only on freshly built plans (never on plans already published
+/// to the cache — annotation would race with concurrent executors).
+void AnnotateCacheCandidates(const algebra::OpPtr& root);
+
+/// Process-wide default cache budget: PF_CACHE_MB megabytes (read
+/// once); unset = 64 MB, "0" = caching off.
+size_t CacheDefaultBudgetBytes();
+
+}  // namespace pathfinder::engine
+
+#endif  // PATHFINDER_ENGINE_CACHE_H_

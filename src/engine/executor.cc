@@ -7,10 +7,12 @@
 #include <map>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "accel/step.h"
 #include "bat/item_ops.h"
 #include "bat/kernel.h"
+#include "engine/cache.h"
 #include "engine/node_build.h"
 #include "engine/profile.h"
 
@@ -749,7 +751,63 @@ class Exec {
     // Profiling is a single predictable branch per operator when off:
     // no timer calls, no map writes, no allocation on the hot path.
     bool prof = ctx_->profile;
-    for (Op* op : alg::TopoOrder(root)) {
+    QueryCache* cache = ctx_->result_cache;
+    // Evaluation order: iterative post-order over the DAG (children
+    // before parents, each node once), pruned at subplan-cache hits —
+    // a served subtree is never descended into, so its operators cost
+    // nothing. Nodes it shares with the rest of the plan are still
+    // reached through their other parents. Misses are remembered and
+    // published after evaluation, outside any timed region.
+    std::vector<const alg::OpPtr*> order;
+    std::vector<const alg::OpPtr*> publish;
+    {
+      struct Frame {
+        const alg::OpPtr* op;
+        size_t child = 0;
+      };
+      std::unordered_set<const Op*> visited;
+      std::vector<Frame> stack;
+      auto enter = [&](const alg::OpPtr& p) {
+        if (!visited.insert(p.get()).second) return;
+        // Consult the cache at candidates only when the node owns a
+        // materialized result: fused fragment interiors never do (the
+        // tail evaluates the whole chain), so a hit there would leave
+        // the fragment half-pruned.
+        if (cache && p->cache_cand &&
+            !(pipe && p->pipe_frag >= 0 && !p->pipe_tail)) {
+          int64_t t0 = prof ? ProfileNowNs() : 0;
+          Table t;
+          if (cache->LookupSubplan(*p, &t)) {
+            ctx_->subplan_cache_hits++;
+            if (prof) {
+              OpProfileRec& rec = recs_[p.get()];
+              rec.cached = true;
+              rec.wall_ns = ProfileNowNs() - t0;
+              rec.out_rows = static_cast<int64_t>(t.rows());
+              rec.out_bytes = static_cast<int64_t>(t.ByteSize());
+            }
+            memo_.emplace(p.get(), std::move(t));
+            return;  // subtree served; no descent
+          }
+          ctx_->subplan_cache_misses++;
+          publish.push_back(&p);
+        }
+        stack.push_back(Frame{&p});
+      };
+      enter(root);
+      while (!stack.empty()) {
+        Frame f = stack.back();
+        if (f.child < (*f.op)->children.size()) {
+          stack.back().child++;
+          enter((*f.op)->children[f.child]);  // may grow the stack
+        } else {
+          order.push_back(f.op);
+          stack.pop_back();
+        }
+      }
+    }
+    for (const alg::OpPtr* opp : order) {
+      Op* op = opp->get();
       bool fragment = pipe && op->pipe_frag >= 0;
       if (fragment && !op->pipe_tail) {
         // Interior fragment members never materialize: the tail
@@ -773,6 +831,11 @@ class Exec {
         rec.morsels = fragment ? frag_morsels_ : MorselCount(*op, t);
       }
       memo_.emplace(op, std::move(t));
+    }
+    if (cache) {
+      for (const alg::OpPtr* opp : publish) {
+        cache->InsertSubplan(*opp, memo_.at(opp->get()));
+      }
     }
     if (prof) {
       ctx_->profile_result = BuildProfileTree(root, recs_, *ctx_->pool());

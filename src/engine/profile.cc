@@ -55,6 +55,7 @@ void Build(const algebra::OpPtr& op,
   if (it != recs.end()) {
     const OpProfileRec& r = it->second;
     out->fused = r.fused;
+    out->cached = r.cached;
     out->wall_ns = r.wall_ns;
     out->out_rows = r.out_rows;
     out->out_bytes = r.out_bytes;
@@ -75,6 +76,10 @@ void Build(const algebra::OpPtr& op,
     out->shared_ref = true;
     return;  // shared subplan: children rendered at the first visit
   }
+  if (out->cached) {
+    // The subtree below a cache hit never ran; render the hit as a leaf.
+    return;
+  }
   out->children.resize(op->children.size());
   for (size_t i = 0; i < op->children.size(); ++i) {
     Build(op->children[i], recs, pool, seen, &out->children[i]);
@@ -94,6 +99,8 @@ void ToJson(const OperatorProfile& p, std::string* out) {
   *out += p.fused ? "true" : "false";
   *out += ", \"shared_ref\": ";
   *out += p.shared_ref ? "true" : "false";
+  *out += ", \"cached\": ";
+  *out += p.cached ? "true" : "false";
   *out += ", \"wall_ns\": ";
   *out += std::to_string(p.wall_ns);
   *out += ", \"in_rows\": ";

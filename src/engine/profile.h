@@ -31,6 +31,10 @@ struct OperatorProfile {
   int pipe_frag = -1;                  ///< fragment membership (-1 = none)
   bool fused = false;    ///< interior of a fused fragment (no own BAT)
   bool shared_ref = false;  ///< repeat visit of a shared subplan
+  /// Result served from the cross-query subplan cache: the subtree was
+  /// not executed, so the node is rendered as a leaf (no children) and
+  /// wall_ns only covers the cache lookup.
+  bool cached = false;
   int64_t wall_ns = 0;   ///< evaluation wall time (0 for fused/refs)
   int64_t in_rows = 0;   ///< sum of child output rows (-1 = unknown)
   int64_t out_rows = 0;  ///< materialized output rows (-1 = not mat.)
@@ -49,6 +53,7 @@ struct OpProfileRec {
   int64_t out_bytes = 0;
   int64_t morsels = 0;
   bool fused = false;
+  bool cached = false;  ///< served from the subplan-result cache
 };
 
 /// Fold the recorded measurements into a profile tree shaped like the

@@ -15,6 +15,8 @@
 
 namespace pathfinder::engine {
 
+class QueryCache;
+
 /// Counters for the pipelined (fused fragment) execution path.
 struct PipelineExecStats {
   int64_t fragments = 0;  ///< fused fragments executed
@@ -114,6 +116,17 @@ class QueryContext {
 
   /// Fused-pipeline execution counters for this query.
   PipelineExecStats pipe_stats;
+
+  /// Cross-query subplan-result cache (see engine/cache.h), or nullptr
+  /// when subplan caching is off for this query. The executor consults
+  /// it at annotated cache candidates (Op::cache_cand) and publishes
+  /// freshly materialized candidate results back.
+  QueryCache* result_cache = nullptr;
+
+  /// Per-query subplan cache traffic (the cache's own counters are
+  /// cumulative across queries).
+  int64_t subplan_cache_hits = 0;
+  int64_t subplan_cache_misses = 0;
 
  private:
   xml::Database* db_;

@@ -1,0 +1,94 @@
+#include "frontend/canonical.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace pathfinder::frontend {
+
+namespace {
+
+// Grammar (self-delimiting, so distinct trees cannot collide):
+//   expr     := '(' kind fields { expr } ')' | '_'        ('_' = null)
+//   string   := 's' LEN ':' BYTES
+//   integers := decimal, doubles := hex of the IEEE bit pattern.
+// Field order is fixed per kind-independent layout below.
+
+void PutStr(const std::string& s, std::string* out) {
+  *out += 's';
+  *out += std::to_string(s.size());
+  *out += ':';
+  *out += s;
+}
+
+void PutDbl(double d, std::string* out) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  *out += buf;
+}
+
+void Put(const ExprPtr& e, std::string* out) {
+  if (!e) {
+    *out += '_';
+    return;
+  }
+  *out += '(';
+  *out += std::to_string(static_cast<int>(e->kind));
+  *out += ' ';
+  *out += std::to_string(e->ival);
+  *out += ' ';
+  PutDbl(e->dval, out);
+  *out += ' ';
+  PutStr(e->sval, out);
+  *out += ' ';
+  *out += std::to_string(static_cast<int>(e->op));
+  *out += ' ';
+  *out += std::to_string(static_cast<int>(e->axis));
+  *out += ' ';
+  *out += std::to_string(static_cast<int>(e->test.kind));
+  PutStr(e->test.name, out);
+  *out += 'p';
+  *out += std::to_string(e->preds.size());
+  for (const auto& p : e->preds) Put(p, out);
+  *out += 'c';
+  *out += std::to_string(e->clauses.size());
+  for (const auto& c : e->clauses) {
+    *out += c.is_let ? 'L' : 'F';
+    PutStr(c.var, out);
+    PutStr(c.pos_var, out);
+    Put(c.expr, out);
+  }
+  *out += 'w';
+  Put(e->where, out);
+  *out += 'o';
+  *out += std::to_string(e->order_keys.size());
+  for (const auto& k : e->order_keys) {
+    *out += k.ascending ? 'a' : 'd';
+    Put(k.key, out);
+  }
+  *out += 't';
+  *out += std::to_string(e->cases.size());
+  for (const auto& c : e->cases) {
+    *out += std::to_string(static_cast<int>(c.type));
+    PutStr(c.elem_name, out);
+    PutStr(c.var, out);
+    Put(c.body, out);
+  }
+  *out += 'k';
+  *out += std::to_string(e->children.size());
+  for (const auto& c : e->children) Put(c, out);
+  *out += ')';
+}
+
+}  // namespace
+
+std::string CanonicalCoreText(const ExprPtr& e) {
+  std::string out;
+  out.reserve(256);
+  Put(e, &out);
+  return out;
+}
+
+}  // namespace pathfinder::frontend

@@ -1,0 +1,24 @@
+#ifndef PATHFINDER_FRONTEND_CANONICAL_H_
+#define PATHFINDER_FRONTEND_CANONICAL_H_
+
+#include <string>
+
+#include "frontend/ast.h"
+
+namespace pathfinder::frontend {
+
+/// Collision-free serialization of a (normalized Core) expression tree.
+///
+/// Two expressions yield the same canonical text exactly when they are
+/// structurally identical — every semantic field participates (string
+/// payloads length-prefixed, doubles by bit pattern), source positions
+/// do not. Queries differing only in whitespace, comments or literal
+/// spelling that the parser already folds therefore share one canonical
+/// text, which makes it the second-tier key of the cross-query plan
+/// cache (engine::QueryCache): "same Core, different surface text"
+/// still hits.
+std::string CanonicalCoreText(const ExprPtr& e);
+
+}  // namespace pathfinder::frontend
+
+#endif  // PATHFINDER_FRONTEND_CANONICAL_H_

@@ -1,8 +1,12 @@
 #include "opt/optimize.h"
 
+#include <cstdlib>
 #include <set>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
+#include "algebra/hash.h"
 #include "algebra/schema.h"
 
 namespace pathfinder::opt {
@@ -173,9 +177,74 @@ Result<Required> AnalyzeRequired(
 
 // ---------------------------------------------------------------------
 
+// ---------------------------------------------------------------------
+// CSE / DAG-ification: hash-consing over the plan.
+//
+// Rebuilds the DAG bottom-up, replacing every node with a canonical
+// representative: children are canonicalized first, so two subtrees are
+// structurally equal exactly when their local parameters match (under
+// the canonical orderings of algebra/hash.h) and their canonical
+// children are the *same nodes*. Buckets are keyed by the combined
+// hash; collisions fall back to LocalParamsEqual.
+
+class CseMerger {
+ public:
+  OpPtr Rec(const OpPtr& op) {
+    auto it = memo_.find(op.get());
+    if (it != memo_.end()) return it->second;
+    std::vector<OpPtr> kids;
+    kids.reserve(op->children.size());
+    bool kid_changed = false;
+    for (const auto& c : op->children) {
+      OpPtr nc = Rec(c);
+      kid_changed |= nc.get() != c.get();
+      kids.push_back(std::move(nc));
+    }
+    OpPtr node = op;
+    if (kid_changed) {
+      node = std::make_shared<Op>(*op);
+      node->children = std::move(kids);
+    }
+    uint64_t h = alg::LocalParamsHash(*node);
+    for (const auto& c : node->children) {
+      h = alg::CombineChildHash(h, rep_hash_.at(c.get()));
+    }
+    for (const OpPtr& cand : buckets_[h]) {
+      if (cand.get() == node.get()) continue;
+      if (cand->children.size() != node->children.size()) continue;
+      bool same_kids = true;
+      for (size_t i = 0; i < cand->children.size(); ++i) {
+        if (cand->children[i].get() != node->children[i].get()) {
+          same_kids = false;
+          break;
+        }
+      }
+      if (!same_kids || !alg::LocalParamsEqual(*cand, *node)) continue;
+      ++merges_;
+      memo_[op.get()] = cand;
+      return cand;
+    }
+    buckets_[h].push_back(node);
+    rep_hash_[node.get()] = h;
+    memo_[op.get()] = node;
+    return node;
+  }
+
+  int merges() const { return merges_; }
+
+ private:
+  std::unordered_map<const Op*, OpPtr> memo_;       // orig -> representative
+  std::unordered_map<const Op*, uint64_t> rep_hash_;
+  std::unordered_map<uint64_t, std::vector<OpPtr>> buckets_;
+  int merges_ = 0;
+};
+
+// ---------------------------------------------------------------------
+
 class Optimizer {
  public:
-  explicit Optimizer(OptimizeStats* stats) : stats_(stats) {}
+  Optimizer(OptimizeStats* stats, const OptimizeOptions& opts)
+      : stats_(stats), opts_(opts) {}
 
   Result<OpPtr> Run(OpPtr cur) {
     if (stats_) stats_->ops_before = alg::CountOps(cur);
@@ -184,6 +253,11 @@ class Optimizer {
       changed_ = false;
       PF_ASSIGN_OR_RETURN(cur, Pass(cur));
       if (!changed_) break;
+    }
+    if (opts_.cse) {
+      CseMerger cse;
+      cur = cse.Rec(cur);
+      if (stats_) stats_->cse_merges = cse.merges();
     }
     PF_RETURN_NOT_OK(alg::ValidatePlan(cur));
     if (stats_) stats_->ops_after = alg::CountOps(cur);
@@ -417,6 +491,7 @@ class Optimizer {
   }
 
   OptimizeStats* stats_;
+  OptimizeOptions opts_;
   bool changed_ = false;
   std::unordered_map<const Op*, alg::Schema> schemas_;
   Required required_;
@@ -426,9 +501,26 @@ class Optimizer {
 }  // namespace
 
 Result<algebra::OpPtr> Optimize(const algebra::OpPtr& root,
-                                OptimizeStats* stats) {
-  Optimizer o(stats);
+                                OptimizeStats* stats,
+                                const OptimizeOptions& opts) {
+  Optimizer o(stats, opts);
   return o.Run(root);
+}
+
+Result<algebra::OpPtr> CseMerge(const algebra::OpPtr& root, int* merges) {
+  CseMerger cse;
+  OpPtr merged = cse.Rec(root);
+  if (merges) *merges += cse.merges();
+  PF_RETURN_NOT_OK(alg::ValidatePlan(merged));
+  return merged;
+}
+
+bool CseDefault() {
+  static const bool kOn = [] {
+    const char* e = std::getenv("PF_CSE");
+    return e == nullptr || std::string_view(e) != "0";
+  }();
+  return kOn;
 }
 
 }  // namespace pathfinder::opt

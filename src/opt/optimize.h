@@ -13,7 +13,19 @@ struct OptimizeStats {
   int dead_columns_pruned = 0;
   int distincts_removed = 0;
   int unions_simplified = 0;
+  /// Structurally identical subtrees merged into shared nodes by the
+  /// CSE (hash-consing) pass.
+  int cse_merges = 0;
   int rounds = 0;
+};
+
+/// Knobs for a single Optimize invocation.
+struct OptimizeOptions {
+  /// Run the CSE/DAG-ification pass after the peephole fixpoint:
+  /// bottom-up structural hashing merges equivalent subtrees into
+  /// shared nodes, so the executor's shared-subplan memoization (and
+  /// the subplan-result cache) fires once per distinct computation.
+  bool cse = true;
 };
 
 /// Peephole optimizer over the algebra DAG (paper Sec. 2: "This
@@ -28,12 +40,29 @@ struct OptimizeStats {
 ///    duplicate-free and document-ordered per iter — the operator's
 ///    postcondition, paper Sec. 2),
 ///  * ∪ with a statically empty side.
+/// Then (OptimizeOptions::cse) one CSE pass: loop-lifting emits plans
+/// riddled with textually distinct but structurally identical subtrees;
+/// hash-consing merges them so every distinct computation is evaluated
+/// exactly once.
 ///
 /// The result is a fresh DAG; the input plan is not modified. Every
 /// rewrite preserves the plan's result (verified by the equivalence
 /// test-suite in tests/opt/).
 Result<algebra::OpPtr> Optimize(const algebra::OpPtr& root,
-                                OptimizeStats* stats = nullptr);
+                                OptimizeStats* stats = nullptr,
+                                const OptimizeOptions& opts = {});
+
+/// Merge structurally identical subtrees of `root` into shared nodes
+/// (standalone CSE entry point; Optimize calls this when
+/// OptimizeOptions::cse is set). Returns a fresh DAG wherever sharing
+/// changed; untouched subtrees are reused. `merges` (optional)
+/// accumulates the number of distinct nodes eliminated.
+Result<algebra::OpPtr> CseMerge(const algebra::OpPtr& root,
+                                int* merges = nullptr);
+
+/// Process-wide default for the CSE pass: the PF_CSE environment
+/// variable, read once. Unset or any value but "0" = on.
+bool CseDefault();
 
 }  // namespace pathfinder::opt
 

@@ -9,6 +9,7 @@ FragId Database::AddDocument(const std::string& name, Document doc) {
   docs_.push_back(std::make_unique<Document>(std::move(doc)));
   names_.push_back(name);
   by_name_[name] = id;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   return id;
 }
 

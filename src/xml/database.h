@@ -1,6 +1,8 @@
 #ifndef PATHFINDER_XML_DATABASE_H_
 #define PATHFINDER_XML_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -45,8 +47,16 @@ class Database {
   size_t EncodingBytes() const;
   size_t PoolPayloadBytes() const { return pool_.payload_bytes(); }
 
+  /// Monotonic content version, bumped on every document (re)registration.
+  /// Caches keyed on query/document content compare generations and drop
+  /// their entries when the store changed (see engine::QueryCache).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
  private:
   StringPool pool_;
+  std::atomic<uint64_t> generation_{0};
   std::vector<std::unique_ptr<Document>> docs_;
   std::vector<std::string> names_;
   std::unordered_map<std::string, FragId> by_name_;

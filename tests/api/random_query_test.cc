@@ -307,8 +307,12 @@ TEST_P(RandomQueryTest, EnginesAgreeOnGeneratedQueries) {
     // two worker threads — the pipelined-vs-materialized differential
     // over the whole random dialect. Masks 5-6 re-run representative
     // configurations with profiling on: collection must never perturb
-    // results, and the profile tree must materialize.
-    for (int mask = 0; mask < 7; ++mask) {
+    // results, and the profile tree must materialize. Masks 7-9 sweep
+    // the cache/CSE knobs: 7 disables CSE, 8 forces both caches on with
+    // a budget small enough to churn (all masks share this Pathfinder,
+    // so 8 is served against a cache warmed by earlier masks), 9 pins
+    // both caches off.
+    for (int mask = 0; mask < 10; ++mask) {
       QueryOptions o;
       o.context_doc = "shop.xml";
       o.join_recognition = mask != 1;
@@ -318,17 +322,27 @@ TEST_P(RandomQueryTest, EnginesAgreeOnGeneratedQueries) {
         o.pipeline = 1;
         o.num_threads = 2;
       }
-      o.profile = mask >= 5 ? 1 : 0;  // pin against ambient PF_PROFILE
+      o.profile = mask >= 5 && mask < 7 ? 1 : 0;  // pin ambient PF_PROFILE
       if (mask == 6) {
         o.pipeline = 1;
         o.num_threads = 2;
+      }
+      if (mask == 7) o.cse = 0;
+      if (mask == 8) {
+        o.plan_cache = 1;
+        o.subplan_cache = 1;
+        o.cache_budget_bytes = 1 << 20;
+      }
+      if (mask == 9) {
+        o.plan_cache = 0;
+        o.subplan_cache = 0;
       }
       auto pr = pf.Run(q, o);
       ASSERT_TRUE(pr.ok()) << pr.status().ToString() << " mask=" << mask;
       auto ps = pr->Serialize();
       ASSERT_TRUE(ps.ok());
       ASSERT_EQ(*ps, *bs) << "mask=" << mask;
-      if (mask >= 5) {
+      if (mask >= 5 && mask < 7) {
         ASSERT_NE(pr->profile, nullptr) << "mask=" << mask;
         EXPECT_FALSE(pr->ProfileJson().empty()) << "mask=" << mask;
       } else {

@@ -138,5 +138,133 @@ TEST_F(OptTest, StatsReportBeforeAfter) {
   EXPECT_LE(r->opt_stats.ops_after, r->opt_stats.ops_before);
 }
 
+// --- CSE / DAG-ification --------------------------------------------------
+
+namespace a = alg;
+
+/// A small pure subtree built FRESH on every call: the returned nodes
+/// are structurally identical across calls but share no pointers, so
+/// only structural hashing (never pointer identity) can discover the
+/// duplication.
+OpPtr FreshScanSubtree() {
+  OpPtr lit = a::LitTable({"iter", "item"},
+                          {bat::ColType::kInt, bat::ColType::kItem},
+                          {{Item::Int(1), Item::Node(0, 0)}});
+  OpPtr step = a::Step(lit, accel::Axis::kDescendant,
+                       accel::NodeTest::AnyKind());
+  return a::RowNum(step, "pos", {"iter"}, {"item"});
+}
+
+OpPtr FreshItemPair() {
+  return a::LitTable(
+      {"iter", "x", "y"},
+      {bat::ColType::kInt, bat::ColType::kItem, bat::ColType::kItem},
+      {{Item::Int(1), Item::Int(2), Item::Int(3)}});
+}
+
+TEST_F(OptTest, CseMergesHashEqualSubtrees) {
+  OpPtr u = a::DisjointUnion(FreshScanSubtree(), FreshScanSubtree());
+  size_t before = a::CountOps(u);
+  int merges = 0;
+  auto merged = CseMerge(u, &merges);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  // The duplicated 3-node chain collapses onto one shared subtree...
+  EXPECT_EQ(merges, 3);
+  EXPECT_EQ(a::CountOps(*merged), before - 3);
+  // ...and both union inputs are now the *same* node.
+  EXPECT_EQ((*merged)->children[0].get(), (*merged)->children[1].get());
+}
+
+TEST_F(OptTest, CseFoldsCommutativeOperandOrder) {
+  // x + y and y + x denote the same column; sub does not commute.
+  OpPtr add1 = a::MapFun2(FreshItemPair(), a::Fun2::kAdd, "x", "y", "s");
+  OpPtr add2 = a::MapFun2(FreshItemPair(), a::Fun2::kAdd, "y", "x", "s");
+  OpPtr u = a::DisjointUnion(add1, add2);
+  int merges = 0;
+  auto merged = CseMerge(u, &merges);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ((*merged)->children[0].get(), (*merged)->children[1].get());
+
+  OpPtr sub1 = a::MapFun2(FreshItemPair(), a::Fun2::kSub, "x", "y", "s");
+  OpPtr sub2 = a::MapFun2(FreshItemPair(), a::Fun2::kSub, "y", "x", "s");
+  OpPtr u2 = a::DisjointUnion(sub1, sub2);
+  merges = 0;
+  auto merged2 = CseMerge(u2, &merges);
+  ASSERT_TRUE(merged2.ok()) << merged2.status().ToString();
+  // The shared literal input merges; the swapped subtractions must not.
+  EXPECT_NE((*merged2)->children[0].get(), (*merged2)->children[1].get());
+  EXPECT_EQ((*merged2)->children[0]->children[0].get(),
+            (*merged2)->children[1]->children[0].get());
+}
+
+TEST_F(OptTest, CseComparesAttachValues) {
+  OpPtr at1 = a::Attach(FreshItemPair(), "c", bat::ColType::kInt,
+                        Item::Int(7));
+  OpPtr at2 = a::Attach(FreshItemPair(), "c", bat::ColType::kInt,
+                        Item::Int(7));
+  auto same = CseMerge(a::DisjointUnion(at1, at2));
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ((*same)->children[0].get(), (*same)->children[1].get());
+
+  OpPtr at3 = a::Attach(FreshItemPair(), "c", bat::ColType::kInt,
+                        Item::Int(7));
+  OpPtr at4 = a::Attach(FreshItemPair(), "c", bat::ColType::kInt,
+                        Item::Int(8));
+  auto diff = CseMerge(a::DisjointUnion(at3, at4));
+  ASSERT_TRUE(diff.ok());
+  EXPECT_NE((*diff)->children[0].get(), (*diff)->children[1].get());
+}
+
+TEST_F(OptTest, CseDistinguishesColumnRenamings) {
+  // π with the same output name from different sources stays distinct;
+  // the same renaming merges.
+  OpPtr pa = a::Project(FreshItemPair(), {{"iter", "iter"}, {"v", "x"}});
+  OpPtr pb = a::Project(FreshItemPair(), {{"iter", "iter"}, {"v", "y"}});
+  auto diff = CseMerge(a::DisjointUnion(pa, pb));
+  ASSERT_TRUE(diff.ok());
+  EXPECT_NE((*diff)->children[0].get(), (*diff)->children[1].get());
+
+  OpPtr pc = a::Project(FreshItemPair(), {{"iter", "iter"}, {"v", "x"}});
+  OpPtr pd = a::Project(FreshItemPair(), {{"iter", "iter"}, {"v", "x"}});
+  auto same = CseMerge(a::DisjointUnion(pc, pd));
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ((*same)->children[0].get(), (*same)->children[1].get());
+}
+
+TEST_F(OptTest, CseLeavesInputPlanUntouched) {
+  OpPtr u = a::DisjointUnion(FreshScanSubtree(), FreshScanSubtree());
+  size_t before = a::CountOps(u);
+  auto merged = CseMerge(u);
+  ASSERT_TRUE(merged.ok());
+  // Clone-on-change: the original DAG still holds both copies.
+  EXPECT_EQ(a::CountOps(u), before);
+  EXPECT_NE(u->children[0].get(), u->children[1].get());
+}
+
+TEST_F(OptTest, CseFiresOnRepeatedSubexpressions) {
+  // Loop-lifting compiles each textual occurrence separately; CSE must
+  // find the repetition and the result must not change.
+  Pathfinder pf(&db_);
+  QueryOptions on;
+  on.context_doc = "d.xml";
+  on.cse = 1;
+  auto r_on = pf.Run("(count(//x), count(//x))", on);
+  ASSERT_TRUE(r_on.ok()) << r_on.status().ToString();
+  EXPECT_GT(r_on->opt_stats.cse_merges, 0);
+
+  QueryOptions off = on;
+  off.cse = 0;
+  off.plan_cache = 0;  // distinct plans, not a cache round-trip
+  off.subplan_cache = 0;
+  auto r_off = pf.Run("(count(//x), count(//x))", off);
+  ASSERT_TRUE(r_off.ok());
+  EXPECT_EQ(r_off->opt_stats.cse_merges, 0);
+  EXPECT_LE(r_on->opt_stats.ops_after, r_off->opt_stats.ops_after);
+  auto s_on = r_on->Serialize();
+  auto s_off = r_off->Serialize();
+  ASSERT_TRUE(s_on.ok() && s_off.ok());
+  EXPECT_EQ(*s_on, *s_off);
+}
+
 }  // namespace
 }  // namespace pathfinder::opt
