@@ -9,10 +9,18 @@
 // timing is reported. Emits BENCH_cache.json with per-query cold/warm
 // timings, speedups, and the cache counters after the sweep.
 //
+// A second phase sweeps the same queries under *churn*: an unrelated
+// small document is (re-)registered before every warm repeat. With
+// per-document invalidation the auction entries stay warm across those
+// registrations, so the warm speedup must survive — the phase gates a
+// >= 2x total speedup (whole-cache clearing would flatten it to ~1x).
+//
 //   --smoke   tiny scale factor, 1 rep, then re-read the emitted JSON
-//             and fail unless it parses and every warm run matched the
-//             cold bytes — the CI gate.
+//             and fail unless it parses, every warm run matched the
+//             cold bytes, and the churn speedup gate held — the CI
+//             gate.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -138,6 +146,94 @@ int Main(int argc, char** argv) {
     reports.push_back(std::move(rep));
   }
 
+  // --- churn sweep: warm repeats under unrelated registrations --------
+  ConfigReport churn;
+  int churn_regs = 0;
+  {
+    Pathfinder pf(db);
+    int version = 0;
+    auto register_churn = [&] {
+      char doc[96];
+      std::snprintf(doc, sizeof(doc), "<churn v=\"%d\"/>", ++version);
+      auto r = db->LoadXml("churn.xml", doc);
+      if (r.ok()) ++churn_regs;
+      return r.ok();
+    };
+    auto run = [&](const char* text) {
+      QueryOptions opts;
+      opts.context_doc = "auction.xml";
+      opts.plan_cache = 1;
+      opts.subplan_cache = 1;
+      opts.cache_budget_bytes = int64_t{64} << 20;
+      // Admit every candidate so the smoke scale factor (whose subtrees
+      // evaluate in under the default floor) still exercises warmth.
+      opts.cache_min_cost_us = 0;
+      return pf.Run(text, opts);
+    };
+
+    std::printf("\n[churn: unrelated registration before every warm run]\n"
+                "%-10s %10s %10s %9s\n",
+                "query", "cold", "warm", "speedup");
+    for (const auto& q : xmark::XMarkQueries()) {
+      std::string cold_bytes;
+      QueryReport qr;
+      qr.query = q.number;
+      bool failed = false;
+      qr.cold_ms = TimeMs([&] {
+        auto r = run(q.text);
+        if (!r.ok()) {
+          std::fprintf(stderr, "Q%d (churn cold): %s\n", q.number,
+                       r.status().ToString().c_str());
+          failed = true;
+          return;
+        }
+        auto s = r->Serialize();
+        if (!s.ok()) {
+          failed = true;
+          return;
+        }
+        cold_bytes = *s;
+      });
+      if (failed || !register_churn()) return 1;
+      // Correctness gate under churn: warm bytes must be identical
+      // even though the store's generation moved between the runs.
+      {
+        auto r = run(q.text);
+        if (!r.ok()) return 1;
+        auto s = r->Serialize();
+        if (!s.ok() || *s != cold_bytes) {
+          std::fprintf(stderr,
+                       "Q%d: warm-under-churn result diverges from cold\n",
+                       q.number);
+          return 1;
+        }
+      }
+      qr.warm_ms = 1e99;
+      for (int rep = 0; rep < warm_reps; ++rep) {
+        if (!register_churn()) return 1;
+        qr.warm_ms =
+            std::min(qr.warm_ms, TimeMs([&] { (void)run(q.text); }));
+      }
+      std::printf("xmark-q%-3d %10s %10s %8sx\n", q.number,
+                  FmtMs(qr.cold_ms).c_str(), FmtMs(qr.warm_ms).c_str(),
+                  FmtFactor(qr.warm_ms > 0 ? qr.cold_ms / qr.warm_ms : 0)
+                      .c_str());
+      std::fflush(stdout);
+      churn.total_cold += qr.cold_ms;
+      churn.total_warm += qr.warm_ms;
+      churn.queries.push_back(qr);
+    }
+    churn.stats = pf.cache()->Stats();
+    std::printf("%-10s %10s %10s %8sx   (%d registrations interleaved)\n",
+                "total", FmtMs(churn.total_cold).c_str(),
+                FmtMs(churn.total_warm).c_str(),
+                FmtFactor(churn.total_warm > 0
+                              ? churn.total_cold / churn.total_warm
+                              : 0)
+                    .c_str(),
+                churn_regs);
+  }
+
   const char* path = "BENCH_cache.json";
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -167,7 +263,9 @@ int Main(int argc, char** argv) {
         "%lld, \"misses\": %lld, \"evictions\": %lld, \"entries\": %lld, "
         "\"bytes\": %lld}, \"subplan\": {\"hits\": %lld, \"misses\": "
         "%lld, \"evictions\": %lld, \"entries\": %lld, \"bytes\": %lld}, "
-        "\"invalidations\": %lld, \"budget_bytes\": %lld}}%s\n",
+        "\"invalidations\": %lld, \"per_doc_invalidations\": %lld, "
+        "\"admission_rejects\": %lld, \"min_cost_us\": %lld, "
+        "\"budget_bytes\": %lld}}%s\n",
         r.total_cold, r.total_warm,
         r.total_warm > 0 ? r.total_cold / r.total_warm : 0.0,
         static_cast<long long>(r.stats.plan.hits),
@@ -181,10 +279,34 @@ int Main(int argc, char** argv) {
         static_cast<long long>(r.stats.subplan.entries),
         static_cast<long long>(r.stats.subplan.bytes),
         static_cast<long long>(r.stats.invalidations),
+        static_cast<long long>(r.stats.per_doc_invalidations),
+        static_cast<long long>(r.stats.admission_rejects),
+        static_cast<long long>(r.stats.min_cost_us),
         static_cast<long long>(r.stats.budget_bytes),
         i + 1 < reports.size() ? "," : "");
   }
-  std::fprintf(f, "]}\n");
+  std::fprintf(f, "],\n \"churn\": {\"registrations\": %d, \"queries\": [",
+               churn_regs);
+  for (size_t qi = 0; qi < churn.queries.size(); ++qi) {
+    const QueryReport& qr = churn.queries[qi];
+    std::fprintf(f,
+                 "%s\n    {\"query\": %d, \"cold_ms\": %.3f, "
+                 "\"warm_ms\": %.3f, \"speedup\": %.2f}",
+                 qi ? "," : "", qr.query, qr.cold_ms, qr.warm_ms,
+                 qr.warm_ms > 0 ? qr.cold_ms / qr.warm_ms : 0.0);
+  }
+  std::fprintf(
+      f,
+      "],\n  \"total_cold_ms\": %.3f, \"total_warm_ms\": %.3f, "
+      "\"total_speedup\": %.2f, \"invalidations\": %lld, "
+      "\"per_doc_invalidations\": %lld, \"plan_hits\": %lld, "
+      "\"subplan_hits\": %lld}}\n",
+      churn.total_cold, churn.total_warm,
+      churn.total_warm > 0 ? churn.total_cold / churn.total_warm : 0.0,
+      static_cast<long long>(churn.stats.invalidations),
+      static_cast<long long>(churn.stats.per_doc_invalidations),
+      static_cast<long long>(churn.stats.plan.hits),
+      static_cast<long long>(churn.stats.subplan.hits));
   std::fclose(f);
   std::printf("\nwrote %s\n", path);
 
@@ -207,6 +329,30 @@ int Main(int argc, char** argv) {
   }
   std::printf("%s parses as valid JSON (%zu bytes)\n", path,
               contents.size());
+
+  // Churn gate (runs in smoke too): with per-document invalidation the
+  // interleaved churn.xml registrations must leave the auction-document
+  // entries warm. Whole-cache clearing would make every "warm" run a
+  // cold run and flatten this ratio to ~1x.
+  double churn_speedup =
+      churn.total_warm > 0 ? churn.total_cold / churn.total_warm : 0.0;
+  std::printf("churn warm speedup over cold: %.2fx (gate >= 2x, %d "
+              "registrations, %lld per-doc invalidations)\n",
+              churn_speedup, churn_regs,
+              static_cast<long long>(churn.stats.per_doc_invalidations));
+  if (churn_regs == 0 || churn.stats.invalidations == 0) {
+    std::fprintf(stderr,
+                 "churn phase ran without observed registrations\n");
+    return 1;
+  }
+  if (churn.stats.plan.hits == 0 || churn.stats.subplan.hits == 0) {
+    std::fprintf(stderr, "churn phase saw no cache hits\n");
+    return 1;
+  }
+  if (churn_speedup < 2.0) {
+    std::fprintf(stderr, "churn warm speedup below 2x gate\n");
+    return 1;
+  }
 
   if (!smoke) {
     const ConfigReport& full = reports.back();

@@ -176,6 +176,16 @@ struct Op {
   // see algebra/hash.h). 0 / false on unannotated plans.
   uint64_t cache_hash = 0;
   bool cache_cand = false;
+
+  // Document dependencies of this subtree, also set by
+  // AnnotateCacheCandidates (on candidates and the plan root only):
+  // the sorted, de-duplicated fn:doc name strings the subtree may
+  // read. `cache_docs_unknown` marks a subtree whose document names
+  // could not be resolved statically (a computed fn:doc argument) —
+  // such an entry depends on every document. Structural hash/equality
+  // ignore both fields, like all execution annotations.
+  std::vector<std::string> cache_docs;
+  bool cache_docs_unknown = false;
 };
 
 /// Number of distinct operator nodes in the DAG under `root`

@@ -91,6 +91,12 @@ std::string QueryResult::ProfileText() const {
        << " subplans (" << cache_stats.subplan.bytes << " B), "
        << (cache_stats.plan.evictions + cache_stats.subplan.evictions)
        << " evictions, budget " << cache_stats.budget_bytes << " B\n";
+  head << "# cache: " << subplan_cache_admitted << " admitted / "
+       << subplan_cache_rejects << " rejected (floor "
+       << cache_stats.min_cost_us << " us), "
+       << cache_stats.per_doc_invalidations
+       << " per-doc invalidations over " << cache_stats.invalidations
+       << " store changes\n";
   return head.str() +
          algebra::PlanToTextAnnotated(
              plan_opt, *ctx->pool(), [&](const algebra::Op& op) -> std::string {
@@ -133,15 +139,38 @@ std::string QueryResult::ProfileJson() const {
   out += std::to_string(subplan_cache_hits);
   out += ", \"subplan_misses\": ";
   out += std::to_string(subplan_cache_misses);
+  out += ", \"subplan_admitted\": ";
+  out += std::to_string(subplan_cache_admitted);
+  out += ", \"subplan_rejects\": ";
+  out += std::to_string(subplan_cache_rejects);
   out += ", ";
   SectionToJson("plan", cache_stats.plan, &out);
   out += ", ";
   SectionToJson("subplan", cache_stats.subplan, &out);
   out += ", \"invalidations\": ";
   out += std::to_string(cache_stats.invalidations);
+  out += ", \"per_doc_invalidations\": ";
+  out += std::to_string(cache_stats.per_doc_invalidations);
+  out += ", \"admission_rejects\": ";
+  out += std::to_string(cache_stats.admission_rejects);
   out += ", \"budget_bytes\": ";
   out += std::to_string(cache_stats.budget_bytes);
-  out += "}, \"plan\": ";
+  out += ", \"min_cost_us\": ";
+  out += std::to_string(cache_stats.min_cost_us);
+  out += ", \"subplan_entries\": [";
+  // Resident subplan section, MRU-first, capped to keep the JSON small.
+  for (size_t i = 0; i < cache_stats.subplan_entries.size() && i < 32; ++i) {
+    const engine::SubplanEntryCost& e = cache_stats.subplan_entries[i];
+    if (i > 0) out += ", ";
+    out += "{\"hash\": ";
+    out += std::to_string(e.hash);
+    out += ", \"bytes\": ";
+    out += std::to_string(e.bytes);
+    out += ", \"cost_us\": ";
+    out += std::to_string(e.cost_us);
+    out += "}";
+  }
+  out += "]}, \"plan\": ";
   out += engine::ProfileToJson(*profile);
   out += "}";
   return out;
@@ -181,10 +210,17 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
       budget_on && (opts.plan_cache < 0 || opts.plan_cache != 0);
   bool subplan_cache =
       budget_on && (opts.subplan_cache < 0 || opts.subplan_cache != 0);
+  if (opts.cache_min_cost_us >= 0) {
+    cache->SetMinCostUs(opts.cache_min_cost_us);
+  }
+  uint64_t cache_generation = 0;
   if (plan_cache || subplan_cache) {
-    // Drops every entry if a document was (re)registered since the
-    // cache last saw the store.
-    cache->BeginQuery(db_->generation());
+    // Per-document invalidation: drops exactly the entries depending
+    // on a document name whose registration version changed since the
+    // cache last saw the store; entries over untouched documents stay.
+    xml::Database::DocVersions v = db_->Versions();
+    cache->BeginQuery(v.generation, v.docs);
+    cache_generation = v.generation;
   }
 
   std::string raw_key, core_key;
@@ -230,7 +266,7 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
           opt::AnnotatePipelines(res.plan_opt, &res.pipeline_stats));
     }
     if (plan_cache || subplan_cache) {
-      engine::AnnotateCacheCandidates(res.plan_opt);
+      engine::AnnotateCacheCandidates(res.plan_opt, *db_->pool());
     }
     if (plan_cache) {
       engine::PlanCacheEntry pe;
@@ -242,6 +278,10 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
       pe.pipeline_stats = res.pipeline_stats;
       pe.bytes = algebra::ApproxPlanBytes(res.plan) +
                  algebra::ApproxPlanBytes(res.plan_opt) + core_key.size();
+      // The plan's document dependencies (root annotation): the entry
+      // survives registrations of unrelated documents.
+      pe.doc_deps = res.plan_opt->cache_docs;
+      pe.doc_deps_unknown = res.plan_opt->cache_docs_unknown;
       entry = cache->InsertPlan(raw_key, core_key, std::move(pe));
       // Insert-if-absent: on a concurrent race the resident entry wins
       // so every executor shares one (immutably annotated) DAG.
@@ -257,7 +297,10 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
   res.ctx->profile =
       opts.profile < 0 ? engine::ProfileDefault() : opts.profile != 0;
   res.ctx->SetNumThreads(opts.num_threads);
-  if (subplan_cache) res.ctx->result_cache = cache;
+  if (subplan_cache) {
+    res.ctx->result_cache = cache;
+    res.ctx->cache_generation = cache_generation;
+  }
   PF_ASSIGN_OR_RETURN(bat::Table t,
                       engine::Execute(res.plan_opt, res.ctx.get()));
   PF_ASSIGN_OR_RETURN(res.items, runtime::TableToSequence(t));
@@ -265,6 +308,8 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
   res.pipe_stats = res.ctx->pipe_stats;
   res.subplan_cache_hits = res.ctx->subplan_cache_hits;
   res.subplan_cache_misses = res.ctx->subplan_cache_misses;
+  res.subplan_cache_admitted = res.ctx->subplan_cache_admitted;
+  res.subplan_cache_rejects = res.ctx->subplan_cache_rejects;
   if (plan_cache || subplan_cache) res.cache_stats = cache->Stats();
   res.profile = std::move(res.ctx->profile_result);
   return res;

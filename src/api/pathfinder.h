@@ -65,6 +65,11 @@ struct QueryOptions {
   /// running (-1 = leave as is; 0 = drop everything and disable).
   /// Evicts immediately if lowered.
   int64_t cache_budget_bytes = -1;
+  /// Override the subplan-cache admission floor (microseconds of
+  /// measured evaluation time a candidate must cost to be admitted).
+  /// -1 = leave as is (process default: PF_CACHE_MIN_COST_US, unset =
+  /// 100); 0 = admit every candidate.
+  int64_t cache_min_cost_us = -1;
 };
 
 /// A completed query: the result sequence plus every intermediate stage
@@ -91,6 +96,10 @@ struct QueryResult {
   /// Subplan-result cache traffic of this query alone.
   int64_t subplan_cache_hits = 0;
   int64_t subplan_cache_misses = 0;
+  /// Candidate results this query offered the cache: admitted vs
+  /// refused by the cost-based admission floor.
+  int64_t subplan_cache_admitted = 0;
+  int64_t subplan_cache_rejects = 0;
   /// Snapshot of the shared cache's cumulative counters, taken after
   /// this query (zero-valued when caching was off).
   engine::CacheStats cache_stats;

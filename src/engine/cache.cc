@@ -1,7 +1,9 @@
 #include "engine/cache.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string_view>
+#include <unordered_set>
 #include <utility>
 
 #include "algebra/hash.h"
@@ -10,16 +12,87 @@ namespace pathfinder::engine {
 
 namespace alg = pathfinder::algebra;
 
+namespace {
+
+/// Does the sorted dependency list intersect the changed-name set?
+bool DepsHit(const std::vector<std::string>& deps, bool unknown,
+             const std::unordered_set<std::string>& changed) {
+  if (unknown) return true;
+  for (const auto& d : deps) {
+    if (changed.count(d)) return true;
+  }
+  return false;
+}
+
+/// Lower cost density: does `a` buy less evaluation time per resident
+/// byte than `b`? Cross-multiplied in 128 bits so densities compare
+/// exactly (no float ties).
+bool LowerDensity(int64_t a_cost, size_t a_bytes, int64_t b_cost,
+                  size_t b_bytes) {
+  return static_cast<unsigned __int128>(a_cost) * b_bytes <
+         static_cast<unsigned __int128>(b_cost) * a_bytes;
+}
+
+}  // namespace
+
 // --- QueryCache -----------------------------------------------------------
 
-void QueryCache::BeginQuery(uint64_t db_generation) {
+QueryCache::QueryCache(size_t budget_bytes)
+    : budget_(budget_bytes), min_cost_ns_(CacheDefaultMinCostUs() * 1000) {}
+
+void QueryCache::BeginQuery(
+    uint64_t db_generation,
+    const std::vector<std::pair<std::string, uint64_t>>& doc_versions) {
   std::lock_guard<std::mutex> lock(mu_);
   if (generation_seen_ && generation_ != db_generation) {
-    ClearLocked();
     stats_.invalidations++;
+    InvalidateDocsLocked(doc_versions);
+  }
+  if (!generation_seen_ || generation_ != db_generation) {
+    doc_versions_.clear();
+    for (const auto& [name, gen] : doc_versions) doc_versions_[name] = gen;
   }
   generation_ = db_generation;
   generation_seen_ = true;
+}
+
+void QueryCache::InvalidateDocsLocked(
+    const std::vector<std::pair<std::string, uint64_t>>& doc_versions) {
+  // Changed = new names, names whose registration version moved, and
+  // names that disappeared since the last sync.
+  std::unordered_set<std::string> changed;
+  std::unordered_set<std::string_view> present;
+  for (const auto& [name, gen] : doc_versions) {
+    present.insert(name);
+    auto it = doc_versions_.find(name);
+    if (it == doc_versions_.end() || it->second != gen) changed.insert(name);
+  }
+  for (const auto& [name, gen] : doc_versions_) {
+    if (!present.count(name)) changed.insert(name);
+  }
+  if (changed.empty()) return;
+  for (auto it = plan_lru_.begin(); it != plan_lru_.end();) {
+    const PlanCacheEntry& e = **it;
+    if (!DepsHit(e.doc_deps, e.doc_deps_unknown, changed)) {
+      ++it;
+      continue;
+    }
+    for (const auto& k : e.keys) plan_map_.erase(k);
+    stats_.plan.bytes -= static_cast<int64_t>(e.bytes);
+    stats_.plan.entries--;
+    stats_.per_doc_invalidations++;
+    it = plan_lru_.erase(it);
+  }
+  for (auto it = sub_lru_.begin(); it != sub_lru_.end();) {
+    if (!DepsHit(it->docs, it->docs_unknown, changed)) {
+      ++it;
+      continue;
+    }
+    auto next = std::next(it);
+    EraseSubLocked(it);
+    stats_.per_doc_invalidations++;
+    it = next;
+  }
 }
 
 PlanEntryPtr QueryCache::LookupPlan(const std::string& key) {
@@ -43,8 +116,12 @@ void QueryCache::AliasPlan(const std::string& key, const PlanEntryPtr& entry) {
     auto it = plan_map_.find(k);
     if (it == plan_map_.end() || *it->second != entry) continue;
     plan_map_.emplace(key, it->second);
-    const_cast<PlanCacheEntry*>(entry.get())->keys.push_back(key);
-    plan_bytes_ += key.size();
+    // The alias key is part of the entry's footprint: recorded on the
+    // entry too, so eviction releases exactly what residency charged.
+    auto* e = const_cast<PlanCacheEntry*>(entry.get());
+    e->keys.push_back(key);
+    e->bytes += key.size();
+    stats_.plan.bytes += static_cast<int64_t>(key.size());
     return;
   }
 }
@@ -63,8 +140,10 @@ PlanEntryPtr QueryCache::InsertPlan(const std::string& raw_key,
   if (auto it = plan_map_.find(core_key); it != plan_map_.end()) {
     PlanEntryPtr resident = *it->second;
     plan_map_.emplace(raw_key, it->second);
-    const_cast<PlanCacheEntry*>(resident.get())->keys.push_back(raw_key);
-    plan_bytes_ += raw_key.size();
+    auto* e = const_cast<PlanCacheEntry*>(resident.get());
+    e->keys.push_back(raw_key);
+    e->bytes += raw_key.size();
+    stats_.plan.bytes += static_cast<int64_t>(raw_key.size());
     plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
     return resident;
   }
@@ -76,15 +155,19 @@ PlanEntryPtr QueryCache::InsertPlan(const std::string& raw_key,
   EvictPlanLocked(shared->bytes);
   plan_lru_.push_front(shared);
   for (const auto& k : shared->keys) plan_map_.emplace(k, plan_lru_.begin());
-  plan_bytes_ += shared->bytes;
+  stats_.plan.bytes += static_cast<int64_t>(shared->bytes);
+  stats_.plan.entries++;
   return shared;
 }
 
 void QueryCache::EvictPlanLocked(size_t needed) {
-  while (!plan_lru_.empty() && plan_bytes_ + needed > PlanBudgetLocked()) {
+  while (!plan_lru_.empty() &&
+         static_cast<size_t>(stats_.plan.bytes) + needed >
+             PlanBudgetLocked()) {
     const PlanEntryPtr& victim = plan_lru_.back();
     for (const auto& k : victim->keys) plan_map_.erase(k);
-    plan_bytes_ -= victim->bytes;
+    stats_.plan.bytes -= static_cast<int64_t>(victim->bytes);
+    stats_.plan.entries--;
     plan_lru_.pop_back();
     stats_.plan.evictions++;
   }
@@ -110,41 +193,75 @@ bool QueryCache::LookupSubplan(const algebra::Op& op, bat::Table* out) {
   return false;
 }
 
-void QueryCache::InsertSubplan(const algebra::OpPtr& subtree,
-                               const bat::Table& t) {
+bool QueryCache::InsertSubplan(const algebra::OpPtr& subtree,
+                               const bat::Table& t, int64_t cost_ns,
+                               uint64_t db_generation) {
   std::lock_guard<std::mutex> lock(mu_);
+  // A query that synced before a registration may finish (and publish)
+  // after the invalidation sweep: its result would reintroduce stale
+  // bytes the sweep just removed, so it is dropped.
+  if (generation_seen_ && db_generation != generation_) return true;
   uint64_t hash = subtree->cache_hash;
   auto it = sub_map_.find(hash);
   if (it != sub_map_.end()) {
     for (SubLru::iterator e : it->second) {
-      if (alg::StructurallyEqual(*e->subtree, *subtree)) return;  // raced
+      if (alg::StructurallyEqual(*e->subtree, *subtree)) return true;  // raced
     }
+  }
+  // Cost-based admission: a candidate that evaluated faster than the
+  // floor is cheaper to recompute than to let it displace real work.
+  if (min_cost_ns_ > 0 && cost_ns < min_cost_ns_) {
+    stats_.admission_rejects++;
+    return false;
   }
   SubEntry entry;
   entry.hash = hash;
   entry.subtree = subtree;
   entry.table = t;
   entry.bytes = t.AllocBytes() + alg::ApproxPlanBytes(subtree);
-  if (entry.bytes > SubBudgetLocked()) return;  // would never fit
+  entry.cost_ns = cost_ns;
+  entry.docs = subtree->cache_docs;
+  entry.docs_unknown = subtree->cache_docs_unknown;
+  if (entry.bytes > SubBudgetLocked()) return true;  // would never fit
   EvictSubLocked(entry.bytes);
-  sub_bytes_ += entry.bytes;
+  stats_.subplan.bytes += static_cast<int64_t>(entry.bytes);
+  stats_.subplan.entries++;
   sub_lru_.push_front(std::move(entry));
   sub_map_[hash].push_back(sub_lru_.begin());
+  return true;
+}
+
+void QueryCache::EraseSubLocked(SubLru::iterator it) {
+  auto& bucket = sub_map_[it->hash];
+  for (auto bit = bucket.begin(); bit != bucket.end(); ++bit) {
+    if (*bit == it) {
+      bucket.erase(bit);
+      break;
+    }
+  }
+  if (bucket.empty()) sub_map_.erase(it->hash);
+  stats_.subplan.bytes -= static_cast<int64_t>(it->bytes);
+  stats_.subplan.entries--;
+  sub_lru_.erase(it);
 }
 
 void QueryCache::EvictSubLocked(size_t needed) {
-  while (!sub_lru_.empty() && sub_bytes_ + needed > SubBudgetLocked()) {
-    const SubEntry& victim = sub_lru_.back();
-    auto& bucket = sub_map_[victim.hash];
-    for (auto bit = bucket.begin(); bit != bucket.end(); ++bit) {
-      if (&**bit == &victim) {
-        bucket.erase(bit);
-        break;
+  while (!sub_lru_.empty() &&
+         static_cast<size_t>(stats_.subplan.bytes) + needed >
+             SubBudgetLocked()) {
+    // Victim: lowest cost density (evaluation ns per resident byte);
+    // equal densities fall back to least recently used. Scanning back
+    // to front and replacing only on a strictly lower density yields
+    // exactly that entry.
+    auto victim = std::prev(sub_lru_.end());
+    for (auto it = std::prev(sub_lru_.end()); it != sub_lru_.begin();) {
+      --it;
+      if (LowerDensity(it->cost_ns, it->bytes, victim->cost_ns,
+                       victim->bytes)) {
+        victim = it;
       }
     }
-    if (bucket.empty()) sub_map_.erase(victim.hash);
-    sub_bytes_ -= victim.bytes;
-    sub_lru_.pop_back();
+    EraseSubLocked(victim);
     stats_.subplan.evictions++;
   }
 }
@@ -152,11 +269,13 @@ void QueryCache::EvictSubLocked(size_t needed) {
 CacheStats QueryCache::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   CacheStats s = stats_;
-  s.plan.entries = static_cast<int64_t>(plan_lru_.size());
-  s.plan.bytes = static_cast<int64_t>(plan_bytes_);
-  s.subplan.entries = static_cast<int64_t>(sub_lru_.size());
-  s.subplan.bytes = static_cast<int64_t>(sub_bytes_);
   s.budget_bytes = static_cast<int64_t>(budget_);
+  s.min_cost_us = min_cost_ns_ / 1000;
+  s.subplan_entries.reserve(sub_lru_.size());
+  for (const SubEntry& e : sub_lru_) {
+    s.subplan_entries.push_back(SubplanEntryCost{
+        e.hash, static_cast<int64_t>(e.bytes), e.cost_ns / 1000});
+  }
   return s;
 }
 
@@ -169,10 +288,12 @@ void QueryCache::ClearLocked() {
   // Resident state goes; cumulative hit/miss/eviction counters stay.
   plan_map_.clear();
   plan_lru_.clear();
-  plan_bytes_ = 0;
   sub_map_.clear();
   sub_lru_.clear();
-  sub_bytes_ = 0;
+  stats_.plan.entries = 0;
+  stats_.plan.bytes = 0;
+  stats_.subplan.entries = 0;
+  stats_.subplan.bytes = 0;
 }
 
 void QueryCache::SetBudget(size_t bytes) {
@@ -187,6 +308,25 @@ size_t QueryCache::budget() const {
   return budget_;
 }
 
+void QueryCache::SetMinCostUs(int64_t us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  min_cost_ns_ = us * 1000;
+}
+
+int64_t QueryCache::min_cost_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_cost_ns_ / 1000;
+}
+
+std::vector<std::string> QueryCache::ResidentPlanKeysForTest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(plan_map_.size());
+  for (const auto& [k, it] : plan_map_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 // --- candidate annotation -------------------------------------------------
 
 namespace {
@@ -199,23 +339,86 @@ bool IsImpure(alg::OpKind k) {
          k == alg::OpKind::kAttrConstr;
 }
 
+/// Operators that can synthesize or transform string values. If one of
+/// these feeds a DocRoot's name input, the document name may be a
+/// string no constant scan can predict, so the dependency set is
+/// unresolvable (the subtree then depends on every document).
+bool ComputesStrings(alg::OpKind k) {
+  return k == alg::OpKind::kFun1 || k == alg::OpKind::kFun2 ||
+         k == alg::OpKind::kStrJoin || k == alg::OpKind::kAggr;
+}
+
+struct DepSet {
+  std::vector<std::string> names;  // sorted, unique
+  bool unknown = false;
+};
+
+void AddName(DepSet* d, std::string name) {
+  auto it = std::lower_bound(d->names.begin(), d->names.end(), name);
+  if (it != d->names.end() && *it == name) return;
+  d->names.insert(it, std::move(name));
+}
+
+void MergeDeps(DepSet* into, const DepSet& from) {
+  into->unknown = into->unknown || from.unknown;
+  for (const auto& n : from.names) AddName(into, n);
+}
+
+/// The fn:doc names a DocRoot may resolve: every string constant in its
+/// name-input subtree (Attach values and LitTable cells). Those are the
+/// only string sources among the remaining operators — π/σ/joins/etc.
+/// route items but never mint them — so the collection is exhaustive
+/// unless a string-computing operator appears (or no constant exists at
+/// all), which degrades to `unknown`.
+DepSet DocRootNames(const alg::Op& docroot, const StringPool& pool) {
+  DepSet d;
+  std::vector<const alg::Op*> stack = {docroot.children[0].get()};
+  std::unordered_set<const alg::Op*> seen;
+  auto add_item = [&](const Item& it) {
+    if (it.IsStringLike()) AddName(&d, std::string(pool.Get(it.AsStr())));
+  };
+  while (!stack.empty()) {
+    const alg::Op* op = stack.back();
+    stack.pop_back();
+    if (!seen.insert(op).second) continue;
+    if (ComputesStrings(op->kind)) d.unknown = true;
+    if (op->kind == alg::OpKind::kAttach) add_item(op->attach_val);
+    for (const auto& row : op->rows) {
+      for (const Item& cell : row) add_item(cell);
+    }
+    for (const auto& c : op->children) stack.push_back(c.get());
+  }
+  if (d.names.empty()) d.unknown = true;
+  return d;
+}
+
 }  // namespace
 
-void AnnotateCacheCandidates(const algebra::OpPtr& root) {
+void AnnotateCacheCandidates(const algebra::OpPtr& root,
+                             const StringPool& pool) {
   std::vector<alg::Op*> order = alg::TopoOrder(root);
   std::unordered_map<const alg::Op*, bool> pure, has_doc;
+  std::unordered_map<const alg::Op*, DepSet> deps;
   for (alg::Op* op : order) {
     bool p = !IsImpure(op->kind);
     bool d = op->kind == alg::OpKind::kStep ||
              op->kind == alg::OpKind::kDocRoot;
+    DepSet ds;
     for (const auto& c : op->children) {
       p = p && pure.at(c.get());
       d = d || has_doc.at(c.get());
+      MergeDeps(&ds, deps.at(c.get()));
+    }
+    if (op->kind == alg::OpKind::kDocRoot) {
+      MergeDeps(&ds, DocRootNames(*op, pool));
     }
     pure[op] = p;
     has_doc[op] = d;
+    deps[op] = std::move(ds);
     op->cache_cand = false;
     op->cache_hash = 0;
+    op->cache_docs.clear();
+    op->cache_docs_unknown = false;
   }
   // Candidates: maximal pure document-derived subtrees (pure child of
   // an impure parent, or a pure root), plus every pure Step — axis
@@ -235,6 +438,14 @@ void AnnotateCacheCandidates(const algebra::OpPtr& root) {
   alg::StructuralHashes(root, &hashes);
   for (alg::Op* op : order) {
     if (op->cache_cand) op->cache_hash = hashes.at(op);
+    // Dependency annotations go on candidates (the subplan cache reads
+    // them at insert) and on the root (the plan cache's entry-level
+    // dependency set).
+    if (op->cache_cand || op == root.get()) {
+      const DepSet& ds = deps.at(op);
+      op->cache_docs = ds.names;
+      op->cache_docs_unknown = ds.unknown;
+    }
   }
 }
 
@@ -247,6 +458,17 @@ size_t CacheDefaultBudgetBytes() {
     return static_cast<size_t>(mb) << 20;
   }();
   return kBytes;
+}
+
+int64_t CacheDefaultMinCostUs() {
+  static const int64_t kUs = [] {
+    const char* e = std::getenv("PF_CACHE_MIN_COST_US");
+    if (e == nullptr || *e == '\0') return int64_t{100};
+    long us = std::strtol(e, nullptr, 10);
+    if (us <= 0) return int64_t{0};
+    return static_cast<int64_t>(us);
+  }();
+  return kUs;
 }
 
 }  // namespace pathfinder::engine

@@ -7,9 +7,11 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "algebra/op.h"
+#include "base/string_pool.h"
 #include "bat/table.h"
 #include "compiler/compile.h"
 #include "frontend/ast.h"
@@ -19,19 +21,40 @@
 namespace pathfinder::engine {
 
 /// Counters of one cache section (exposed in profiler text/JSON).
+/// `entries`/`bytes` describe current residency and are maintained by
+/// every mutation path (insert, eviction, invalidation, clear), so a
+/// snapshot taken anywhere is consistent — never negative, never stale.
 struct CacheSectionStats {
   int64_t hits = 0;
   int64_t misses = 0;
-  int64_t evictions = 0;
-  int64_t entries = 0;  ///< resident entries (snapshot)
-  int64_t bytes = 0;    ///< resident bytes (snapshot)
+  int64_t evictions = 0;  ///< budget-pressure evictions only
+  int64_t entries = 0;    ///< resident entries
+  int64_t bytes = 0;      ///< resident bytes
+};
+
+/// Cost/size of one resident subplan entry (MRU-first in snapshots).
+struct SubplanEntryCost {
+  uint64_t hash = 0;
+  int64_t bytes = 0;
+  int64_t cost_us = 0;  ///< measured evaluation wall time of the subtree
 };
 
 struct CacheStats {
   CacheSectionStats plan;
   CacheSectionStats subplan;
-  int64_t invalidations = 0;  ///< whole-cache clears on db generation change
+  /// Generation-change events processed by BeginQuery (each one may
+  /// drop any number of entries — see per_doc_invalidations).
+  int64_t invalidations = 0;
+  /// Entries dropped because a document they depend on was
+  /// (re)registered. Entries for untouched documents survive.
+  int64_t per_doc_invalidations = 0;
+  /// Subplan candidates refused by the cost-based admission floor.
+  int64_t admission_rejects = 0;
   int64_t budget_bytes = 0;
+  int64_t min_cost_us = 0;
+  /// Per-entry cost/size of the resident subplan section, MRU-first
+  /// (cost-density eviction is decided from exactly these numbers).
+  std::vector<SubplanEntryCost> subplan_entries;
 };
 
 /// Everything the api layer needs to skip the frontend/compile/optimize
@@ -50,6 +73,11 @@ struct PlanCacheEntry {
   /// Every map key aliasing this entry ("r:"-prefixed raw query texts
   /// plus the one "c:" canonical-core key) — erased together on evict.
   std::vector<std::string> keys;
+  /// Documents the plan may read (root annotation of `plan_opt`, see
+  /// AnnotateCacheCandidates). The entry is dropped when any of them
+  /// is re-registered; `doc_deps_unknown` entries drop on any change.
+  std::vector<std::string> doc_deps;
+  bool doc_deps_unknown = false;
 };
 
 using PlanEntryPtr = std::shared_ptr<const PlanCacheEntry>;
@@ -61,19 +89,34 @@ using PlanEntryPtr = std::shared_ptr<const PlanCacheEntry>;
 /// query it runs; all methods are thread-safe (single internal mutex —
 /// the guarded work is map lookups and shallow Table copies, never
 /// operator evaluation). Byte budget: the plan section may use at most
-/// a quarter of the total, the subplan section the rest; least recently
-/// used entries are evicted when an insert overflows a section. Entries
-/// are dropped wholesale when the database generation changes (document
-/// (re)registration invalidates everything derived from documents).
+/// a quarter of the total, the subplan section the rest.
+///
+/// Eviction: the plan section is plain LRU. The subplan section evicts
+/// by lowest cost density first (measured evaluation nanoseconds per
+/// resident byte; ties fall back to least recently used), so cheap
+/// scans cannot displace expensive join results; admission additionally
+/// requires an entry's measured cost to clear `min_cost_us` (the
+/// PF_CACHE_MIN_COST_US floor, 0 = admit everything).
+///
+/// Invalidation is per document: BeginQuery diffs the store's per-name
+/// registration versions against the last ones it saw and drops exactly
+/// the entries whose dependency set intersects the changed names (plus
+/// entries with unresolvable dependencies). Entries over untouched
+/// documents stay warm across registrations.
 class QueryCache {
  public:
-  explicit QueryCache(size_t budget_bytes) : budget_(budget_bytes) {}
+  explicit QueryCache(size_t budget_bytes);
   QueryCache(const QueryCache&) = delete;
   QueryCache& operator=(const QueryCache&) = delete;
 
-  /// Sync with the store: on a generation change, drop everything.
-  /// Call once per query, before any lookup.
-  void BeginQuery(uint64_t db_generation);
+  /// Sync with the store: on a generation change, drop the entries
+  /// whose document dependencies intersect the names whose version
+  /// changed since the last sync (new, re-registered, or removed).
+  /// Call once per query, before any lookup, with a fresh
+  /// Database::Versions() snapshot (`doc_versions` = its `docs`).
+  void BeginQuery(
+      uint64_t db_generation,
+      const std::vector<std::pair<std::string, uint64_t>>& doc_versions);
 
   /// Plan lookup by exact ("r:" raw) or canonical ("c:" core) key.
   /// nullptr on miss. A raw-key miss followed by a core-key hit should
@@ -94,11 +137,20 @@ class QueryCache {
   /// shared and immutable). Counts a hit or miss.
   bool LookupSubplan(const algebra::Op& op, bat::Table* out);
 
-  /// Store a candidate's materialized result. `subtree` keeps the plan
-  /// nodes alive for the deep structural-equality check on later
-  /// lookups. No-op if an equal entry is already resident or the table
-  /// alone overflows the section budget.
-  void InsertSubplan(const algebra::OpPtr& subtree, const bat::Table& t);
+  /// Store a candidate's materialized result; `cost_ns` is the measured
+  /// wall time evaluating the subtree (the admission currency).
+  /// `subtree` keeps the plan nodes alive for the deep
+  /// structural-equality check on later lookups and carries the
+  /// document dependencies (Op::cache_docs). `db_generation` must be
+  /// the generation the inserting query synced at (BeginQuery): if the
+  /// store moved on since, the result may be stale and the insert is a
+  /// silent no-op — this closes the race where a slow query publishes
+  /// a pre-registration result after the invalidation sweep ran.
+  /// Returns false iff the entry was refused by the cost floor;
+  /// duplicates, stale generations and entries that could never fit
+  /// are silent no-ops returning true.
+  bool InsertSubplan(const algebra::OpPtr& subtree, const bat::Table& t,
+                     int64_t cost_ns, uint64_t db_generation);
 
   CacheStats Stats() const;
   void Clear();
@@ -106,12 +158,28 @@ class QueryCache {
   void SetBudget(size_t bytes);
   size_t budget() const;
 
+  /// Admission floor for the subplan section, in microseconds of
+  /// measured evaluation time. 0 admits every candidate.
+  void SetMinCostUs(int64_t us);
+  int64_t min_cost_us() const;
+
+  /// Sorted multimap keys of the resident plan section (aliases
+  /// included) — the model-checking test's residency oracle; does not
+  /// touch hit/miss counters or recency.
+  std::vector<std::string> ResidentPlanKeysForTest() const;
+
  private:
   struct SubEntry {
     uint64_t hash = 0;
     algebra::OpPtr subtree;
     bat::Table table;
     size_t bytes = 0;
+    int64_t cost_ns = 0;
+    // Document dependencies, copied from the subtree root's annotation
+    // at insert (the shared plan may be evicted later; the entry's
+    // invalidation must not depend on it).
+    std::vector<std::string> docs;
+    bool docs_unknown = false;
   };
 
   using PlanLru = std::list<PlanEntryPtr>;
@@ -121,20 +189,24 @@ class QueryCache {
   size_t SubBudgetLocked() const { return budget_ - budget_ / 4; }
   void EvictPlanLocked(size_t needed);
   void EvictSubLocked(size_t needed);
+  void EraseSubLocked(SubLru::iterator it);
+  void InvalidateDocsLocked(
+      const std::vector<std::pair<std::string, uint64_t>>& doc_versions);
   void ClearLocked();
 
   mutable std::mutex mu_;
   size_t budget_;
+  int64_t min_cost_ns_;
   uint64_t generation_ = 0;
   bool generation_seen_ = false;
+  /// Per-name registration versions as of the last BeginQuery sync.
+  std::unordered_map<std::string, uint64_t> doc_versions_;
 
   PlanLru plan_lru_;  // front = most recent
   std::unordered_map<std::string, PlanLru::iterator> plan_map_;
-  size_t plan_bytes_ = 0;
 
   SubLru sub_lru_;  // front = most recent
   std::unordered_map<uint64_t, std::vector<SubLru::iterator>> sub_map_;
-  size_t sub_bytes_ = 0;
 
   CacheStats stats_;
 };
@@ -144,14 +216,22 @@ class QueryCache {
 /// that touch a document (contain a Step or DocRoot) and are maximal —
 /// their parent is impure or absent — plus every pure Step node (axis
 /// steps are the expensive, highly reusable building block, worth
-/// caching even mid-chain). Sets Op::cache_cand / Op::cache_hash;
-/// call only on freshly built plans (never on plans already published
-/// to the cache — annotation would race with concurrent executors).
-void AnnotateCacheCandidates(const algebra::OpPtr& root);
+/// caching even mid-chain). Sets Op::cache_cand / Op::cache_hash, and
+/// records each candidate's (and the root's) document dependencies in
+/// Op::cache_docs / Op::cache_docs_unknown — fn:doc name constants are
+/// resolved through `pool`. Call only on freshly built plans (never on
+/// plans already published to the cache — annotation would race with
+/// concurrent executors).
+void AnnotateCacheCandidates(const algebra::OpPtr& root,
+                             const StringPool& pool);
 
 /// Process-wide default cache budget: PF_CACHE_MB megabytes (read
 /// once); unset = 64 MB, "0" = caching off.
 size_t CacheDefaultBudgetBytes();
+
+/// Process-wide default admission floor: PF_CACHE_MIN_COST_US
+/// microseconds (read once); unset = 100, "0" = admit everything.
+int64_t CacheDefaultMinCostUs();
 
 }  // namespace pathfinder::engine
 

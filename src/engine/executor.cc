@@ -806,6 +806,22 @@ class Exec {
         }
       }
     }
+    // Cost-based admission currency: the measured wall time of
+    // evaluating each publish candidate's subtree. Those operators are
+    // timed even when profiling is off — candidate nodes only, so a
+    // query with no publishable candidates still runs a timer-free hot
+    // path.
+    std::unordered_set<const Op*> costed_ops;
+    for (const alg::OpPtr* opp : publish) {
+      std::vector<const Op*> dfs = {opp->get()};
+      while (!dfs.empty()) {
+        const Op* op = dfs.back();
+        dfs.pop_back();
+        if (!costed_ops.insert(op).second) continue;
+        for (const auto& c : op->children) dfs.push_back(c.get());
+      }
+    }
+    std::unordered_map<const Op*, int64_t> eval_ns;
     for (const alg::OpPtr* opp : order) {
       Op* op = opp->get();
       bool fragment = pipe && op->pipe_frag >= 0;
@@ -815,7 +831,8 @@ class Exec {
         if (prof) recs_[op].fused = true;
         continue;
       }
-      int64_t t0 = prof ? ProfileNowNs() : 0;
+      bool costed = !costed_ops.empty() && costed_ops.count(op) > 0;
+      int64_t t0 = (prof || costed) ? ProfileNowNs() : 0;
       Table t;
       if (fragment) {
         frag_morsels_ = 0;
@@ -823,9 +840,11 @@ class Exec {
       } else {
         PF_ASSIGN_OR_RETURN(t, EvalOne(*op));
       }
+      int64_t wall = (prof || costed) ? ProfileNowNs() - t0 : 0;
+      if (costed) eval_ns.emplace(op, wall);
       if (prof) {
         OpProfileRec& rec = recs_[op];
-        rec.wall_ns = ProfileNowNs() - t0;
+        rec.wall_ns = wall;
         rec.out_rows = static_cast<int64_t>(t.rows());
         rec.out_bytes = static_cast<int64_t>(t.ByteSize());
         rec.morsels = fragment ? frag_morsels_ : MorselCount(*op, t);
@@ -834,7 +853,27 @@ class Exec {
     }
     if (cache) {
       for (const alg::OpPtr* opp : publish) {
-        cache->InsertSubplan(*opp, memo_.at(opp->get()));
+        // The candidate's cost: summed eval wall time over its subtree.
+        // Fragment interiors carry 0 (the tail's time covers the whole
+        // chain) and subtrees pruned by nested cache hits carry 0 (a
+        // conservative under-count — cheaper than re-evaluating).
+        int64_t cost_ns = 0;
+        std::vector<const Op*> dfs = {opp->get()};
+        std::unordered_set<const Op*> seen;
+        while (!dfs.empty()) {
+          const Op* op = dfs.back();
+          dfs.pop_back();
+          if (!seen.insert(op).second) continue;
+          auto it = eval_ns.find(op);
+          if (it != eval_ns.end()) cost_ns += it->second;
+          for (const auto& c : op->children) dfs.push_back(c.get());
+        }
+        if (cache->InsertSubplan(*opp, memo_.at(opp->get()), cost_ns,
+                                 ctx_->cache_generation)) {
+          ctx_->subplan_cache_admitted++;
+        } else {
+          ctx_->subplan_cache_rejects++;
+        }
       }
     }
     if (prof) {

@@ -122,11 +122,19 @@ class QueryContext {
   /// it at annotated cache candidates (Op::cache_cand) and publishes
   /// freshly materialized candidate results back.
   QueryCache* result_cache = nullptr;
+  /// Database generation this query's BeginQuery synced at; stamped on
+  /// every InsertSubplan so the cache can drop publishes from queries
+  /// that started before a racing document registration.
+  uint64_t cache_generation = 0;
 
   /// Per-query subplan cache traffic (the cache's own counters are
   /// cumulative across queries).
   int64_t subplan_cache_hits = 0;
   int64_t subplan_cache_misses = 0;
+  /// Candidate results this query offered the cache, split by the
+  /// admission verdict (rejects = refused by the cost floor).
+  int64_t subplan_cache_admitted = 0;
+  int64_t subplan_cache_rejects = 0;
 
  private:
   xml::Database* db_;

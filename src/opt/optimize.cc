@@ -307,11 +307,12 @@ class Optimizer {
           if (R.count(pr.first)) kept.push_back(pr);
         }
         if (!kept.empty() && kept.size() < op->proj.size()) {
-          op = CloneWith(op, [&](Op* n) { n->proj = kept; });
+          // Count the entries dropped, before the clone narrows proj.
           if (stats_) {
             stats_->dead_columns_pruned +=
-                static_cast<int>(op->proj.size());
+                static_cast<int>(op->proj.size() - kept.size());
           }
+          op = CloneWith(op, [&](Op* n) { n->proj = kept; });
         }
       }
     }

@@ -1,25 +1,59 @@
 #include "xml/database.h"
 
+#include <cassert>
+
 #include "xml/parser.h"
 
 namespace pathfinder::xml {
 
+Database::Database()
+    : chunks_(new std::atomic<Slot*>[kMaxChunks]) {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+Database::~Database() {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    delete[] chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
 FragId Database::AddDocument(const std::string& name, Document doc) {
-  FragId id = static_cast<FragId>(docs_.size());
-  docs_.push_back(std::make_unique<Document>(std::move(doc)));
-  names_.push_back(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = count_.load(std::memory_order_relaxed);
+  assert(n < kMaxChunks * kChunkSize && "document capacity exceeded");
+  size_t ci = n >> kChunkBits;
+  Slot* chunk = chunks_[ci].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Slot[kChunkSize];
+    chunks_[ci].store(chunk, std::memory_order_release);
+  }
+  Slot& s = chunk[n & kChunkMask];
+  s.doc = std::make_unique<Document>(std::move(doc));
+  s.name = name;
+  FragId id = static_cast<FragId>(n);
+  uint64_t gen = generation_.load(std::memory_order_relaxed) + 1;
   by_name_[name] = id;
-  generation_.fetch_add(1, std::memory_order_acq_rel);
+  versions_[name] = gen;
+  // Publish the slot before the count (readers index by acquire-loaded
+  // count) and the count before the generation (a cache that observes
+  // the new generation must be able to resolve the new binding).
+  count_.store(n + 1, std::memory_order_release);
+  generation_.store(gen, std::memory_order_release);
   return id;
 }
 
 Result<FragId> Database::LoadXml(const std::string& name,
                                  std::string_view xml) {
+  // Parse outside the registration lock: the StringPool is internally
+  // synchronized, so shredding can overlap running queries.
   PF_ASSIGN_OR_RETURN(Document doc, ParseXml(xml, &pool_));
   return AddDocument(name, std::move(doc));
 }
 
 Result<FragId> Database::FindDocument(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("no document named '" + name + "'");
@@ -29,8 +63,20 @@ Result<FragId> Database::FindDocument(const std::string& name) const {
 
 size_t Database::EncodingBytes() const {
   size_t total = 0;
-  for (const auto& d : docs_) total += d->EncodingBytes();
+  size_t n = num_documents();
+  for (size_t i = 0; i < n; ++i) {
+    total += slot(static_cast<FragId>(i))->doc->EncodingBytes();
+  }
   return total;
+}
+
+Database::DocVersions Database::Versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DocVersions v;
+  v.generation = generation_.load(std::memory_order_relaxed);
+  v.docs.reserve(versions_.size());
+  for (const auto& [name, gen] : versions_) v.docs.emplace_back(name, gen);
+  return v;
 }
 
 }  // namespace pathfinder::xml

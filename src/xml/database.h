@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/result.h"
@@ -21,9 +23,20 @@ using FragId = uint32_t;
 
 /// The persistent store: loaded documents plus the shared property
 /// StringPool (the paper's property BATs).
+///
+/// Thread safety: registrations may race query evaluation. Documents
+/// live in a two-level directory of fixed-size slot chunks (the
+/// StringPool pattern): a published id's chunk pointer and slot are
+/// written before the id escapes, and neither ever moves afterwards,
+/// so `doc`/`doc_name` are wait-free for any id obtained from a
+/// completed registration. `AddDocument`, `FindDocument`, and
+/// `Versions` serialize on an internal mutex. Re-registering a name
+/// appends a fresh document and rebinds the name; the old FragId stays
+/// readable, so queries already in flight keep a consistent snapshot.
 class Database {
  public:
-  Database() = default;
+  Database();
+  ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -35,9 +48,11 @@ class Database {
 
   Result<FragId> FindDocument(const std::string& name) const;
 
-  size_t num_documents() const { return docs_.size(); }
-  const Document& doc(FragId id) const { return *docs_[id]; }
-  const std::string& doc_name(FragId id) const { return names_[id]; }
+  size_t num_documents() const {
+    return count_.load(std::memory_order_acquire);
+  }
+  const Document& doc(FragId id) const { return *slot(id)->doc; }
+  const std::string& doc_name(FragId id) const { return slot(id)->name; }
 
   StringPool* pool() { return &pool_; }
   const StringPool& pool() const { return pool_; }
@@ -47,19 +62,51 @@ class Database {
   size_t EncodingBytes() const;
   size_t PoolPayloadBytes() const { return pool_.payload_bytes(); }
 
-  /// Monotonic content version, bumped on every document (re)registration.
-  /// Caches keyed on query/document content compare generations and drop
-  /// their entries when the store changed (see engine::QueryCache).
+  /// Monotonic content version, bumped on every document
+  /// (re)registration. Caches compare generations to detect that the
+  /// store changed at all (see engine::QueryCache).
   uint64_t generation() const {
     return generation_.load(std::memory_order_acquire);
   }
 
+  /// Per-name registration versions: for every currently bound document
+  /// name, the value `generation()` had right after the registration
+  /// that produced the binding. A name's version changes exactly when
+  /// that name is re-registered, which is what lets caches invalidate
+  /// per document instead of wholesale.
+  struct DocVersions {
+    uint64_t generation = 0;
+    std::vector<std::pair<std::string, uint64_t>> docs;
+  };
+  DocVersions Versions() const;
+
  private:
+  struct Slot {
+    std::unique_ptr<Document> doc;
+    std::string name;
+  };
+
+  static constexpr size_t kChunkBits = 8;  // 256 documents per chunk
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+  static constexpr size_t kMaxChunks = size_t{1} << 12;  // 2^20 documents
+
+  Slot* slot(FragId id) const {
+    Slot* chunk = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+    return &chunk[id & kChunkMask];
+  }
+
   StringPool pool_;
   std::atomic<uint64_t> generation_{0};
-  std::vector<std::unique_ptr<Document>> docs_;
-  std::vector<std::string> names_;
-  std::unordered_map<std::string, FragId> by_name_;
+
+  // Directory of lazily-allocated slot chunks. Fixed-size so readers
+  // index it without synchronizing on growth.
+  std::unique_ptr<std::atomic<Slot*>[]> chunks_;
+  std::atomic<size_t> count_{0};
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, FragId> by_name_;      // guarded by mu_
+  std::unordered_map<std::string, uint64_t> versions_;   // guarded by mu_
 };
 
 }  // namespace pathfinder::xml

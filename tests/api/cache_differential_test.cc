@@ -140,6 +140,9 @@ TEST_F(CacheDifferentialTest, ReRegisteringDocumentInvalidatesCache) {
   EXPECT_EQ(*bs, "30");
   EXPECT_FALSE(b->plan_cache_hit);
   EXPECT_GE(b->cache_stats.invalidations, 1);
+  // The dropped entries depended on inv.xml specifically: the per-doc
+  // invalidation path (not a wholesale clear) must have removed them.
+  EXPECT_GE(b->cache_stats.per_doc_invalidations, 1);
 }
 
 TEST_F(CacheDifferentialTest, TinyBudgetForcesEvictionNotWrongAnswers) {

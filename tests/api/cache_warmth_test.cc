@@ -1,0 +1,152 @@
+// Cross-document cache warmth: re-registering one document must leave
+// cache entries for *other* documents warm (per-document invalidation),
+// while entries for the changed document go stale immediately — and
+// every answer must stay byte-identical to a cache-off run, at every
+// thread count.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/pathfinder.h"
+#include "xml/database.h"
+
+namespace pathfinder {
+namespace {
+
+// A document of n <x v="..."/> elements: big enough that its axis steps
+// are real work, small enough that the test stays instant.
+std::string MakeDoc(int n, int base) {
+  std::string s = "<r>";
+  for (int i = 0; i < n; ++i) {
+    s += "<x v=\"" + std::to_string(base + i) + "\"/>";
+  }
+  s += "</r>";
+  return s;
+}
+
+QueryOptions CachedOpts(const std::string& context_doc) {
+  QueryOptions o;
+  o.context_doc = context_doc;
+  o.plan_cache = 1;
+  o.subplan_cache = 1;
+  o.cache_budget_bytes = 64 << 20;  // pin against ambient PF_CACHE_MB
+  o.cache_min_cost_us = 0;          // tiny docs: admit every candidate
+  return o;
+}
+
+std::string RunFresh(xml::Database* db, const std::string& context_doc,
+                     const char* q) {
+  Pathfinder pf(db);
+  QueryOptions o;
+  o.context_doc = context_doc;
+  o.plan_cache = 0;
+  o.subplan_cache = 0;
+  auto r = pf.Run(q, o);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (!r.ok()) return "<error>";
+  auto s = r->Serialize();
+  EXPECT_TRUE(s.ok());
+  return s.ok() ? *s : "<serialize error>";
+}
+
+TEST(CacheWarmthTest, UnrelatedRegistrationKeepsOtherDocumentWarm) {
+  xml::Database db;
+  ASSERT_TRUE(db.LoadXml("a.xml", MakeDoc(200, 1)).ok());
+  ASSERT_TRUE(db.LoadXml("b.xml", MakeDoc(100, 1000)).ok());
+  Pathfinder pf(&db);
+  const char* q = "sum(//x/@v)";
+  const std::string expect_a = RunFresh(&db, "a.xml", q);
+  const std::string expect_b = RunFresh(&db, "b.xml", q);
+
+  // Warm both documents' entries (second run proves they are servable).
+  for (const char* doc : {"a.xml", "b.xml"}) {
+    auto cold = pf.Run(q, CachedOpts(doc));
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    auto warm = pf.Run(q, CachedOpts(doc));
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    EXPECT_TRUE(warm->plan_cache_hit) << doc;
+    EXPECT_GT(warm->subplan_cache_hits, 0) << doc;
+  }
+
+  // Re-register B. A's plan AND subplan entries must still hit, with
+  // byte-identical output; B's entries must be gone and B's next run
+  // must see the new content.
+  ASSERT_TRUE(db.LoadXml("b.xml", MakeDoc(100, 5000)).ok());
+  auto a = pf.Run(q, CachedOpts("a.xml"));
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_TRUE(a->plan_cache_hit);
+  EXPECT_GT(a->subplan_cache_hits, 0);
+  EXPECT_EQ(a->subplan_cache_misses, 0);
+  auto as = a->Serialize();
+  ASSERT_TRUE(as.ok());
+  EXPECT_EQ(*as, expect_a);
+  EXPECT_GE(a->cache_stats.per_doc_invalidations, 1);
+
+  auto b = pf.Run(q, CachedOpts("b.xml"));
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_FALSE(b->plan_cache_hit);
+  auto bs = b->Serialize();
+  ASSERT_TRUE(bs.ok());
+  EXPECT_EQ(*bs, RunFresh(&db, "b.xml", q));
+  EXPECT_NE(*bs, expect_b);  // the content really changed
+
+  // And the reverse direction: B (just re-warmed) survives a
+  // re-registration of A.
+  auto bwarm = pf.Run(q, CachedOpts("b.xml"));
+  ASSERT_TRUE(bwarm.ok());
+  EXPECT_TRUE(bwarm->plan_cache_hit);
+  const std::string expect_b2 = RunFresh(&db, "b.xml", q);
+  ASSERT_TRUE(db.LoadXml("a.xml", MakeDoc(200, 7000)).ok());
+  auto b2 = pf.Run(q, CachedOpts("b.xml"));
+  ASSERT_TRUE(b2.ok()) << b2.status().ToString();
+  EXPECT_TRUE(b2->plan_cache_hit);
+  EXPECT_GT(b2->subplan_cache_hits, 0);
+  auto b2s = b2->Serialize();
+  ASSERT_TRUE(b2s.ok());
+  EXPECT_EQ(*b2s, expect_b2);
+  auto a2 = pf.Run(q, CachedOpts("a.xml"));
+  ASSERT_TRUE(a2.ok());
+  EXPECT_FALSE(a2->plan_cache_hit);
+  auto a2s = a2->Serialize();
+  ASSERT_TRUE(a2s.ok());
+  EXPECT_EQ(*a2s, RunFresh(&db, "a.xml", q));
+}
+
+TEST(CacheWarmthTest, ByteIdenticalAcrossThreadsAndCacheUnderChurn) {
+  // The acceptance sweep: doc-A answers under continuous unrelated
+  // churn must be byte-identical at 1/2/7 threads, cache on and off.
+  xml::Database db;
+  ASSERT_TRUE(db.LoadXml("a.xml", MakeDoc(300, 1)).ok());
+  ASSERT_TRUE(db.LoadXml("churn.xml", MakeDoc(10, 0)).ok());
+  Pathfinder pf(&db);
+  const char* q = "count(//x[@v > 100])";
+  const std::string expected = RunFresh(&db, "a.xml", q);
+  int round = 0;
+  for (int threads : {1, 2, 7}) {
+    for (int cache_on : {1, 0}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " cache=" + std::to_string(cache_on));
+      // Unrelated churn between every run.
+      ASSERT_TRUE(db.LoadXml("churn.xml", MakeDoc(10, ++round)).ok());
+      QueryOptions o = CachedOpts("a.xml");
+      o.plan_cache = cache_on;
+      o.subplan_cache = cache_on;
+      o.num_threads = threads;
+      auto r = pf.Run(q, o);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      auto s = r->Serialize();
+      ASSERT_TRUE(s.ok());
+      EXPECT_EQ(*s, expected);
+    }
+  }
+  // Across all that churn, the cached rounds after the first must have
+  // been served warm: churn.xml registrations never touched a.xml.
+  engine::CacheStats st = pf.cache()->Stats();
+  EXPECT_GT(st.plan.hits, 0);
+  EXPECT_GT(st.subplan.hits, 0);
+  EXPECT_EQ(st.per_doc_invalidations, 0);
+}
+
+}  // namespace
+}  // namespace pathfinder

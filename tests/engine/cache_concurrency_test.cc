@@ -116,5 +116,129 @@ TEST(CacheConcurrencyTest, SharedCacheServesRacingThreadsCorrectly) {
   }
 }
 
+/// Document registrations racing cached lookups: one churner thread
+/// re-registers "churn.xml" in a loop while eight workers query both a
+/// stable document (whose bytes must never change — its entries stay
+/// warm across every generation bump) and the churning document (whose
+/// answer must always correspond to a consistent registered snapshot,
+/// never a stale cache entry from before the version the worker
+/// observed). Runs under the TSan CI job.
+TEST(CacheConcurrencyTest, RegistrationsRacingLookupsServeNoStaleBytes) {
+  xml::Database db;
+  ASSERT_TRUE(db.LoadXml("shop.xml", R"(
+<shop>
+  <item sku="a1" price="3"/><item sku="a2" price="7"/>
+  <item sku="t1" price="30"/><item sku="t2" price="3"/>
+</shop>)")
+                  .ok());
+  auto churn_doc = [](int version) {
+    std::string s = "<r>";
+    for (int i = 0; i < 8; ++i) {
+      s += "<x v=\"" + std::to_string(version) + "\"/>";
+    }
+    s += "</r>";
+    return s;
+  };
+  ASSERT_TRUE(db.LoadXml("churn.xml", churn_doc(0)).ok());
+
+  Pathfinder pf(&db);
+  QueryOptions shop_o;
+  shop_o.context_doc = "shop.xml";
+  shop_o.plan_cache = 1;
+  shop_o.subplan_cache = 1;
+  shop_o.cache_budget_bytes = 8 << 20;  // pin against ambient PF_CACHE_MB
+  shop_o.cache_min_cost_us = 0;         // tiny docs: admit every candidate
+  QueryOptions churn_o = shop_o;
+  churn_o.context_doc = "churn.xml";
+
+  const std::string shop_q = "sum(//item/@price)";
+  const std::string churn_q = "sum(//x/@v)";
+  std::string shop_expected;
+  {
+    auto r = pf.Run(shop_q, shop_o);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    auto s = r->Serialize();
+    ASSERT_TRUE(s.ok());
+    shop_expected = *s;
+  }
+
+  // Monotonic published-version window: a worker reads `lo` before its
+  // churn query and `hi` after. A correct answer is 8*v for some
+  // registered v in [lo, hi] — anything else is a stale or torn read.
+  std::atomic<int> published{0};
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::thread churner([&] {
+    for (int v = 1; v < 60; ++v) {
+      auto r = db.LoadXml("churn.xml", churn_doc(v));
+      if (!r.ok()) {
+        ++failures;
+        break;
+      }
+      published.store(v, std::memory_order_release);
+      std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      int iter = 0;
+      while (!stop.load(std::memory_order_acquire) || iter == 0) {
+        ++iter;
+        // Stable document: byte-identical forever.
+        auto rs = pf.Run(shop_q, shop_o);
+        if (!rs.ok()) {
+          ++failures;
+          continue;
+        }
+        auto ss = rs->Serialize();
+        if (!ss.ok() || *ss != shop_expected) ++failures;
+
+        // Churning document: the answer must be one of the versions
+        // registered inside this query's observation window.
+        if (t % 2 == 0) {
+          int lo = published.load(std::memory_order_acquire);
+          auto rc = pf.Run(churn_q, churn_o);
+          int hi = published.load(std::memory_order_acquire);
+          if (!rc.ok()) {
+            ++failures;
+            continue;
+          }
+          auto sc = rc->Serialize();
+          if (!sc.ok()) {
+            ++failures;
+            continue;
+          }
+          // The worker may race a registration already parsed but not
+          // yet published when `hi` was read: allow one version beyond.
+          bool valid = false;
+          for (int v = lo; v <= hi + 1; ++v) {
+            if (*sc == std::to_string(8 * v)) valid = true;
+          }
+          if (!valid) ++failures;
+        }
+      }
+    });
+  }
+  churner.join();
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiesced: the stable document's entries must still be warm — no
+  // churn registration may have invalidated them.
+  auto warm = pf.Run(shop_q, shop_o);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->plan_cache_hit);
+  EXPECT_GT(warm->subplan_cache_hits, 0);
+  auto ws = warm->Serialize();
+  ASSERT_TRUE(ws.ok());
+  EXPECT_EQ(*ws, shop_expected);
+}
+
 }  // namespace
 }  // namespace pathfinder

@@ -1,0 +1,494 @@
+// Randomized model checking of engine::QueryCache.
+//
+// A naive reference model (plain lists and maps, no budgets shared with
+// the real implementation) re-implements the cache's documented
+// semantics: plan-section LRU, subplan cost-density eviction with the
+// admission floor, per-document invalidation, alias repair and budget
+// shrinking. A seeded driver runs random operation sequences against
+// both and demands identical observable state after every single
+// operation — hit/miss/eviction/invalidation counters, the MRU-ordered
+// resident subplan section, and the full resident plan key set.
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algebra/hash.h"
+#include "algebra/op.h"
+#include "base/rng.h"
+#include "bat/column.h"
+#include "bat/table.h"
+#include "engine/cache.h"
+
+namespace pathfinder {
+namespace {
+
+namespace alg = pathfinder::algebra;
+using engine::CacheStats;
+using engine::PlanCacheEntry;
+using engine::PlanEntryPtr;
+using engine::QueryCache;
+
+constexpr int kNumSubs = 24;     // distinct cacheable subtrees
+constexpr int kNumDocs = 4;      // document-name universe
+constexpr int kNumGroups = 8;    // canonical-core groups
+constexpr int kNumRaw = 16;      // raw query spellings (2 per group)
+constexpr int kOpsPerSeed = 400;
+constexpr int kSeeds = 60;
+
+std::string DocName(int d) { return "doc" + std::to_string(d) + ".xml"; }
+
+// --- reference model ------------------------------------------------------
+
+struct ModelPlanEntry {
+  std::vector<std::string> keys;
+  size_t bytes = 0;
+  std::vector<std::string> deps;
+  bool unknown = false;
+};
+
+struct ModelSubEntry {
+  int idx = -1;  // which universe subtree (identity stand-in)
+  uint64_t hash = 0;
+  size_t bytes = 0;
+  int64_t cost_ns = 0;
+  std::vector<std::string> docs;
+  bool unknown = false;
+};
+
+bool LowerDensity(int64_t a_cost, size_t a_bytes, int64_t b_cost,
+                  size_t b_bytes) {
+  return static_cast<unsigned __int128>(a_cost) * b_bytes <
+         static_cast<unsigned __int128>(b_cost) * a_bytes;
+}
+
+bool DepsHit(const std::vector<std::string>& deps, bool unknown,
+             const std::unordered_set<std::string>& changed) {
+  if (unknown) return true;
+  for (const auto& d : deps) {
+    if (changed.count(d)) return true;
+  }
+  return false;
+}
+
+struct Model {
+  size_t budget;
+  int64_t min_cost_ns;
+  bool gen_seen = false;
+  uint64_t gen = 0;
+  std::map<std::string, uint64_t> versions;
+
+  std::list<ModelPlanEntry> plan;  // front = most recent
+  std::list<ModelSubEntry> sub;    // front = most recent
+
+  int64_t plan_hits = 0, plan_misses = 0, plan_evictions = 0;
+  int64_t sub_hits = 0, sub_misses = 0, sub_evictions = 0;
+  int64_t invalidations = 0, per_doc_invalidations = 0, admission_rejects = 0;
+
+  size_t PlanBudget() const { return budget / 4; }
+  size_t SubBudget() const { return budget - budget / 4; }
+
+  size_t PlanBytes() const {
+    size_t b = 0;
+    for (const auto& e : plan) b += e.bytes;
+    return b;
+  }
+  size_t SubBytes() const {
+    size_t b = 0;
+    for (const auto& e : sub) b += e.bytes;
+    return b;
+  }
+
+  std::list<ModelPlanEntry>::iterator FindPlan(const std::string& key) {
+    for (auto it = plan.begin(); it != plan.end(); ++it) {
+      for (const auto& k : it->keys) {
+        if (k == key) return it;
+      }
+    }
+    return plan.end();
+  }
+
+  void EvictPlan(size_t needed) {
+    while (!plan.empty() && PlanBytes() + needed > PlanBudget()) {
+      plan.pop_back();
+      plan_evictions++;
+    }
+  }
+
+  void EvictSub(size_t needed) {
+    while (!sub.empty() && SubBytes() + needed > SubBudget()) {
+      auto victim = std::prev(sub.end());
+      for (auto it = std::prev(sub.end()); it != sub.begin();) {
+        --it;
+        if (LowerDensity(it->cost_ns, it->bytes, victim->cost_ns,
+                         victim->bytes)) {
+          victim = it;
+        }
+      }
+      sub.erase(victim);
+      sub_evictions++;
+    }
+  }
+
+  // Mirrors QueryCache::BeginQuery + InvalidateDocsLocked.
+  void BeginQuery(uint64_t g,
+                  const std::vector<std::pair<std::string, uint64_t>>& docs) {
+    if (gen_seen && gen != g) {
+      invalidations++;
+      std::unordered_set<std::string> changed;
+      for (const auto& [name, v] : docs) {
+        auto it = versions.find(name);
+        if (it == versions.end() || it->second != v) changed.insert(name);
+      }
+      if (!changed.empty()) {
+        for (auto it = plan.begin(); it != plan.end();) {
+          if (DepsHit(it->deps, it->unknown, changed)) {
+            it = plan.erase(it);
+            per_doc_invalidations++;
+          } else {
+            ++it;
+          }
+        }
+        for (auto it = sub.begin(); it != sub.end();) {
+          if (DepsHit(it->docs, it->unknown, changed)) {
+            it = sub.erase(it);
+            per_doc_invalidations++;
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    if (!gen_seen || gen != g) {
+      versions.clear();
+      for (const auto& [name, v] : docs) versions[name] = v;
+    }
+    gen = g;
+    gen_seen = true;
+  }
+
+  // Mirrors LookupPlan. Returns whether the key hit.
+  bool LookupPlan(const std::string& key) {
+    auto it = FindPlan(key);
+    if (it == plan.end()) {
+      plan_misses++;
+      return false;
+    }
+    plan_hits++;
+    plan.splice(plan.begin(), plan, it);
+    return true;
+  }
+
+  // Mirrors AliasPlan for a just-hit (front) entry.
+  void AliasFront(const std::string& key) {
+    if (FindPlan(key) != plan.end()) return;
+    plan.front().keys.push_back(key);
+    plan.front().bytes += key.size();
+  }
+
+  // Mirrors InsertPlan for absent raw/core keys.
+  void InsertPlan(const std::string& raw, const std::string& core,
+                  size_t base_bytes, std::vector<std::string> deps,
+                  bool unknown) {
+    ModelPlanEntry e;
+    e.keys = {raw, core};
+    e.bytes = base_bytes + raw.size() + core.size();
+    e.deps = std::move(deps);
+    e.unknown = unknown;
+    if (e.bytes > PlanBudget()) return;  // never fits: not resident
+    EvictPlan(e.bytes);
+    plan.push_front(std::move(e));
+  }
+
+  // Mirrors LookupSubplan.
+  bool LookupSub(int idx) {
+    for (auto it = sub.begin(); it != sub.end(); ++it) {
+      if (it->idx == idx) {
+        sub.splice(sub.begin(), sub, it);
+        sub_hits++;
+        return true;
+      }
+    }
+    sub_misses++;
+    return false;
+  }
+
+  // Mirrors InsertSubplan. Returns the admission verdict.
+  bool InsertSub(int idx, uint64_t hash, size_t bytes, int64_t cost_ns,
+                 std::vector<std::string> docs, bool unknown,
+                 uint64_t db_generation) {
+    if (gen_seen && db_generation != gen) return true;  // stale publisher
+    for (const auto& e : sub) {
+      if (e.idx == idx) return true;  // duplicate: silent no-op
+    }
+    if (min_cost_ns > 0 && cost_ns < min_cost_ns) {
+      admission_rejects++;
+      return false;
+    }
+    ModelSubEntry e;
+    e.idx = idx;
+    e.hash = hash;
+    e.bytes = bytes;
+    e.cost_ns = cost_ns;
+    e.docs = std::move(docs);
+    e.unknown = unknown;
+    if (e.bytes > SubBudget()) return true;  // would never fit
+    EvictSub(e.bytes);
+    sub.push_front(std::move(e));
+    return true;
+  }
+
+  void SetBudget(size_t b) {
+    budget = b;
+    EvictPlan(0);
+    EvictSub(0);
+  }
+
+  void Clear() {
+    plan.clear();
+    sub.clear();
+  }
+
+  std::vector<std::string> SortedPlanKeys() const {
+    std::vector<std::string> keys;
+    for (const auto& e : plan) {
+      keys.insert(keys.end(), e.keys.begin(), e.keys.end());
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+};
+
+// --- driver ---------------------------------------------------------------
+
+// The fixed universe one seed runs against: distinct subtrees (with
+// hashes, docs and result tables) plus deterministic per-group plan
+// entry shapes, so model and cache see byte-identical inputs even when
+// an entry is re-inserted after eviction.
+struct Universe {
+  std::vector<alg::OpPtr> subs;
+  std::vector<bat::Table> tables;
+  std::vector<size_t> sub_bytes;
+
+  Universe() {
+    for (int i = 0; i < kNumSubs; ++i) {
+      alg::OpPtr op =
+          alg::Attach(alg::EmptySeq(), "c", bat::ColType::kInt, Item::Int(i));
+      op->cache_cand = true;
+      op->cache_hash = alg::StructuralHash(op);
+      op->cache_docs = SubDocs(i);
+      op->cache_docs_unknown = SubUnknown(i);
+      subs.push_back(op);
+
+      auto col = bat::Column::MakeInt();
+      size_t rows = static_cast<size_t>((i * 37) % 512) + 1;
+      for (size_t r = 0; r < rows; ++r) col->ints().push_back(i);
+      bat::Table t;
+      t.AddCol("x", std::move(col));
+      sub_bytes.push_back(t.AllocBytes() + alg::ApproxPlanBytes(op));
+      tables.push_back(std::move(t));
+    }
+  }
+
+  static std::vector<std::string> SubDocs(int i) {
+    if (SubUnknown(i)) return {};
+    std::vector<std::string> d = {DocName(i % kNumDocs)};
+    if (i % 5 == 0) {
+      std::string extra = DocName((i + 1) % kNumDocs);
+      if (extra != d[0]) d.push_back(extra);
+    }
+    std::sort(d.begin(), d.end());
+    return d;
+  }
+  static bool SubUnknown(int i) { return i % 11 == 3; }
+
+  static std::string RawKey(int r) { return "r:q" + std::to_string(r); }
+  static std::string CoreKey(int r) {
+    return "c:group" + std::to_string(r % kNumGroups);
+  }
+  static size_t GroupBaseBytes(int r) {
+    return 200 + static_cast<size_t>(r % kNumGroups) * 150;
+  }
+  static std::vector<std::string> GroupDeps(int r) {
+    if (GroupUnknown(r)) return {};
+    return {DocName((r % kNumGroups) % kNumDocs)};
+  }
+  static bool GroupUnknown(int r) { return r % kNumGroups == 5; }
+};
+
+void CheckAgainstModel(const QueryCache& cache, const Model& m,
+                       const Universe& u) {
+  CacheStats s = cache.Stats();
+  EXPECT_EQ(s.plan.hits, m.plan_hits);
+  EXPECT_EQ(s.plan.misses, m.plan_misses);
+  EXPECT_EQ(s.plan.evictions, m.plan_evictions);
+  EXPECT_EQ(s.plan.entries, static_cast<int64_t>(m.plan.size()));
+  EXPECT_EQ(s.plan.bytes, static_cast<int64_t>(m.PlanBytes()));
+  EXPECT_EQ(s.subplan.hits, m.sub_hits);
+  EXPECT_EQ(s.subplan.misses, m.sub_misses);
+  EXPECT_EQ(s.subplan.evictions, m.sub_evictions);
+  EXPECT_EQ(s.subplan.entries, static_cast<int64_t>(m.sub.size()));
+  EXPECT_EQ(s.subplan.bytes, static_cast<int64_t>(m.SubBytes()));
+  EXPECT_EQ(s.invalidations, m.invalidations);
+  EXPECT_EQ(s.per_doc_invalidations, m.per_doc_invalidations);
+  EXPECT_EQ(s.admission_rejects, m.admission_rejects);
+  EXPECT_EQ(s.budget_bytes, static_cast<int64_t>(m.budget));
+  EXPECT_EQ(s.min_cost_us, m.min_cost_ns / 1000);
+
+  // Resident subplan section, most recent first, entry for entry.
+  ASSERT_EQ(s.subplan_entries.size(), m.sub.size());
+  size_t i = 0;
+  for (const ModelSubEntry& e : m.sub) {
+    EXPECT_EQ(s.subplan_entries[i].hash, e.hash) << "entry " << i;
+    EXPECT_EQ(s.subplan_entries[i].bytes, static_cast<int64_t>(e.bytes))
+        << "entry " << i;
+    EXPECT_EQ(s.subplan_entries[i].cost_us, e.cost_ns / 1000)
+        << "entry " << i;
+    ++i;
+  }
+
+  EXPECT_EQ(cache.ResidentPlanKeysForTest(), m.SortedPlanKeys());
+  (void)u;
+}
+
+void RunSeed(uint64_t seed, const Universe& u) {
+  Rng rng(seed);
+
+  // Budget small enough that evictions actually happen (sub tables run
+  // up to ~4 KB each), floor pinned explicitly so the ambient
+  // PF_CACHE_MIN_COST_US can't skew the run.
+  size_t budget = 1u << (14 + rng.Below(3));  // 16/32/64 KB
+  int64_t min_cost_us = 50;
+  QueryCache cache(budget);
+  cache.SetMinCostUs(min_cost_us);
+
+  Model m;
+  m.budget = budget;
+  m.min_cost_ns = min_cost_us * 1000;
+
+  // Driver-side document store: per-name versions under one monotonic
+  // generation, exactly like xml::Database.
+  uint64_t gen = 0;
+  std::map<std::string, uint64_t> versions;
+  for (int d = 0; d < kNumDocs; ++d) versions[DocName(d)] = ++gen;
+  auto version_vec = [&] {
+    std::vector<std::pair<std::string, uint64_t>> v(versions.begin(),
+                                                    versions.end());
+    return v;
+  };
+
+  cache.BeginQuery(gen, version_vec());
+  m.BeginQuery(gen, version_vec());
+  CheckAgainstModel(cache, m, u);
+
+  for (int op = 0; op < kOpsPerSeed; ++op) {
+    SCOPED_TRACE("op " + std::to_string(op));
+    switch (rng.Below(8)) {
+      case 0: {  // plan-cache query: lookup -> alias-repair -> insert
+        int r = static_cast<int>(rng.Below(kNumRaw));
+        std::string raw = Universe::RawKey(r);
+        std::string core = Universe::CoreKey(r);
+        PlanEntryPtr e = cache.LookupPlan(raw);
+        bool mhit = m.LookupPlan(raw);
+        ASSERT_EQ(e != nullptr, mhit);
+        if (!e) {
+          PlanEntryPtr via_core = cache.LookupPlan(core);
+          bool mcore = m.LookupPlan(core);
+          ASSERT_EQ(via_core != nullptr, mcore);
+          if (via_core) {
+            cache.AliasPlan(raw, via_core);
+            m.AliasFront(raw);
+          } else {
+            PlanCacheEntry pe;
+            pe.bytes = Universe::GroupBaseBytes(r);
+            pe.doc_deps = Universe::GroupDeps(r);
+            pe.doc_deps_unknown = Universe::GroupUnknown(r);
+            cache.InsertPlan(raw, core, std::move(pe));
+            m.InsertPlan(raw, core, Universe::GroupBaseBytes(r),
+                         Universe::GroupDeps(r), Universe::GroupUnknown(r));
+          }
+        }
+        break;
+      }
+      case 1:
+      case 2: {  // subplan lookup
+        int i = static_cast<int>(rng.Below(kNumSubs));
+        bat::Table out;
+        bool hit = cache.LookupSubplan(*u.subs[i], &out);
+        bool mhit = m.LookupSub(i);
+        ASSERT_EQ(hit, mhit);
+        if (hit) {
+          EXPECT_EQ(out.rows(), u.tables[i].rows());
+        }
+        break;
+      }
+      case 3:
+      case 4: {  // subplan insert with a random measured cost
+        int i = static_cast<int>(rng.Below(kNumSubs));
+        int64_t cost_ns = static_cast<int64_t>(rng.Below(300)) * 1000;
+        // Occasionally publish from a stale generation — a query that
+        // began before a racing registration; must be a silent no-op.
+        uint64_t g = rng.Chance(0.1) ? gen - 1 : gen;
+        bool adm = cache.InsertSubplan(u.subs[i], u.tables[i], cost_ns, g);
+        bool madm = m.InsertSub(i, u.subs[i]->cache_hash, u.sub_bytes[i],
+                                cost_ns, Universe::SubDocs(i),
+                                Universe::SubUnknown(i), g);
+        ASSERT_EQ(adm, madm);
+        break;
+      }
+      case 5: {  // (re-)register one or two documents, then sync
+        int n = rng.Chance(0.25) ? 2 : 1;
+        for (int k = 0; k < n; ++k) {
+          versions[DocName(static_cast<int>(rng.Below(kNumDocs)))] = ++gen;
+        }
+        cache.BeginQuery(gen, version_vec());
+        m.BeginQuery(gen, version_vec());
+        break;
+      }
+      case 6: {  // no-change sync (fast path) or floor change
+        if (rng.Chance(0.5)) {
+          cache.BeginQuery(gen, version_vec());
+          m.BeginQuery(gen, version_vec());
+        } else {
+          int64_t us = static_cast<int64_t>(rng.Below(3)) * 50;  // 0/50/100
+          cache.SetMinCostUs(us);
+          m.min_cost_ns = us * 1000;
+        }
+        break;
+      }
+      case 7: {  // budget churn (shrink evicts immediately) or clear
+        if (rng.Chance(0.15)) {
+          cache.Clear();
+          m.Clear();
+        } else {
+          size_t b = 1u << (13 + rng.Below(4));  // 8..64 KB
+          cache.SetBudget(b);
+          m.SetBudget(b);
+        }
+        break;
+      }
+    }
+    CheckAgainstModel(cache, m, u);
+    if (::testing::Test::HasFailure()) return;  // first divergence only
+  }
+}
+
+TEST(CacheModelTest, MatchesReferenceModelAcrossSeeds) {
+  Universe u;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RunSeed(seed, u);
+    ASSERT_FALSE(::testing::Test::HasFailure())
+        << "model divergence at seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace pathfinder

@@ -74,6 +74,10 @@ TEST(ProfileTest, OffMeansNoTreeAndNoTimerCalls) {
   Pathfinder pf(ShopDb());
   QueryOptions o;
   o.context_doc = "shop.xml";
+  // Caches off too: cost-based subplan admission times candidate
+  // subtrees with the profiler clock even when profiling is off.
+  o.plan_cache = 0;
+  o.subplan_cache = 0;
   // Explicit off.
   o.profile = 0;
   int64_t before = engine::ProfileTimerCalls();
