@@ -1,5 +1,6 @@
 #include "api/pathfinder.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <unordered_map>
@@ -297,6 +298,24 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
   res.ctx->profile =
       opts.profile < 0 ? engine::ProfileDefault() : opts.profile != 0;
   res.ctx->SetNumThreads(opts.num_threads);
+  {
+    // Kernel tuning: -1 keeps the env-derived process default per
+    // field; overrides are clamped once here so the kernels and the
+    // fused-fragment morsel sizing see consistent values. All three
+    // are result-neutral (and execution-only: they are deliberately
+    // NOT part of the plan-cache key).
+    bat::KernelTuning kt = res.ctx->tuning;
+    if (opts.radix_bits >= 0) kt.radix_bits = opts.radix_bits;
+    if (opts.morsel_rows >= 0) {
+      kt.morsel_rows = static_cast<uint32_t>(
+          std::min<int64_t>(opts.morsel_rows, int64_t{1} << 30));
+    }
+    if (opts.sort_chunk_rows >= 0) {
+      kt.sort_chunk_rows = static_cast<uint32_t>(
+          std::min<int64_t>(opts.sort_chunk_rows, int64_t{1} << 30));
+    }
+    res.ctx->tuning = kt.Clamped();
+  }
   if (subplan_cache) {
     res.ctx->result_cache = cache;
     res.ctx->cache_generation = cache_generation;

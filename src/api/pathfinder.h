@@ -70,6 +70,21 @@ struct QueryOptions {
   /// -1 = leave as is (process default: PF_CACHE_MIN_COST_US, unset =
   /// 100); 0 = admit every candidate.
   int64_t cache_min_cost_us = -1;
+  /// Partitioned-kernel tuning. All three are RESULT-NEUTRAL speed
+  /// knobs: partition counts and morsel grains only shift work between
+  /// chunks whose merges are order-exact, so result bytes never depend
+  /// on them. -1 = the process default (PF_RADIX_BITS /
+  /// PF_MORSEL_ROWS / PF_SORT_CHUNK_ROWS env vars, see
+  /// bat::KernelTuning).
+  /// log2 of the radix-join / group-agg partition count, clamped to
+  /// [1, 12].
+  int radix_bits = -1;
+  /// Morsel grain (rows) for filters, joins and fused pipeline
+  /// fragments, clamped to [64, 2^20].
+  int64_t morsel_rows = -1;
+  /// Initial sorted-run length and merge-split grain of the parallel
+  /// merge sort, clamped to [256, 2^22].
+  int64_t sort_chunk_rows = -1;
 };
 
 /// A completed query: the result sequence plus every intermediate stage

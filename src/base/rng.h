@@ -1,6 +1,7 @@
 #ifndef PATHFINDER_BASE_RNG_H_
 #define PATHFINDER_BASE_RNG_H_
 
+#include <cmath>
 #include <cstdint>
 
 namespace pathfinder {
@@ -38,6 +39,28 @@ class Rng {
 
   /// Bernoulli draw with probability p.
   bool Chance(double p) { return NextDouble() < p; }
+
+  /// Zipf-skewed integer in [0, n): rank k is drawn with probability
+  /// ~ 1/(k+1)^s (continuous inverse-CDF approximation of the bounded
+  /// Zipf law; exact enough for workload skew, and exactly one Next()
+  /// per draw so sequences stay reproducible). Requires n > 0 and
+  /// s > 1. Skewed-key workloads use this to load one hash partition
+  /// far heavier than the rest.
+  uint64_t Zipf(uint64_t n, double s) {
+    // H(x) = integral of x^-s: the CDF of the continuous law on
+    // [0.5, n + 0.5]; invert a uniform draw over its range.
+    auto h = [s](double x) {
+      return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+    };
+    const double lo = h(0.5);
+    const double hi = h(static_cast<double>(n) + 0.5);
+    double u = lo + NextDouble() * (hi - lo);
+    double x = std::pow(1.0 + u * (1.0 - s), 1.0 / (1.0 - s));
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    return k - 1;
+  }
 
  private:
   uint64_t state_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <string_view>
 #include <unordered_map>
@@ -13,23 +15,74 @@ namespace pathfinder::bat {
 
 namespace {
 
-// Morsel sizing. Fixed constants — NEVER derived from the thread count
-// — so chunk boundaries, and with them every chunk-indexed merge, are
-// identical at every pool size (see ThreadPool's determinism contract).
+// Morsel sizing for the operators that are NOT tuning-aware (gather,
+// theta join, distinct/difference). Fixed constants — NEVER derived
+// from the thread count — so chunk boundaries, and with them every
+// chunk-indexed merge, are identical at every pool size (see
+// ThreadPool's determinism contract). The tuning-aware kernels obey
+// the same contract with KernelTuning values in place of constants:
+// chunk boundaries depend on (n, grain) only.
 constexpr size_t kMorselRows = 4096;
-constexpr size_t kSortChunkRows = 8192;
 constexpr size_t kThetaPairsPerMorsel = size_t{1} << 16;
 constexpr size_t kGroupAggParRows = 8192;
 
-// Hash-join build partitions (power of two). PartitionOf remixes the
-// key hash so that e.g. libstdc++'s identity std::hash<int64_t> still
-// spreads consecutive keys across partitions.
+// Distinct/difference hash partitions (power of two). PartitionOf
+// remixes the key hash so that e.g. libstdc++'s identity
+// std::hash<int64_t> still spreads consecutive keys across partitions.
 constexpr size_t kJoinPartitions = 32;
 
-inline size_t PartitionOf(size_t h) {
-  uint64_t x = static_cast<uint64_t>(h) * 0x9E3779B97F4A7C15ull;
-  return static_cast<size_t>(x >> 59);  // top log2(kJoinPartitions) bits
+// Fibonacci remix: one multiply spreads entropy into the top bits,
+// which the radix partitioning reads.
+inline uint64_t MixHash(size_t h) {
+  return static_cast<uint64_t>(h) * 0x9E3779B97F4A7C15ull;
 }
+
+inline size_t PartitionOf(size_t h) {
+  return static_cast<size_t>(MixHash(h) >> 59);  // top log2(32) bits
+}
+
+// Wall-clock for the optional KernelPhases accounting. The kernels
+// only call this when a phases pointer was passed.
+inline int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  return std::strtoll(s, nullptr, 10);
+}
+
+}  // namespace
+
+KernelTuning KernelTuning::Clamped() const {
+  KernelTuning kt = *this;
+  kt.radix_bits = std::clamp(kt.radix_bits, 1, 12);
+  kt.morsel_rows =
+      std::clamp<uint32_t>(kt.morsel_rows, 64, uint32_t{1} << 20);
+  kt.sort_chunk_rows =
+      std::clamp<uint32_t>(kt.sort_chunk_rows, 256, uint32_t{1} << 22);
+  return kt;
+}
+
+const KernelTuning& KernelTuning::Default() {
+  static const KernelTuning kt = [] {
+    KernelTuning t;
+    t.radix_bits =
+        static_cast<int>(EnvInt64("PF_RADIX_BITS", t.radix_bits));
+    t.morsel_rows = static_cast<uint32_t>(std::clamp<int64_t>(
+        EnvInt64("PF_MORSEL_ROWS", t.morsel_rows), 1, int64_t{1} << 30));
+    t.sort_chunk_rows = static_cast<uint32_t>(std::clamp<int64_t>(
+        EnvInt64("PF_SORT_CHUNK_ROWS", t.sort_chunk_rows), 1,
+        int64_t{1} << 30));
+    return t.Clamped();
+  }();
+  return kt;
+}
+
+namespace {
 
 // Append a fixed-width, type-tagged encoding of cell (c, row) to `out`.
 // Representation equality of encodings == representation equality of
@@ -133,27 +186,38 @@ Result<int> CompareRows(const std::vector<const Column*>& cols, size_t ra,
 
 }  // namespace
 
-IdxVec FilterIndices(const Column& pred, ThreadPool* tp) {
+IdxVec FilterIndices(const Column& pred, ThreadPool* tp,
+                     const KernelTuning& kt) {
   assert(pred.type() == ColType::kBool);
   const auto& b = pred.bools();
+  const size_t morsel = kt.Clamped().morsel_rows;
   IdxVec out;
-  if (tp == nullptr || b.size() < 2 * kMorselRows) {
-    // One counting pass sizes the output exactly (a bool scan is much
-    // cheaper than the reallocation churn of bare push_back growth).
+  if (tp == nullptr || b.size() < 2 * morsel) {
+    // One counting pass sizes the output exactly; the scatter loop is
+    // branch-free (the write is unconditional, the cursor advances by
+    // the predicate byte) and terminates by hit count, so both passes
+    // vectorize.
     size_t hits = 0;
     for (uint8_t v : b) hits += v ? 1 : 0;
-    out.reserve(hits);
-    for (size_t i = 0; i < b.size(); ++i) {
-      if (b[i]) out.push_back(static_cast<RowIdx>(i));
+    out.resize(hits);
+    size_t w = 0;
+    for (size_t i = 0; w < hits; ++i) {
+      out[w] = static_cast<RowIdx>(i);
+      w += b[i] ? 1 : 0;
     }
     return out;
   }
   // Two-pass parallel filter: per-morsel popcount, exclusive prefix to
   // output offsets, then each morsel scatters its hits into its own
-  // slice — row order preserved, no inter-chunk contention.
-  size_t chunks = ThreadPool::NumChunks(b.size(), kMorselRows);
+  // slice — row order preserved, no inter-chunk contention. The
+  // scatter writes every candidate row id at the cursor and advances
+  // only on a hit (misses are overwritten by the next candidate): no
+  // per-element branch, contiguous writes, and the hit count bound
+  // from the popcount pass stops the loop exactly at the slice end, so
+  // no write ever crosses into the next chunk's slice.
+  size_t chunks = ThreadPool::NumChunks(b.size(), morsel);
   std::vector<size_t> offs(chunks + 1, 0);
-  ParallelFor(tp, b.size(), kMorselRows,
+  ParallelFor(tp, b.size(), morsel,
               [&](size_t c, size_t lo, size_t hi) {
                 size_t n = 0;
                 for (size_t i = lo; i < hi; ++i) n += b[i] ? 1 : 0;
@@ -161,11 +225,13 @@ IdxVec FilterIndices(const Column& pred, ThreadPool* tp) {
               });
   for (size_t c = 0; c < chunks; ++c) offs[c + 1] += offs[c];
   out.resize(offs[chunks]);
-  ParallelFor(tp, b.size(), kMorselRows,
-              [&](size_t c, size_t lo, size_t hi) {
+  ParallelFor(tp, b.size(), morsel,
+              [&](size_t c, size_t lo, size_t) {
                 size_t w = offs[c];
-                for (size_t i = lo; i < hi; ++i) {
-                  if (b[i]) out[w++] = static_cast<RowIdx>(i);
+                const size_t wend = offs[c + 1];
+                for (size_t i = lo; w < wend; ++i) {
+                  out[w] = static_cast<RowIdx>(i);
+                  w += b[i] ? 1 : 0;
                 }
               });
   return out;
@@ -229,38 +295,43 @@ Table GatherTable(const Table& t, const IdxVec& idx, ThreadPool* tp) {
 namespace {
 
 // Fused filter scatter: each morsel writes its surviving rows straight
-// into its pre-computed slice of the output column.
+// into its pre-computed slice of the output column. Same branch-free
+// cursor loop as FilterIndices — unconditional write, conditional
+// advance, hit-count bound.
 template <typename T>
 void FilterInto(const std::vector<T>& src, const std::vector<uint8_t>& b,
-                const std::vector<size_t>& offs, std::vector<T>* dst,
-                ThreadPool* tp) {
+                const std::vector<size_t>& offs, size_t morsel,
+                std::vector<T>* dst, ThreadPool* tp) {
   dst->resize(offs.back());
-  ParallelFor(tp, b.size(), kMorselRows, [&](size_t c, size_t lo, size_t hi) {
+  ParallelFor(tp, b.size(), morsel, [&](size_t c, size_t lo, size_t) {
     size_t w = offs[c];
-    for (size_t i = lo; i < hi; ++i) {
-      if (b[i]) (*dst)[w++] = src[i];
+    const size_t wend = offs[c + 1];
+    for (size_t i = lo; w < wend; ++i) {
+      (*dst)[w] = src[i];
+      w += b[i] ? 1 : 0;
     }
   });
 }
 
 ColumnPtr FilterColumn(const Column& c, const std::vector<uint8_t>& b,
-                       const std::vector<size_t>& offs, ThreadPool* tp) {
+                       const std::vector<size_t>& offs, size_t morsel,
+                       ThreadPool* tp) {
   auto out = std::make_shared<Column>(c.type());
   switch (c.type()) {
     case ColType::kInt:
-      FilterInto(c.ints(), b, offs, &out->ints(), tp);
+      FilterInto(c.ints(), b, offs, morsel, &out->ints(), tp);
       break;
     case ColType::kDbl:
-      FilterInto(c.dbls(), b, offs, &out->dbls(), tp);
+      FilterInto(c.dbls(), b, offs, morsel, &out->dbls(), tp);
       break;
     case ColType::kStr:
-      FilterInto(c.strs(), b, offs, &out->strs(), tp);
+      FilterInto(c.strs(), b, offs, morsel, &out->strs(), tp);
       break;
     case ColType::kBool:
-      FilterInto(c.bools(), b, offs, &out->bools(), tp);
+      FilterInto(c.bools(), b, offs, morsel, &out->bools(), tp);
       break;
     case ColType::kItem:
-      FilterInto(c.items(), b, offs, &out->items(), tp);
+      FilterInto(c.items(), b, offs, morsel, &out->items(), tp);
       break;
   }
   return out;
@@ -268,16 +339,18 @@ ColumnPtr FilterColumn(const Column& c, const std::vector<uint8_t>& b,
 
 }  // namespace
 
-Table FilterGather(const Table& t, const Column& pred, ThreadPool* tp) {
+Table FilterGather(const Table& t, const Column& pred, ThreadPool* tp,
+                   const KernelTuning& kt) {
   assert(pred.type() == ColType::kBool);
   const auto& b = pred.bools();
+  const size_t morsel = kt.Clamped().morsel_rows;
   // Per-morsel popcount + exclusive prefix sizes every column's output
   // exactly; the surviving-row positions are recomputed per column
   // instead of being staged in an index vector (cheap: the predicate
-  // scan is branch-predictable and stays in cache per morsel).
-  size_t chunks = ThreadPool::NumChunks(b.size(), kMorselRows);
+  // scan is branch-free and stays in cache per morsel).
+  size_t chunks = ThreadPool::NumChunks(b.size(), morsel);
   std::vector<size_t> offs(chunks + 1, 0);
-  ParallelFor(tp, b.size(), kMorselRows, [&](size_t c, size_t lo, size_t hi) {
+  ParallelFor(tp, b.size(), morsel, [&](size_t c, size_t lo, size_t hi) {
     size_t n = 0;
     for (size_t i = lo; i < hi; ++i) n += b[i] ? 1 : 0;
     offs[c + 1] = n;
@@ -285,7 +358,7 @@ Table FilterGather(const Table& t, const Column& pred, ThreadPool* tp) {
   for (size_t c = 0; c < chunks; ++c) offs[c + 1] += offs[c];
   Table out;
   for (size_t i = 0; i < t.num_cols(); ++i) {
-    out.AddCol(t.name(i), FilterColumn(*t.col(i), b, offs, tp));
+    out.AddCol(t.name(i), FilterColumn(*t.col(i), b, offs, morsel, tp));
   }
   return out;
 }
@@ -311,20 +384,40 @@ Item CanonicalJoinKey(const Item& it, const StringPool& pool) {
   }
 }
 
+// Slot/chain sentinels of the radix join's per-partition tables.
+constexpr uint32_t kEmptySlot = 0xffffffffu;
+constexpr uint32_t kChainEnd = 0xffffffffu;
+
 // Shared skeleton of the typed hash-join branches, emitting pairs
-// grouped by probe-side chunk. The parallel path is morsel-driven in
-// all three phases:
-//   build 1: each build-side morsel hash-partitions its rows,
-//   build 2: each partition builds its table visiting morsels in order
-//            (keeps every key's row list ascending = serial order),
-//   probe:   each probe-side morsel emits pairs locally; chunk order
-//            reproduces the serial left-major pair order.
+// grouped by probe-side chunk. Below the morsel threshold a plain
+// serial map join runs; above it the radix-partitioned join runs at
+// EVERY thread count (tp == nullptr executes the same morsels inline),
+// so the path choice — like the chunk boundaries — is a function of
+// the input sizes only. Three phases, none sharing a mutable
+// structure:
+//   partition: each build-side morsel histograms rows by the top
+//              radix_bits of the remixed key hash; a partition-major
+//              exclusive prefix (chunk order within each partition)
+//              turns the counts into disjoint scatter cursors, so each
+//              partition's row list comes out contiguous and in
+//              ascending global row order;
+//   build:     one task per partition builds a private linear-probe
+//              table over its rows: a slot holds the head/tail of an
+//              insertion-ordered chain per key, so every key's row
+//              list is ascending = the serial build order. The slot
+//              index comes from hash bits disjoint from the partition
+//              bits;
+//   probe:     each probe-side morsel walks its rows' chains and emits
+//              pairs into its own chunk; chunk-ordered concatenation
+//              reproduces the serial left-major pair order exactly.
 template <typename Key, typename Hash, typename LKeyFn, typename RKeyFn>
 void HashJoinTyped(size_t nl, size_t nr, const LKeyFn& lkey,
-                   const RKeyFn& rkey, JoinPairChunks* out, ThreadPool* tp) {
-  using Map = std::unordered_map<Key, IdxVec, Hash>;
+                   const RKeyFn& rkey, JoinPairChunks* out, ThreadPool* tp,
+                   const KernelTuning& kt, KernelPhases* phases) {
   Hash hasher;
-  if (tp == nullptr || (nl < kMorselRows && nr < kMorselRows)) {
+  const size_t morsel = kt.morsel_rows;
+  if (nl < morsel && nr < morsel) {
+    using Map = std::unordered_map<Key, IdxVec, Hash>;
     out->li.resize(1);
     out->ri.resize(1);
     IdxVec& lv = out->li[0];
@@ -345,40 +438,129 @@ void HashJoinTyped(size_t nl, size_t nr, const LKeyFn& lkey,
     out->total = lv.size();
     return;
   }
-  size_t bchunks = ThreadPool::NumChunks(nr, kMorselRows);
-  std::vector<std::vector<IdxVec>> buckets(
-      bchunks, std::vector<IdxVec>(kJoinPartitions));
-  ParallelFor(tp, nr, kMorselRows, [&](size_t c, size_t lo, size_t hi) {
-    std::vector<IdxVec>& bk = buckets[c];
+  const int bits = kt.radix_bits;
+  const size_t nparts = size_t{1} << bits;
+  int64_t t0 = phases != nullptr ? NowNs() : 0;
+
+  // Partition phase. The remixed hash is computed once per build row:
+  // the top `bits` select the partition, bits 32..63 (disjoint from
+  // the partition bits for any realistic per-partition capacity) seed
+  // the slot index later.
+  size_t bchunks = ThreadPool::NumChunks(nr, morsel);
+  std::vector<uint16_t> pid(nr);
+  std::vector<uint32_t> slot_hash(nr);
+  std::vector<size_t> hist(bchunks * nparts, 0);
+  ParallelFor(tp, nr, morsel, [&](size_t c, size_t lo, size_t hi) {
+    size_t* h = &hist[c * nparts];
     for (size_t j = lo; j < hi; ++j) {
-      bk[PartitionOf(hasher(rkey(j)))].push_back(static_cast<RowIdx>(j));
+      uint64_t x = MixHash(hasher(rkey(j)));
+      uint16_t p = static_cast<uint16_t>(x >> (64 - bits));
+      pid[j] = p;
+      slot_hash[j] = static_cast<uint32_t>(x >> 32);
+      ++h[p];
     }
   });
-  std::vector<Map> parts(kJoinPartitions);
-  ParallelFor(tp, kJoinPartitions, 1, [&](size_t p, size_t, size_t) {
-    Map& ht = parts[p];
-    for (size_t c = 0; c < bchunks; ++c) {
-      for (RowIdx j : buckets[c][p]) ht[rkey(j)].push_back(j);
+  std::vector<size_t> pstart(nparts + 1, 0);
+  {
+    size_t run = 0;
+    for (size_t p = 0; p < nparts; ++p) {
+      pstart[p] = run;
+      for (size_t c = 0; c < bchunks; ++c) {
+        size_t cnt = hist[c * nparts + p];
+        hist[c * nparts + p] = run;  // becomes the (c, p) scatter cursor
+        run += cnt;
+      }
+    }
+    pstart[nparts] = run;
+  }
+  std::vector<RowIdx> part_rows(nr);
+  ParallelFor(tp, nr, morsel, [&](size_t c, size_t lo, size_t hi) {
+    size_t* cur = &hist[c * nparts];
+    for (size_t j = lo; j < hi; ++j) {
+      part_rows[cur[pid[j]]++] = static_cast<RowIdx>(j);
     }
   });
-  size_t pchunks = ThreadPool::NumChunks(nl, kMorselRows);
+  if (phases != nullptr) {
+    int64_t t1 = NowNs();
+    phases->partition_ns += t1 - t0;
+    t0 = t1;
+  }
+
+  // Build phase: per-partition private tables, flat arrays only.
+  struct PartTable {
+    std::vector<uint32_t> head;  // slot -> first local row of its key
+    std::vector<uint32_t> tail;  // slot -> last local row of its key
+    std::vector<uint32_t> next;  // local row -> next row of same key
+    uint32_t mask = 0;
+  };
+  std::vector<PartTable> tables(nparts);
+  ParallelFor(tp, nparts, 1, [&](size_t p, size_t, size_t) {
+    size_t cnt = pstart[p + 1] - pstart[p];
+    if (cnt == 0) return;
+    size_t cap = 16;
+    while (cap < cnt * 2) cap <<= 1;
+    PartTable& pt = tables[p];
+    pt.mask = static_cast<uint32_t>(cap - 1);
+    pt.head.assign(cap, kEmptySlot);
+    pt.tail.assign(cap, 0);
+    pt.next.assign(cnt, kChainEnd);
+    const RowIdx* rows = part_rows.data() + pstart[p];
+    for (uint32_t t = 0; t < cnt; ++t) {
+      RowIdx j = rows[t];
+      uint32_t s = slot_hash[j] & pt.mask;
+      for (;;) {
+        uint32_t h = pt.head[s];
+        if (h == kEmptySlot) {
+          pt.head[s] = t;
+          pt.tail[s] = t;
+          break;
+        }
+        if (rkey(rows[h]) == rkey(j)) {
+          pt.next[pt.tail[s]] = t;
+          pt.tail[s] = t;
+          break;
+        }
+        s = (s + 1) & pt.mask;
+      }
+    }
+  });
+  if (phases != nullptr) {
+    int64_t t1 = NowNs();
+    phases->build_ns += t1 - t0;
+    t0 = t1;
+  }
+
+  // Probe phase.
+  size_t pchunks = ThreadPool::NumChunks(nl, morsel);
   out->li.resize(pchunks);
   out->ri.resize(pchunks);
-  ParallelFor(tp, nl, kMorselRows, [&](size_t c, size_t lo, size_t hi) {
+  ParallelFor(tp, nl, morsel, [&](size_t c, size_t lo, size_t hi) {
     IdxVec& lv = out->li[c];
     IdxVec& rv = out->ri[c];
     for (size_t i = lo; i < hi; ++i) {
       Key k = lkey(i);
-      const Map& ht = parts[PartitionOf(hasher(k))];
-      auto it = ht.find(k);
-      if (it == ht.end()) continue;
-      for (RowIdx j : it->second) {
-        lv.push_back(static_cast<RowIdx>(i));
-        rv.push_back(j);
+      uint64_t x = MixHash(hasher(k));
+      size_t p = static_cast<size_t>(x >> (64 - bits));
+      const PartTable& pt = tables[p];
+      if (pt.head.empty()) continue;
+      const RowIdx* rows = part_rows.data() + pstart[p];
+      uint32_t s = static_cast<uint32_t>(x >> 32) & pt.mask;
+      for (;;) {
+        uint32_t h = pt.head[s];
+        if (h == kEmptySlot) break;
+        if (rkey(rows[h]) == k) {
+          for (uint32_t t = h; t != kChainEnd; t = pt.next[t]) {
+            lv.push_back(static_cast<RowIdx>(i));
+            rv.push_back(rows[t]);
+          }
+          break;
+        }
+        s = (s + 1) & pt.mask;
       }
     }
   });
   for (const IdxVec& lv : out->li) out->total += lv.size();
+  if (phases != nullptr) phases->probe_ns += NowNs() - t0;
 }
 
 // Exclusive prefix offsets of a chunked pair list.
@@ -413,10 +595,12 @@ void FlattenPairs(JoinPairChunks&& pc, IdxVec* li, IdxVec* ri,
 
 Status HashJoinPairsChunked(const Column& l, const Column& r,
                             const StringPool& pool, JoinPairChunks* out,
-                            ThreadPool* tp) {
+                            ThreadPool* tp, const KernelTuning& kt,
+                            KernelPhases* phases) {
   if (l.type() != r.type()) {
     return Status::Internal("hash join key type mismatch");
   }
+  const KernelTuning ktc = kt.Clamped();
   *out = JoinPairChunks{};
   switch (l.type()) {
     case ColType::kInt: {
@@ -424,7 +608,7 @@ Status HashJoinPairsChunked(const Column& l, const Column& r,
       const auto& rv = r.ints();
       HashJoinTyped<int64_t, std::hash<int64_t>>(
           lv.size(), rv.size(), [&](size_t i) { return lv[i]; },
-          [&](size_t j) { return rv[j]; }, out, tp);
+          [&](size_t j) { return rv[j]; }, out, tp, ktc, phases);
       return Status::OK();
     }
     case ColType::kStr: {
@@ -432,7 +616,7 @@ Status HashJoinPairsChunked(const Column& l, const Column& r,
       const auto& rv = r.strs();
       HashJoinTyped<StrId, std::hash<StrId>>(
           lv.size(), rv.size(), [&](size_t i) { return lv[i]; },
-          [&](size_t j) { return rv[j]; }, out, tp);
+          [&](size_t j) { return rv[j]; }, out, tp, ktc, phases);
       return Status::OK();
     }
     case ColType::kItem: {
@@ -443,13 +627,13 @@ Status HashJoinPairsChunked(const Column& l, const Column& r,
       const auto& lv = l.items();
       const auto& rv = r.items();
       std::vector<Item> lc(lv.size()), rc(rv.size());
-      ParallelFor(tp, lv.size(), kMorselRows,
+      ParallelFor(tp, lv.size(), ktc.morsel_rows,
                   [&](size_t, size_t lo, size_t hi) {
                     for (size_t i = lo; i < hi; ++i) {
                       lc[i] = CanonicalJoinKey(lv[i], pool);
                     }
                   });
-      ParallelFor(tp, rv.size(), kMorselRows,
+      ParallelFor(tp, rv.size(), ktc.morsel_rows,
                   [&](size_t, size_t lo, size_t hi) {
                     for (size_t j = lo; j < hi; ++j) {
                       rc[j] = CanonicalJoinKey(rv[j], pool);
@@ -457,7 +641,7 @@ Status HashJoinPairsChunked(const Column& l, const Column& r,
                   });
       HashJoinTyped<Item, ItemHash>(
           lc.size(), rc.size(), [&](size_t i) { return lc[i]; },
-          [&](size_t j) { return rc[j]; }, out, tp);
+          [&](size_t j) { return rc[j]; }, out, tp, ktc, phases);
       return Status::OK();
     }
     default:
@@ -467,11 +651,12 @@ Status HashJoinPairsChunked(const Column& l, const Column& r,
 
 Status HashJoinIndices(const Column& l, const Column& r,
                        const StringPool& pool, IdxVec* li, IdxVec* ri,
-                       ThreadPool* tp) {
+                       ThreadPool* tp, const KernelTuning& kt,
+                       KernelPhases* phases) {
   li->clear();
   ri->clear();
   JoinPairChunks pc;
-  PF_RETURN_NOT_OK(HashJoinPairsChunked(l, r, pool, &pc, tp));
+  PF_RETURN_NOT_OK(HashJoinPairsChunked(l, r, pool, &pc, tp, kt, phases));
   FlattenPairs(std::move(pc), li, ri, tp);
   return Status::OK();
 }
@@ -691,9 +876,9 @@ Table JoinGatherTables(const Table& l, const Table& r,
 
 Status HashJoinGather(const Table& l, const Table& r, const Column& lk,
                       const Column& rk, const StringPool& pool, Table* out,
-                      ThreadPool* tp) {
+                      ThreadPool* tp, const KernelTuning& kt) {
   JoinPairChunks pc;
-  PF_RETURN_NOT_OK(HashJoinPairsChunked(lk, rk, pool, &pc, tp));
+  PF_RETURN_NOT_OK(HashJoinPairsChunked(lk, rk, pool, &pc, tp, kt));
   *out = JoinGatherTables(l, r, pc, tp);
   return Status::OK();
 }
@@ -707,10 +892,38 @@ Status ThetaJoinGather(const Table& l, const Table& r, const Column& lk,
   return Status::OK();
 }
 
+namespace {
+
+// Merge-path split: the number of A elements among the first `diag`
+// outputs of a stable merge of A (na elements) and B (nb elements)
+// under `less`, with ties taken from A — exactly std::merge's rule.
+// Splitting one merge at several diagonals and merging the pieces
+// therefore reproduces the full std::merge output piecewise.
+template <typename Less>
+size_t MergeSplit(const RowIdx* a, size_t na, const RowIdx* b, size_t nb,
+                  size_t diag, const Less& less) {
+  size_t lo = diag > nb ? diag - nb : 0;
+  size_t hi = std::min(diag, na);
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    // a[mid] precedes b[diag-1-mid] in the merge iff !(b < a).
+    if (!less(b[diag - 1 - mid], a[mid])) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
 Result<IdxVec> SortPerm(const Table& t, const std::vector<std::string>& keys,
                         const StringPool& pool,
-                        const std::vector<uint8_t>& desc, ThreadPool* tp) {
+                        const std::vector<uint8_t>& desc, ThreadPool* tp,
+                        const KernelTuning& kt, KernelPhases* phases) {
   PF_ASSIGN_OR_RETURN(std::vector<const Column*> cols, ResolveCols(t, keys));
+  const size_t run = kt.Clamped().sort_chunk_rows;
   IdxVec perm(t.rows());
   for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<RowIdx>(i);
   size_t n = perm.size();
@@ -721,7 +934,7 @@ Result<IdxVec> SortPerm(const Table& t, const std::vector<std::string>& keys,
   // (including the pair straddling the next chunk's boundary).
   std::atomic<bool> sorted{true};
   PF_RETURN_NOT_OK(ParallelForStatus(
-      tp, n > 0 ? n - 1 : 0, kSortChunkRows,
+      tp, n > 0 ? n - 1 : 0, run,
       [&](size_t, size_t lo, size_t hi) -> Status {
         if (!sorted.load(std::memory_order_relaxed)) return Status::OK();
         for (size_t i = lo; i < hi; ++i) {
@@ -735,7 +948,7 @@ Result<IdxVec> SortPerm(const Table& t, const std::vector<std::string>& keys,
         return Status::OK();
       }));
   if (sorted.load(std::memory_order_relaxed)) return perm;
-  if (tp == nullptr || n < 2 * kSortChunkRows) {
+  if (tp == nullptr || n < 2 * run) {
     Status st = Status::OK();
     std::stable_sort(perm.begin(), perm.end(), [&](RowIdx a, RowIdx b) {
       auto cmp = CompareRows(cols, a, b, pool, desc);
@@ -748,12 +961,11 @@ Result<IdxVec> SortPerm(const Table& t, const std::vector<std::string>& keys,
     if (!st.ok()) return st;
     return perm;
   }
-  // Parallel path: stable-sort fixed-size chunks, then merge adjacent
-  // runs level by level. std::merge takes the left (= lower-chunk)
-  // element on ties, so the final permutation is exactly the serial
-  // stable sort's.
+  // Parallel merge sort. Phase 1: stable-sort fixed-size runs
+  // concurrently.
+  int64_t t0 = phases != nullptr ? NowNs() : 0;
   PF_RETURN_NOT_OK(ParallelForStatus(
-      tp, n, kSortChunkRows, [&](size_t, size_t lo, size_t hi) -> Status {
+      tp, n, run, [&](size_t, size_t lo, size_t hi) -> Status {
         Status st = Status::OK();
         std::stable_sort(perm.begin() + static_cast<ptrdiff_t>(lo),
                          perm.begin() + static_cast<ptrdiff_t>(hi),
@@ -767,16 +979,38 @@ Result<IdxVec> SortPerm(const Table& t, const std::vector<std::string>& keys,
                          });
         return st;
       }));
+  if (phases != nullptr) {
+    int64_t t1 = NowNs();
+    phases->partition_ns += t1 - t0;
+    t0 = t1;
+  }
+  // Phase 2: merge adjacent runs level by level, but split every
+  // pairwise merge into independent output segments of `run` rows via
+  // merge-path binary search — the top levels (including the final
+  // whole-array merge) parallelize as well as the bottom ones, leaving
+  // no serial merge phase. std::merge takes the left (= lower-run)
+  // element on ties and MergeSplit uses the same rule, so the final
+  // permutation is exactly the serial stable sort's.
   IdxVec buf(n);
   IdxVec* src = &perm;
   IdxVec* dst = &buf;
-  for (size_t width = kSortChunkRows; width < n; width *= 2) {
-    size_t nmerges = ThreadPool::NumChunks(n, 2 * width);
+  struct Seg {
+    size_t a, mid, b;       // merge input: [a, mid) with [mid, b)
+    size_t out_lo, out_hi;  // output segment within [a, b)
+  };
+  std::vector<Seg> segs;
+  for (size_t width = run; width < n; width *= 2) {
+    segs.clear();
+    for (size_t a = 0; a < n; a += 2 * width) {
+      size_t mid = std::min(n, a + width);
+      size_t b = std::min(n, a + 2 * width);
+      for (size_t lo = a; lo < b; lo += run) {
+        segs.push_back({a, mid, b, lo, std::min(b, lo + run)});
+      }
+    }
     PF_RETURN_NOT_OK(ParallelForStatus(
-        tp, nmerges, 1, [&](size_t m, size_t, size_t) -> Status {
-          size_t a = m * 2 * width;
-          size_t mid = std::min(n, a + width);
-          size_t b = std::min(n, a + 2 * width);
+        tp, segs.size(), 1, [&](size_t si, size_t, size_t) -> Status {
+          const Seg& sg = segs[si];
           Status st = Status::OK();
           auto less = [&](RowIdx x, RowIdx y) {
             auto cmp = CompareRows(cols, x, y, pool, desc);
@@ -786,16 +1020,27 @@ Result<IdxVec> SortPerm(const Table& t, const std::vector<std::string>& keys,
             }
             return *cmp < 0;
           };
-          std::merge(src->begin() + static_cast<ptrdiff_t>(a),
-                     src->begin() + static_cast<ptrdiff_t>(mid),
-                     src->begin() + static_cast<ptrdiff_t>(mid),
-                     src->begin() + static_cast<ptrdiff_t>(b),
-                     dst->begin() + static_cast<ptrdiff_t>(a), less);
+          const RowIdx* av = src->data() + sg.a;
+          size_t na = sg.mid - sg.a;
+          const RowIdx* bv = src->data() + sg.mid;
+          size_t nb = sg.b - sg.mid;
+          size_t i0 = MergeSplit(av, na, bv, nb, sg.out_lo - sg.a, less);
+          size_t i1 = MergeSplit(av, na, bv, nb, sg.out_hi - sg.a, less);
+          // A comparator error makes the split diagonals meaningless
+          // (and possibly inverted) — stop before handing them to
+          // std::merge.
+          if (!st.ok()) return st;
+          size_t j0 = (sg.out_lo - sg.a) - i0;
+          size_t j1 = (sg.out_hi - sg.a) - i1;
+          std::merge(av + i0, av + i1, bv + j0, bv + j1,
+                     dst->begin() + static_cast<ptrdiff_t>(sg.out_lo),
+                     less);
           return st;
         }));
     std::swap(src, dst);
   }
-  if (src != &perm) perm = *src;
+  if (src != &perm) perm = std::move(*src);
+  if (phases != nullptr) phases->merge_ns += NowNs() - t0;
   return perm;
 }
 
@@ -866,7 +1111,7 @@ Result<ColumnPtr> Mark(const Table& t, const std::vector<std::string>& part,
                        const std::vector<std::string>& order,
                        const StringPool& pool,
                        const std::vector<uint8_t>& order_desc,
-                       ThreadPool* tp) {
+                       ThreadPool* tp, const KernelTuning& kt) {
   std::vector<std::string> sort_keys = part;
   sort_keys.insert(sort_keys.end(), order.begin(), order.end());
   std::vector<uint8_t> desc(part.size(), 0);
@@ -875,7 +1120,8 @@ Result<ColumnPtr> Mark(const Table& t, const std::vector<std::string>& part,
   } else {
     desc.insert(desc.end(), order.size(), 0);
   }
-  PF_ASSIGN_OR_RETURN(IdxVec perm, SortPerm(t, sort_keys, pool, desc, tp));
+  PF_ASSIGN_OR_RETURN(IdxVec perm,
+                      SortPerm(t, sort_keys, pool, desc, tp, kt));
   // Empty `part` means one global partition. (ResolveCols expands an
   // empty list to all columns — the Distinct convention, not ours.)
   std::vector<const Column*> pcols;
@@ -1028,7 +1274,8 @@ Result<Table> UnionAll(const Table& a, const Table& b) {
 Result<Table> GroupAgg(const Table& t, const std::string& group_col,
                        const std::string& val_col, AggKind kind,
                        const StringPool& pool, const std::string& out_group,
-                       const std::string& out_val, ThreadPool* tp) {
+                       const std::string& out_val, ThreadPool* tp,
+                       const KernelTuning& kt, KernelPhases* phases) {
   PF_ASSIGN_OR_RETURN(ColumnPtr gcol, t.GetCol(group_col));
   if (gcol->type() != ColType::kInt) {
     return Status::Internal("group column must be int");
@@ -1103,15 +1350,18 @@ Result<Table> GroupAgg(const Table& t, const std::string& group_col,
     }
   } else {
     // Morsel-wise partial aggregation. The algorithm switch above and
-    // the morsel split both depend on the row count ONLY, so the FP sum
-    // association — and therefore the result bytes — are the same at
-    // every thread count (tp == nullptr runs the same morsels inline).
+    // the morsel split both depend on the row count ONLY — the grain is
+    // deliberately the FIXED kMorselRows, never the tuning — so the FP
+    // sum association, and therefore the result bytes, are the same at
+    // every thread count AND every tuning (tp == nullptr runs the same
+    // morsels inline).
     struct Partial {
       std::vector<int64_t> order;
       std::unordered_map<int64_t, Acc> accs;
     };
     size_t chunks = ThreadPool::NumChunks(n, kMorselRows);
     std::vector<Partial> parts(chunks);
+    int64_t t0 = phases != nullptr ? NowNs() : 0;
     PF_RETURN_NOT_OK(ParallelForStatus(
         tp, n, kMorselRows, [&](size_t c, size_t lo, size_t hi) -> Status {
           Partial& p = parts[c];
@@ -1122,39 +1372,99 @@ Result<Table> GroupAgg(const Table& t, const std::string& group_col,
           }
           return Status::OK();
         }));
-    // Merge partials in morsel order: first-appearance over the
-    // concatenated morsels is exactly the serial group order.
-    for (Partial& p : parts) {
-      for (int64_t g : p.order) {
-        const Acc& src = p.accs.at(g);
-        auto [it, inserted] = accs.try_emplace(g);
-        Acc& dst = it->second;
-        if (inserted) {
-          dst = src;
-          group_order.push_back(g);
-          continue;
-        }
-        dst.count += src.count;
-        dst.dsum += src.dsum;
-        dst.isum += src.isum;
-        dst.all_int = dst.all_int && src.all_int;
-        if (src.has_extreme) {
-          if (!dst.has_extreme) {
-            dst.extreme = src.extreme;
-            dst.has_extreme = true;
-          } else {
-            PF_ASSIGN_OR_RETURN(
-                int cmp, ItemCompareValue(src.extreme, dst.extreme, pool));
-            // Strict comparison: on ties the earlier morsel's item
-            // stays, matching the serial first-wins rule.
-            if ((kind == AggKind::kMax && cmp > 0) ||
-                (kind == AggKind::kMin && cmp < 0)) {
-              dst.extreme = src.extreme;
+    if (phases != nullptr) {
+      int64_t t1 = NowNs();
+      phases->partition_ns += t1 - t0;
+      t0 = t1;
+    }
+    // Partitioned combine: groups are radix-partitioned across
+    // 2^radix_bits private merge maps, so no shared map is built.
+    // Each chunk's group list is bucketed by partition first (storing
+    // positions, so per-partition scans still see ascending chunk
+    // positions); each partition then folds its groups' partials
+    // visiting chunks in ascending order — per group that is exactly
+    // the chunk-order fold the serial merge performed, so the FP
+    // association is unchanged. The first (chunk, pos) sighting of
+    // each group is recorded, and sorting those keys rebuilds the
+    // global first-appearance group order: every group's first
+    // sighting is unique, and (chunk, pos) ascending is precisely
+    // "first appearance over the concatenated morsels".
+    const int bits = kt.Clamped().radix_bits;
+    const size_t nparts = size_t{1} << bits;
+    std::vector<std::vector<uint32_t>> pbuckets(chunks * nparts);
+    ParallelFor(tp, chunks, 1, [&](size_t c, size_t, size_t) {
+      const auto& order = parts[c].order;
+      for (size_t pos = 0; pos < order.size(); ++pos) {
+        size_t p = static_cast<size_t>(
+            MixHash(static_cast<size_t>(order[pos])) >> (64 - bits));
+        pbuckets[c * nparts + p].push_back(static_cast<uint32_t>(pos));
+      }
+    });
+    struct First {
+      uint32_t chunk;
+      uint32_t pos;
+      int64_t g;
+    };
+    std::vector<std::unordered_map<int64_t, Acc>> pmerged(nparts);
+    std::vector<std::vector<First>> pfirsts(nparts);
+    PF_RETURN_NOT_OK(ParallelForStatus(
+        tp, nparts, 1, [&](size_t p, size_t, size_t) -> Status {
+          auto& merged = pmerged[p];
+          auto& firsts = pfirsts[p];
+          for (size_t c = 0; c < chunks; ++c) {
+            for (uint32_t pos : pbuckets[c * nparts + p]) {
+              int64_t g = parts[c].order[pos];
+              const Acc& src = parts[c].accs.at(g);
+              auto [it, inserted] = merged.try_emplace(g);
+              Acc& dst = it->second;
+              if (inserted) {
+                dst = src;
+                firsts.push_back({static_cast<uint32_t>(c), pos, g});
+                continue;
+              }
+              dst.count += src.count;
+              dst.dsum += src.dsum;
+              dst.isum += src.isum;
+              dst.all_int = dst.all_int && src.all_int;
+              if (src.has_extreme) {
+                if (!dst.has_extreme) {
+                  dst.extreme = src.extreme;
+                  dst.has_extreme = true;
+                } else {
+                  PF_ASSIGN_OR_RETURN(
+                      int cmp,
+                      ItemCompareValue(src.extreme, dst.extreme, pool));
+                  // Strict comparison: on ties the earlier morsel's
+                  // item stays, matching the serial first-wins rule.
+                  if ((kind == AggKind::kMax && cmp > 0) ||
+                      (kind == AggKind::kMin && cmp < 0)) {
+                    dst.extreme = src.extreme;
+                  }
+                }
+              }
             }
           }
-        }
-      }
+          return Status::OK();
+        }));
+    size_t ngroups = 0;
+    for (const auto& f : pfirsts) ngroups += f.size();
+    std::vector<First> firsts;
+    firsts.reserve(ngroups);
+    for (auto& f : pfirsts) {
+      firsts.insert(firsts.end(), f.begin(), f.end());
     }
+    std::sort(firsts.begin(), firsts.end(),
+              [](const First& a, const First& b) {
+                return a.chunk != b.chunk ? a.chunk < b.chunk
+                                          : a.pos < b.pos;
+              });
+    group_order.reserve(ngroups);
+    for (const First& f : firsts) group_order.push_back(f.g);
+    // The partition maps are disjoint, so moving their nodes into the
+    // output map never collides.
+    accs.reserve(ngroups * 2);
+    for (auto& m : pmerged) accs.merge(m);
+    if (phases != nullptr) phases->merge_ns += NowNs() - t0;
   }
 
   auto out_g = Column::MakeInt(group_order.size());

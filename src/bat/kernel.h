@@ -18,6 +18,49 @@ using IdxVec = std::vector<RowIdx>;
 /// Comparison operators used by selections and theta joins.
 enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
+/// Tuning for the partitioned parallel kernels. The process default is
+/// read from the environment once (PF_RADIX_BITS, PF_MORSEL_ROWS,
+/// PF_SORT_CHUNK_ROWS); QueryOptions can override per query. Every
+/// setting is RESULT-NEUTRAL: the radix join emits the exact serial
+/// pair order at any partition count, the merge sort reproduces
+/// std::stable_sort at any run length, and GroupAgg's floating-point
+/// association is pinned to a fixed internal grain — so the bytes
+/// never depend on the tuning, only the speed does.
+struct KernelTuning {
+  /// log2 of the join/aggregation partition count (clamped to [1, 12];
+  /// 2^bits private hash tables are built per join).
+  int radix_bits = 6;
+  /// Morsel grain (rows) for filters, joins and fused pipeline
+  /// fragments (clamped to [64, 1<<20]).
+  uint32_t morsel_rows = 4096;
+  /// Initial sorted-run length and merge-split grain for SortPerm
+  /// (clamped to [256, 1<<22]).
+  uint32_t sort_chunk_rows = 8192;
+
+  /// Clamped copy of *this (what the kernels actually use).
+  KernelTuning Clamped() const;
+
+  /// Env-derived process default (PF_RADIX_BITS, PF_MORSEL_ROWS,
+  /// PF_SORT_CHUNK_ROWS), computed once.
+  static const KernelTuning& Default();
+};
+
+/// Per-phase wall times of one partitioned-kernel invocation, filled
+/// only when a caller passes a non-null pointer (the hot path performs
+/// no timer calls otherwise). Which slots a kernel fills:
+///   hash join:  partition_ns (radix scatter), build_ns (per-partition
+///               tables), probe_ns (probe + pair emission)
+///   sort:       partition_ns (parallel run sorts), merge_ns
+///               (merge-path levels)
+///   group agg:  partition_ns (morsel partials), merge_ns
+///               (partitioned combine + ordered rebuild)
+struct KernelPhases {
+  int64_t partition_ns = 0;
+  int64_t build_ns = 0;
+  int64_t probe_ns = 0;
+  int64_t merge_ns = 0;
+};
+
 // Every bulk operator takes an optional ThreadPool. nullptr (the
 // default) runs the serial code path; a pool evaluates row morsels in
 // parallel with deterministic, ordered merges — the result is
@@ -25,7 +68,8 @@ enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
 // execution" for the invariants each operator maintains).
 
 /// Indices of rows whose BOOL predicate cell is true, in row order.
-IdxVec FilterIndices(const Column& pred, ThreadPool* tp = nullptr);
+IdxVec FilterIndices(const Column& pred, ThreadPool* tp = nullptr,
+                     const KernelTuning& kt = KernelTuning::Default());
 
 /// Positional fetch: result[i] = c[idx[i]]  (MonetDB leftfetchjoin).
 ColumnPtr Gather(const Column& c, const IdxVec& idx,
@@ -41,7 +85,8 @@ Table GatherTable(const Table& t, const IdxVec& idx,
 /// the intermediate index vector. Backbone of singleton-σ pipeline
 /// fragments.
 Table FilterGather(const Table& t, const Column& pred,
-                   ThreadPool* tp = nullptr);
+                   ThreadPool* tp = nullptr,
+                   const KernelTuning& kt = KernelTuning::Default());
 
 /// Matching join row pairs grouped by probe-side chunk, in chunk order:
 /// concatenating (li[c], ri[c]) over all c yields exactly the pair list
@@ -57,7 +102,9 @@ struct JoinPairChunks {
 /// semantics, same deterministic pair order).
 Status HashJoinPairsChunked(const Column& l, const Column& r,
                             const StringPool& pool, JoinPairChunks* out,
-                            ThreadPool* tp = nullptr);
+                            ThreadPool* tp = nullptr,
+                            const KernelTuning& kt = KernelTuning::Default(),
+                            KernelPhases* phases = nullptr);
 
 /// Chunked-pair form of ThetaJoinIndices.
 Status ThetaJoinPairsChunked(const Column& l, const Column& r, CmpOp op,
@@ -69,7 +116,8 @@ Status ThetaJoinPairsChunked(const Column& l, const Column& r, CmpOp op,
 /// chunks — the global pair index vectors are never materialized.
 Status HashJoinGather(const Table& l, const Table& r, const Column& lk,
                       const Column& rk, const StringPool& pool, Table* out,
-                      ThreadPool* tp = nullptr);
+                      ThreadPool* tp = nullptr,
+                      const KernelTuning& kt = KernelTuning::Default());
 
 /// Fused probe+gather theta join (see ThetaJoinIndices for semantics).
 Status ThetaJoinGather(const Table& l, const Table& r, const Column& lk,
@@ -83,12 +131,18 @@ Status ThetaJoinGather(const Table& l, const Table& r, const Column& lk,
 /// INT, STR, ITEM.
 /// `pool` is used to canonicalize ITEM keys (untyped atomics join under
 /// their typed interpretation, integers under their double value).
-/// Parallel evaluation hash-partitions the build side per morsel and
-/// probes left-side morsels independently; ordered concatenation keeps
-/// the exact serial pair order.
+/// Above the morsel threshold both sides go through the radix-
+/// partitioned path (even serially): the build side is scattered into
+/// 2^radix_bits partitions by key-hash radix, one private flat hash
+/// table is built per partition (insertion-ordered chains, so every
+/// key's row list is ascending), and probe-side morsels emit pairs
+/// partition-locally; chunk-ordered concatenation reproduces the exact
+/// serial left-major pair order.
 Status HashJoinIndices(const Column& l, const Column& r,
                        const StringPool& pool, IdxVec* li, IdxVec* ri,
-                       ThreadPool* tp = nullptr);
+                       ThreadPool* tp = nullptr,
+                       const KernelTuning& kt = KernelTuning::Default(),
+                       KernelPhases* phases = nullptr);
 
 /// Theta join on a comparison predicate with numeric promotion
 /// (used for the paper's Q11/Q12-style `>` joins whose output is
@@ -99,14 +153,19 @@ Status ThetaJoinIndices(const Column& l, const Column& r, CmpOp op,
 
 /// Stable sort permutation by key columns (lexicographic). `pool` is
 /// needed to order STR/ITEM keys. `desc` (optional, parallel to `keys`)
-/// flips the direction of individual keys. Parallel evaluation sorts
-/// fixed-size chunks and merges them stably (ties take the
-/// lower-chunk element), which reproduces the serial stable sort
-/// permutation exactly.
+/// flips the direction of individual keys. Parallel evaluation is a
+/// full parallel merge sort: fixed-size runs are stable-sorted
+/// concurrently, then every merge level splits each pairwise merge
+/// into independent output segments via merge-path binary search —
+/// the final level parallelizes too, leaving no serial merge phase.
+/// Ties take the lower-run element, which reproduces the serial
+/// stable sort permutation exactly.
 Result<IdxVec> SortPerm(const Table& t, const std::vector<std::string>& keys,
                         const StringPool& pool,
                         const std::vector<uint8_t>& desc = {},
-                        ThreadPool* tp = nullptr);
+                        ThreadPool* tp = nullptr,
+                        const KernelTuning& kt = KernelTuning::Default(),
+                        KernelPhases* phases = nullptr);
 
 /// First-occurrence row indices per distinct key tuple, in row order.
 /// Empty `keys` means all columns. Parallel evaluation hash-partitions
@@ -123,7 +182,8 @@ Result<ColumnPtr> Mark(const Table& t, const std::vector<std::string>& part,
                        const std::vector<std::string>& order,
                        const StringPool& pool,
                        const std::vector<uint8_t>& order_desc = {},
-                       ThreadPool* tp = nullptr);
+                       ThreadPool* tp = nullptr,
+                       const KernelTuning& kt = KernelTuning::Default());
 
 /// Rows of `a` whose key tuple does not appear in `b` (paper's \).
 /// An empty `b` short-circuits to the identity index vector. Parallel
@@ -146,14 +206,20 @@ enum class AggKind { kCount, kSum, kAvg, kMax, kMin };
 /// empty. Numeric aggregation promotes via ItemToDouble; a sum over only
 /// kInt items stays integer.
 /// Above a fixed row threshold the aggregation runs morsel-wise
-/// (thread-local partials, first-appearance-ordered merge) regardless
-/// of `tp`, so floating-point sums are associated identically at every
-/// thread count.
+/// (thread-local partials over a FIXED internal grain, so
+/// floating-point sums are associated identically at every thread
+/// count and tuning) and the partials are combined in parallel: groups
+/// are radix-partitioned across 2^radix_bits private combine maps,
+/// each partition folds its groups' partials in chunk order, and the
+/// global first-appearance group order is rebuilt from recorded
+/// (chunk, position) keys — no shared map is ever built.
 Result<Table> GroupAgg(const Table& t, const std::string& group_col,
                        const std::string& val_col, AggKind kind,
                        const StringPool& pool, const std::string& out_group,
                        const std::string& out_val,
-                       ThreadPool* tp = nullptr);
+                       ThreadPool* tp = nullptr,
+                       const KernelTuning& kt = KernelTuning::Default(),
+                       KernelPhases* phases = nullptr);
 
 }  // namespace pathfinder::bat
 

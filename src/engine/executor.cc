@@ -413,8 +413,9 @@ Result<ColumnPtr> EvalFun2(Fun2 f, const Column& a, const Column& b,
 // and all order-sensitive consumers compare string *content*, never
 // StrIds, whose numbering may vary with interning order).
 
-// Same fixed morsel grain as the BAT kernels (never thread-derived).
-constexpr size_t kPipeMorselRows = 4096;
+// Fused fragments use the same tuning-provided morsel grain as the BAT
+// kernels (ctx->tuning.morsel_rows — never thread-derived), so pipeline
+// morsels and kernel partitions stay aligned.
 
 // A symbolic column: one of the fragment's input columns (left/right
 // by position) or a morsel-local computed slot.
@@ -897,8 +898,7 @@ class Exec {
       auto it = memo_.find(c.get());
       if (it != memo_.end()) basis = std::max(basis, it->second.rows());
     }
-    return static_cast<int64_t>(
-        ThreadPool::NumChunks(basis, kPipeMorselRows));
+    return static_cast<int64_t>(ThreadPool::NumChunks(basis, morsel()));
   }
 
   // Evaluate the fragment ending at `tail` as one fused morsel pass.
@@ -933,11 +933,11 @@ class Exec {
       if (chain.size() == 1) {
         // Bare join: fused probe+gather kernel, no pair vectors.
         frag_morsels_ = static_cast<int64_t>(
-            ThreadPool::NumChunks(l.rows(), kPipeMorselRows));
+            ThreadPool::NumChunks(l.rows(), morsel()));
         Table out;
         if (head.kind == OpKind::kEquiJoin) {
-          PF_RETURN_NOT_OK(bat::HashJoinGather(l, r, *lk, *rk,
-                                               *ctx_->pool(), &out, tp()));
+          PF_RETURN_NOT_OK(bat::HashJoinGather(
+              l, r, *lk, *rk, *ctx_->pool(), &out, tp(), kt()));
         } else {
           PF_RETURN_NOT_OK(bat::ThetaJoinGather(
               l, r, *lk, *rk, head.cmp, *ctx_->pool(), &out, tp()));
@@ -948,7 +948,7 @@ class Exec {
       bat::JoinPairChunks pc;
       if (head.kind == OpKind::kEquiJoin) {
         PF_RETURN_NOT_OK(bat::HashJoinPairsChunked(*lk, *rk, *ctx_->pool(),
-                                                   &pc, tp()));
+                                                   &pc, tp(), kt()));
       } else {
         PF_RETURN_NOT_OK(bat::ThetaJoinPairsChunked(
             *lk, *rk, head.cmp, *ctx_->pool(), &pc, tp()));
@@ -973,18 +973,18 @@ class Exec {
     // Map-headed fragment over a single input.
     const Table& in = Child(head, 0);
     frag_morsels_ = static_cast<int64_t>(
-        ThreadPool::NumChunks(in.rows(), kPipeMorselRows));
+        ThreadPool::NumChunks(in.rows(), morsel()));
     if (chain.size() == 1 && head.kind == OpKind::kSelect) {
       PF_ASSIGN_OR_RETURN(ColumnPtr pred, in.GetCol(head.col));
-      return bat::FilterGather(in, *pred, tp());
+      return bat::FilterGather(in, *pred, tp(), kt());
     }
     PF_ASSIGN_OR_RETURN(PipeProgram prog,
                         CompileFragment(chain, in, nullptr));
     size_t n = in.rows();
     std::vector<std::vector<ColumnPtr>> outs(
-        ThreadPool::NumChunks(n, kPipeMorselRows));
+        ThreadPool::NumChunks(n, morsel()));
     PF_RETURN_NOT_OK(ParallelForStatus(
-        tp(), n, kPipeMorselRows,
+        tp(), n, morsel(),
         [&](size_t c, size_t lo, size_t hi) -> Status {
           PipeMorsel m;
           m.li.reserve(hi - lo);
@@ -1065,7 +1065,7 @@ class Exec {
       case OpKind::kSelect: {
         const Table& in = Child(op, 0);
         PF_ASSIGN_OR_RETURN(ColumnPtr pred, in.GetCol(op.col));
-        IdxVec idx = bat::FilterIndices(*pred, tp());
+        IdxVec idx = bat::FilterIndices(*pred, tp(), kt());
         return bat::GatherTable(in, idx, tp());
       }
       case OpKind::kDisjointUnion:
@@ -1090,7 +1090,7 @@ class Exec {
         IdxVec li, ri;
         if (op.kind == OpKind::kEquiJoin) {
           PF_RETURN_NOT_OK(bat::HashJoinIndices(*lk, *rk, *ctx_->pool(),
-                                                &li, &ri, tp()));
+                                                &li, &ri, tp(), kt()));
         } else {
           PF_RETURN_NOT_OK(bat::ThetaJoinIndices(
               *lk, *rk, op.cmp, *ctx_->pool(), &li, &ri, tp()));
@@ -1129,7 +1129,7 @@ class Exec {
         const Table& in = Child(op, 0);
         PF_ASSIGN_OR_RETURN(
             ColumnPtr col, bat::Mark(in, op.part, op.order, *ctx_->pool(),
-                                     op.order_desc, tp()));
+                                     op.order_desc, tp(), kt()));
         Table t = in;
         t.AddCol(op.out, std::move(col));
         return t;
@@ -1186,12 +1186,12 @@ class Exec {
       }
       case OpKind::kAggr:
         return bat::GroupAgg(Child(op, 0), op.col, op.col2, op.agg,
-                             *ctx_->pool(), op.col, op.out, tp());
+                             *ctx_->pool(), op.col, op.out, tp(), kt());
       case OpKind::kSerialize: {
         const Table& in = Child(op, 0);
-        PF_ASSIGN_OR_RETURN(
-            IdxVec perm,
-            bat::SortPerm(in, {"iter", "pos"}, *ctx_->pool(), {}, tp()));
+        PF_ASSIGN_OR_RETURN(IdxVec perm,
+                            bat::SortPerm(in, {"iter", "pos"}, *ctx_->pool(),
+                                          {}, tp(), kt()));
         return bat::GatherTable(in, perm, tp());
       }
     }
@@ -1225,19 +1225,63 @@ class Exec {
       if (iters[a] != iters[b]) return iters[a] < iters[b];
       return items[a].raw < items[b].raw;
     };
-    constexpr size_t kStepSortChunkRows = 8192;  // fixed, never thread-derived
+    // Run length from the kernel tuning (a function of n and the grain
+    // only, never thread-derived). The merge levels split every
+    // pairwise merge at output diagonals via merge-path binary search
+    // (ties to the lower run, std::merge's rule), so no level — not
+    // even the final whole-array merge — runs serially.
+    const size_t srun = kt().sort_chunk_rows;
     ThreadPool* pool = tp();
-    if (pool != nullptr && n >= 2 * kStepSortChunkRows) {
-      ParallelFor(pool, n, kStepSortChunkRows,
-                  [&](size_t, size_t lo, size_t hi) {
-                    std::sort(perm.begin() + lo, perm.begin() + hi, lt);
-                  });
-      for (size_t width = kStepSortChunkRows; width < n; width *= 2) {
-        for (size_t lo = 0; lo + width < n; lo += 2 * width) {
-          std::inplace_merge(perm.begin() + lo, perm.begin() + lo + width,
-                             perm.begin() + std::min(lo + 2 * width, n), lt);
+    if (pool != nullptr && n >= 2 * srun) {
+      ParallelFor(pool, n, srun, [&](size_t, size_t lo, size_t hi) {
+        std::sort(perm.begin() + lo, perm.begin() + hi, lt);
+      });
+      auto split = [&](const bat::RowIdx* a, size_t na, const bat::RowIdx* b,
+                       size_t nb, size_t diag) {
+        size_t lo = diag > nb ? diag - nb : 0;
+        size_t hi = std::min(diag, na);
+        while (lo < hi) {
+          size_t mid = lo + (hi - lo) / 2;
+          if (!lt(b[diag - 1 - mid], a[mid])) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
         }
+        return lo;
+      };
+      IdxVec buf(n);
+      IdxVec* src = &perm;
+      IdxVec* dst = &buf;
+      struct Seg {
+        size_t a, mid, b, out_lo, out_hi;
+      };
+      std::vector<Seg> segs;
+      for (size_t width = srun; width < n; width *= 2) {
+        segs.clear();
+        for (size_t a = 0; a < n; a += 2 * width) {
+          size_t mid = std::min(n, a + width);
+          size_t b = std::min(n, a + 2 * width);
+          for (size_t lo = a; lo < b; lo += srun) {
+            segs.push_back({a, mid, b, lo, std::min(b, lo + srun)});
+          }
+        }
+        ParallelFor(pool, segs.size(), 1, [&](size_t si, size_t, size_t) {
+          const Seg& sg = segs[si];
+          const bat::RowIdx* av = src->data() + sg.a;
+          size_t na = sg.mid - sg.a;
+          const bat::RowIdx* bv = src->data() + sg.mid;
+          size_t nb = sg.b - sg.mid;
+          size_t i0 = split(av, na, bv, nb, sg.out_lo - sg.a);
+          size_t i1 = split(av, na, bv, nb, sg.out_hi - sg.a);
+          size_t j0 = (sg.out_lo - sg.a) - i0;
+          size_t j1 = (sg.out_hi - sg.a) - i1;
+          std::merge(av + i0, av + i1, bv + j0, bv + j1,
+                     dst->begin() + static_cast<ptrdiff_t>(sg.out_lo), lt);
+        });
+        std::swap(src, dst);
       }
+      if (src != &perm) perm = std::move(*src);
     } else {
       std::sort(perm.begin(), perm.end(), lt);
     }
@@ -1345,9 +1389,9 @@ class Exec {
   /// per iter sorted by pos.
   Result<std::vector<std::pair<int64_t, std::vector<Item>>>> GroupContent(
       const Table& in) {
-    PF_ASSIGN_OR_RETURN(
-        IdxVec perm,
-        bat::SortPerm(in, {"iter", "pos"}, *ctx_->pool(), {}, tp()));
+    PF_ASSIGN_OR_RETURN(IdxVec perm,
+                        bat::SortPerm(in, {"iter", "pos"}, *ctx_->pool(), {},
+                                      tp(), kt()));
     PF_ASSIGN_OR_RETURN(ColumnPtr iter_c, in.GetCol("iter"));
     PF_ASSIGN_OR_RETURN(ColumnPtr item_c, in.GetCol("item"));
     std::vector<std::pair<int64_t, std::vector<Item>>> groups;
@@ -1372,7 +1416,8 @@ class Exec {
 
     // One element per iter of the name relation (first name row wins).
     PF_ASSIGN_OR_RETURN(
-        IdxVec perm, bat::SortPerm(names, {"iter"}, *ctx_->pool(), {}, tp()));
+        IdxVec perm,
+        bat::SortPerm(names, {"iter"}, *ctx_->pool(), {}, tp(), kt()));
     PF_ASSIGN_OR_RETURN(ColumnPtr iter_c, names.GetCol("iter"));
     PF_ASSIGN_OR_RETURN(ColumnPtr item_c, names.GetCol("item"));
 
@@ -1462,6 +1507,8 @@ class Exec {
   }
 
   ThreadPool* tp() const { return ctx_->thread_pool(); }
+  const bat::KernelTuning& kt() const { return ctx_->tuning; }
+  size_t morsel() const { return ctx_->tuning.morsel_rows; }
 
   QueryContext* ctx_;
   std::unordered_map<const Op*, Table> memo_;

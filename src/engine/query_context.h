@@ -10,6 +10,7 @@
 #include "algebra/op.h"
 #include "base/result.h"
 #include "base/thread_pool.h"
+#include "bat/kernel.h"
 #include "engine/profile.h"
 #include "xml/database.h"
 
@@ -91,6 +92,14 @@ class QueryContext {
       thread_pool_ = owned_pool_.get();
     }
   }
+
+  /// Partitioned-kernel tuning (radix bits, morsel grain, sort run
+  /// length) used for every kernel call and for sizing fused pipeline
+  /// morsels. Every setting is result-neutral — it shifts work between
+  /// partitions/chunks whose merges are order-exact — so overriding it
+  /// per query can never change result bytes. Defaults to the
+  /// env-derived process default; stored pre-clamped.
+  bat::KernelTuning tuning = bat::KernelTuning::Default();
 
   /// Ablation switch (bench E6): evaluate Step operators with per-node
   /// naive region selection instead of the staircase join.

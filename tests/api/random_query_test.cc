@@ -355,6 +355,110 @@ TEST_P(RandomQueryTest, EnginesAgreeOnGeneratedQueries) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryTest,
                          ::testing::Range<uint64_t>(1, 46));
 
+// Zipf-skewed fixture for the partitioned kernels: item skus and order
+// refs are drawn from Zipf laws, so one join key (and with radix_bits
+// forced to 1, one radix partition) carries a large fraction of all
+// rows, and one dept holds most items so one combine partition does
+// nearly all GroupAgg work. The doc is sized past the kernels'
+// parallel thresholds (9000 items) so that, with the tuning knobs
+// forced small, the partition-imbalance paths actually run — this
+// suite is in the TSan CI lane precisely so those paths execute under
+// the race detector.
+xml::Database* SkewDb() {
+  static xml::Database* db = [] {
+    auto* d = new xml::Database();
+    Rng rng(20260809);
+    std::vector<std::string> dept_items(40);
+    for (int i = 0; i < 9000; ++i) {
+      uint64_t dept = rng.Zipf(40, 1.2);
+      uint64_t sku = rng.Zipf(300, 1.1);
+      uint64_t price = rng.Zipf(20, 1.3) + 1;
+      dept_items[dept] += "<item sku=\"s" + std::to_string(sku) +
+                          "\" price=\"" + std::to_string(price) + "\"/>";
+    }
+    std::string x = "<skew><catalog>";
+    for (int dept = 0; dept < 40; ++dept) {
+      x += "<dept n=\"d" + std::to_string(dept) + "\">" + dept_items[dept] +
+           "</dept>";
+    }
+    x += "</catalog><orders>";
+    for (int i = 0; i < 120; ++i) {
+      x += "<order ref=\"s" + std::to_string(rng.Zipf(300, 1.1)) +
+           "\" qty=\"" + std::to_string(rng.Range(1, 9)) + "\"/>";
+    }
+    x += "</orders></skew>";
+    auto r = d->LoadXml("skew.xml", x);
+    EXPECT_TRUE(r.ok());
+    return d;
+  }();
+  return db;
+}
+
+TEST(ZipfSkew, PartitionImbalanceByteIdentical) {
+  // The queries drive each partitioned kernel through the skewed data:
+  // an equi-join on the Zipf sku key, a grouped sum whose hot dept
+  // dominates one combine partition, a sort of the hot dept (long tie
+  // runs from the Zipf prices), and a skew-selectivity filter.
+  const char* kQueries[] = {
+      // where-clause form so join recognition fires: the engine runs a
+      // radix hash join on the Zipf sku key (the baseline stays a
+      // navigational nested loop, which bounds the order count above).
+      "sum(for $o in //order return count(for $i in //item "
+      "where $i/@sku = $o/@ref return $i))",
+      "for $d in //dept return sum($d/item/@price)",
+      "for $i in //dept[1]/item order by $i/@price + 0 descending "
+      "return string($i/@sku)",
+      "count(//item[@price > 3])",
+  };
+  // Tuning sweeps: radix_bits=1 funnels the hot key's partition-mate
+  // keys into one of TWO partitions; radix_bits=12 leaves most of 4096
+  // partitions empty; tiny morsel/run grains maximize cross-chunk
+  // merge traffic. All must serialize byte-identically to the
+  // navigational baseline.
+  struct Cfg {
+    int threads, pipeline, radix_bits;
+    int64_t morsel, sort_chunk;
+  };
+  const Cfg kCfgs[] = {
+      {1, -1, -1, -1, -1},
+      {2, 1, 1, 64, 256},
+      {2, 0, 12, 64, 256},
+      {4, 1, 6, 256, 512},
+  };
+  baseline::Baseline bl(SkewDb());
+  baseline::BaselineOptions bo;
+  bo.context_doc = "skew.xml";
+  Pathfinder pf(SkewDb());
+  for (const char* q : kQueries) {
+    SCOPED_TRACE(q);
+    auto br = bl.Run(q, bo);
+    ASSERT_TRUE(br.ok()) << br.status().ToString();
+    auto bs = br->Serialize();
+    ASSERT_TRUE(bs.ok());
+    for (const Cfg& c : kCfgs) {
+      QueryOptions o;
+      o.context_doc = "skew.xml";
+      o.num_threads = c.threads;
+      o.pipeline = c.pipeline;
+      o.radix_bits = c.radix_bits;
+      o.morsel_rows = c.morsel;
+      o.sort_chunk_rows = c.sort_chunk;
+      o.profile = 0;
+      // Caches off: every config must actually execute the partitioned
+      // kernels, not replay the first config's cached result.
+      o.plan_cache = 0;
+      o.subplan_cache = 0;
+      auto pr = pf.Run(q, o);
+      ASSERT_TRUE(pr.ok()) << pr.status().ToString()
+                           << " threads=" << c.threads;
+      auto ps = pr->Serialize();
+      ASSERT_TRUE(ps.ok());
+      ASSERT_EQ(*ps, *bs) << "threads=" << c.threads
+                          << " radix_bits=" << c.radix_bits;
+    }
+  }
+}
+
 // Multi-predicate paths must compile to fragments the executor fuses
 // as chains of length >= 3 — the generator rules above exist to hit
 // this shape, so pin it down on handcrafted instances.

@@ -1,0 +1,371 @@
+// Byte-identity and correctness suite for the partitioned parallel
+// kernels: the radix hash join, the merge-path parallel sort and the
+// partitioned GroupAgg combine must be invisible implementation
+// details — every (thread count × tuning) combination has to produce
+// the serial reference bytes, including the awkward inputs: empty
+// sides, all-duplicate keys (one chain holds every build row) and
+// Zipf/single-partition skew (one partition holds almost everything).
+// The int-key join is additionally anchored against a naive
+// nested-loop reference, so the serial path itself is checked against
+// first principles, not just against yesterday's serial path.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "bat/kernel.h"
+#include "bat/table.h"
+
+namespace pathfinder::bat {
+namespace {
+
+class PartitionedKernelsTest : public ::testing::Test {
+ protected:
+  // 1/2/4/7 worker threads; nullptr (the serial inline path) is the
+  // reference every pool is compared against.
+  std::vector<ThreadPool*> Pools() {
+    return {&pool1_, &pool2_, &pool4_, &pool7_};
+  }
+
+  // Tunings swept on top of the thread counts. All must be
+  // result-neutral: radix_bits=1 forces two fat partitions (skew
+  // path), 12 forces 4096 mostly-empty ones, morsel_rows=64 maximizes
+  // chunk-merge traffic, sort_chunk_rows=256 maximizes merge levels.
+  std::vector<KernelTuning> Tunings() {
+    std::vector<KernelTuning> ts(4);
+    ts[1].radix_bits = 1;
+    ts[2].radix_bits = 12;
+    ts[2].morsel_rows = 64;
+    ts[3].morsel_rows = 256;
+    ts[3].sort_chunk_rows = 256;
+    return ts;
+  }
+
+  ColumnPtr IntCol(const std::vector<int64_t>& v) {
+    auto c = Column::MakeInt(v.size());
+    for (int64_t x : v) c->ints().push_back(x);
+    return c;
+  }
+
+  ColumnPtr RandInts(size_t n, int64_t lo, int64_t hi, uint64_t seed) {
+    auto c = Column::MakeInt(n);
+    Rng rng(seed);
+    for (size_t i = 0; i < n; ++i) c->ints().push_back(rng.Range(lo, hi));
+    return c;
+  }
+
+  ColumnPtr ZipfInts(size_t n, uint64_t universe, double s, uint64_t seed) {
+    auto c = Column::MakeInt(n);
+    Rng rng(seed);
+    for (size_t i = 0; i < n; ++i) {
+      c->ints().push_back(static_cast<int64_t>(rng.Zipf(universe, s)));
+    }
+    return c;
+  }
+
+  ColumnPtr RandItems(size_t n, uint64_t seed) {
+    auto c = Column::MakeItem(n);
+    Rng rng(seed);
+    for (size_t i = 0; i < n; ++i) {
+      switch (rng.Below(4)) {
+        case 0:
+          c->items().push_back(Item::Int(rng.Range(-40, 40)));
+          break;
+        case 1:
+          c->items().push_back(Item::Dbl(rng.Range(-40, 40) * 0.5));
+          break;
+        case 2:
+          c->items().push_back(
+              Item::Str(pool_.Intern("s" + std::to_string(rng.Below(30)))));
+          break;
+        default:
+          c->items().push_back(Item::Untyped(
+              pool_.Intern(std::to_string(rng.Range(-40, 40)))));
+          break;
+      }
+    }
+    return c;
+  }
+
+  // First-principles reference: left-major nested loop over int keys.
+  static void NaiveIntJoin(const Column& l, const Column& r, IdxVec* li,
+                           IdxVec* ri) {
+    for (size_t i = 0; i < l.ints().size(); ++i) {
+      for (size_t j = 0; j < r.ints().size(); ++j) {
+        if (l.ints()[i] == r.ints()[j]) {
+          li->push_back(static_cast<RowIdx>(i));
+          ri->push_back(static_cast<RowIdx>(j));
+        }
+      }
+    }
+  }
+
+  void ExpectJoinMatchesSerial(const Column& l, const Column& r) {
+    IdxVec sl, sr;
+    ASSERT_TRUE(HashJoinIndices(l, r, pool_, &sl, &sr, nullptr).ok());
+    for (ThreadPool* tp : Pools()) {
+      for (const KernelTuning& kt : Tunings()) {
+        IdxVec pl, pr;
+        ASSERT_TRUE(HashJoinIndices(l, r, pool_, &pl, &pr, tp, kt).ok());
+        EXPECT_EQ(pl, sl);
+        EXPECT_EQ(pr, sr);
+      }
+    }
+  }
+
+  StringPool pool_;
+  ThreadPool pool1_{1};
+  ThreadPool pool2_{2};
+  ThreadPool pool4_{4};
+  ThreadPool pool7_{7};
+};
+
+TEST_F(PartitionedKernelsTest, RadixJoinMatchesNaiveReference) {
+  // Sizes past the morsel threshold, so even the tp == nullptr call
+  // below exercises the radix partition/build/probe phases — the
+  // nested loop checks them against first principles.
+  ColumnPtr l = RandInts(9000, 0, 400, 11);
+  ColumnPtr r = RandInts(5000, 0, 400, 12);
+  IdxVec nl_, nr_;
+  NaiveIntJoin(*l, *r, &nl_, &nr_);
+  ASSERT_GT(nl_.size(), 0u);
+  IdxVec sl, sr;
+  ASSERT_TRUE(HashJoinIndices(*l, *r, pool_, &sl, &sr, nullptr).ok());
+  EXPECT_EQ(sl, nl_);
+  EXPECT_EQ(sr, nr_);
+  ExpectJoinMatchesSerial(*l, *r);
+}
+
+TEST_F(PartitionedKernelsTest, RadixJoinEmptyInputs) {
+  ColumnPtr big = RandInts(20000, 0, 100, 21);
+  ColumnPtr empty = IntCol({});
+  for (auto [l, r] : {std::pair<Column*, Column*>{big.get(), empty.get()},
+                      {empty.get(), big.get()},
+                      {empty.get(), empty.get()}}) {
+    IdxVec sl, sr;
+    ASSERT_TRUE(HashJoinIndices(*l, *r, pool_, &sl, &sr, nullptr).ok());
+    EXPECT_TRUE(sl.empty());
+    EXPECT_TRUE(sr.empty());
+    ExpectJoinMatchesSerial(*l, *r);
+  }
+}
+
+TEST_F(PartitionedKernelsTest, RadixJoinAllDuplicateKeys) {
+  // Every build row lands in ONE partition, ONE slot, ONE chain; each
+  // probe hit replays the entire chain, whose order must be the
+  // ascending build-row order. Sizes keep the pair count (n*m) sane
+  // while still engaging the radix path on one side.
+  {
+    ColumnPtr l = IntCol(std::vector<int64_t>(8192, 7));
+    ColumnPtr r = IntCol(std::vector<int64_t>(64, 7));
+    IdxVec sl, sr;
+    ASSERT_TRUE(HashJoinIndices(*l, *r, pool_, &sl, &sr, nullptr).ok());
+    ASSERT_EQ(sl.size(), 8192u * 64u);
+    // Left-major, right ascending within each left row.
+    for (size_t k = 0; k < sl.size(); ++k) {
+      ASSERT_EQ(sl[k], k / 64);
+      ASSERT_EQ(sr[k], k % 64);
+    }
+    ExpectJoinMatchesSerial(*l, *r);
+  }
+  {
+    // Large build side: one 8192-row chain probed by 64 rows.
+    ColumnPtr l = IntCol(std::vector<int64_t>(64, 7));
+    ColumnPtr r = IntCol(std::vector<int64_t>(8192, 7));
+    IdxVec sl, sr;
+    ASSERT_TRUE(HashJoinIndices(*l, *r, pool_, &sl, &sr, nullptr).ok());
+    ASSERT_EQ(sl.size(), 64u * 8192u);
+    for (size_t k = 0; k < sl.size(); ++k) {
+      ASSERT_EQ(sl[k], k / 8192);
+      ASSERT_EQ(sr[k], k % 8192);
+    }
+    ExpectJoinMatchesSerial(*l, *r);
+  }
+}
+
+TEST_F(PartitionedKernelsTest, RadixJoinZipfSkew) {
+  // Zipf keys: the hottest key (and with radix_bits=1 the hottest
+  // partition) dominates — the imbalance path must stay byte-exact.
+  ColumnPtr l = ZipfInts(9000, 2000, 1.1, 31);
+  ColumnPtr r = ZipfInts(5000, 2000, 1.1, 32);
+  ExpectJoinMatchesSerial(*l, *r);
+}
+
+TEST_F(PartitionedKernelsTest, RadixJoinStrAndItemKeys) {
+  auto ls = Column::MakeStr(20000);
+  auto rs = Column::MakeStr(9000);
+  Rng rng(41);
+  for (size_t i = 0; i < 20000; ++i) {
+    ls->strs().push_back(static_cast<StrId>(rng.Below(250)));
+  }
+  for (size_t i = 0; i < 9000; ++i) {
+    rs->strs().push_back(static_cast<StrId>(rng.Below(250)));
+  }
+  ExpectJoinMatchesSerial(*ls, *rs);
+  ColumnPtr li = RandItems(20000, 42);
+  ColumnPtr ri = RandItems(9000, 43);
+  // Item keys canonicalize before hashing (ints join doubles, untyped
+  // atomics their parsed value) — the radix path must preserve that.
+  IdxVec sl, sr;
+  ASSERT_TRUE(HashJoinIndices(*li, *ri, pool_, &sl, &sr, nullptr).ok());
+  EXPECT_GT(sl.size(), 0u);
+  ExpectJoinMatchesSerial(*li, *ri);
+}
+
+TEST_F(PartitionedKernelsTest, JoinPhaseTimingsFill) {
+  ColumnPtr l = RandInts(60000, 0, 3000, 51);
+  ColumnPtr r = RandInts(40000, 0, 3000, 52);
+  KernelPhases ph;
+  IdxVec li, ri;
+  ASSERT_TRUE(HashJoinIndices(*l, *r, pool_, &li, &ri, &pool2_,
+                              KernelTuning::Default(), &ph)
+                  .ok());
+  EXPECT_GT(ph.partition_ns + ph.build_ns + ph.probe_ns, 0);
+  EXPECT_GE(ph.partition_ns, 0);
+  EXPECT_GE(ph.build_ns, 0);
+  EXPECT_GE(ph.probe_ns, 0);
+  // Passing a phases sink must not change the result.
+  IdxVec li2, ri2;
+  ASSERT_TRUE(HashJoinIndices(*l, *r, pool_, &li2, &ri2, &pool2_).ok());
+  EXPECT_EQ(li, li2);
+  EXPECT_EQ(ri, ri2);
+}
+
+TEST_F(PartitionedKernelsTest, MergeSortMatchesSerialStableSort) {
+  // Few distinct keys => long tie runs; the merge-path splits must
+  // take ties from the lower run exactly like std::merge, or the
+  // stable permutation breaks.
+  Table t;
+  t.AddCol("k", RandInts(60000, 0, 25, 61));
+  t.AddCol("k2", RandItems(60000, 62));
+  for (auto [keys, desc] :
+       std::vector<std::pair<std::vector<std::string>,
+                             std::vector<uint8_t>>>{
+           {{"k"}, {}}, {{"k", "k2"}, {}}, {{"k"}, {1}}, {{"k", "k2"},
+                                                          {1, 0}}}) {
+    auto serial = SortPerm(t, keys, pool_, desc, nullptr);
+    ASSERT_TRUE(serial.ok());
+    for (ThreadPool* tp : Pools()) {
+      for (const KernelTuning& kt : Tunings()) {
+        auto par = SortPerm(t, keys, pool_, desc, tp, kt);
+        ASSERT_TRUE(par.ok());
+        EXPECT_EQ(*par, *serial);
+      }
+    }
+  }
+}
+
+TEST_F(PartitionedKernelsTest, MergeSortSkewAndPhases) {
+  // Reverse-sorted input with heavy duplication: every merge moves
+  // every element, and the sorted pre-check can never short-circuit.
+  Table t;
+  auto c = Column::MakeInt(50000);
+  for (size_t i = 0; i < 50000; ++i) {
+    c->ints().push_back(static_cast<int64_t>((50000 - i) / 100));
+  }
+  t.AddCol("k", c);
+  auto serial = SortPerm(t, {"k"}, pool_, {}, nullptr);
+  ASSERT_TRUE(serial.ok());
+  KernelTuning kt;
+  kt.sort_chunk_rows = 256;  // many merge levels
+  KernelPhases ph;
+  auto par = SortPerm(t, {"k"}, pool_, {}, &pool4_, kt, &ph);
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(*par, *serial);
+  EXPECT_GT(ph.partition_ns + ph.merge_ns, 0);
+}
+
+TEST_F(PartitionedKernelsTest, GroupAggPartitionedCombineBitExact) {
+  // Zipf groups: one combine partition carries nearly all groups (and
+  // the hottest group nearly all rows). Doubles in the mix pin the FP
+  // association: values must match by representation at every thread
+  // count and tuning.
+  Table t;
+  t.AddCol("g", ZipfInts(40000, 500, 1.2, 71));
+  auto vals = Column::MakeItem(40000);
+  Rng rng(72);
+  for (size_t i = 0; i < 40000; ++i) {
+    if (rng.Chance(0.5)) {
+      vals->items().push_back(Item::Int(rng.Range(-100, 100)));
+    } else {
+      vals->items().push_back(Item::Dbl(rng.NextDouble() * 100.0));
+    }
+  }
+  t.AddCol("v", vals);
+  for (AggKind kind : {AggKind::kCount, AggKind::kSum, AggKind::kAvg,
+                       AggKind::kMax, AggKind::kMin}) {
+    auto serial = GroupAgg(t, "g", "v", kind, pool_, "g", "out", nullptr);
+    ASSERT_TRUE(serial.ok());
+    for (ThreadPool* tp : Pools()) {
+      for (const KernelTuning& kt : Tunings()) {
+        auto par = GroupAgg(t, "g", "v", kind, pool_, "g", "out", tp, kt);
+        ASSERT_TRUE(par.ok());
+        EXPECT_EQ(par->col(0)->ints(), serial->col(0)->ints());
+        EXPECT_EQ(par->col(1)->items(), serial->col(1)->items());
+      }
+    }
+  }
+}
+
+TEST_F(PartitionedKernelsTest, GroupAggSingleGroupAndPhases) {
+  // Every row in one group = one partition does all combine work.
+  Table t;
+  t.AddCol("g", IntCol(std::vector<int64_t>(30000, 42)));
+  auto vals = Column::MakeItem(30000);
+  Rng rng(81);
+  for (size_t i = 0; i < 30000; ++i) {
+    vals->items().push_back(Item::Dbl(rng.NextDouble()));
+  }
+  t.AddCol("v", vals);
+  auto serial = GroupAgg(t, "g", "v", AggKind::kSum, pool_, "g", "s",
+                         nullptr);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_EQ(serial->col(0)->ints().size(), 1u);
+  KernelPhases ph;
+  for (ThreadPool* tp : Pools()) {
+    auto par = GroupAgg(t, "g", "v", AggKind::kSum, pool_, "g", "s", tp,
+                        KernelTuning::Default(), &ph);
+    ASSERT_TRUE(par.ok());
+    EXPECT_EQ(par->col(0)->ints(), serial->col(0)->ints());
+    EXPECT_EQ(par->col(1)->items(), serial->col(1)->items());
+  }
+  EXPECT_GT(ph.partition_ns + ph.merge_ns, 0);
+}
+
+TEST_F(PartitionedKernelsTest, FilterBranchFreeScatter) {
+  // All-false, all-true, sparse and alternating predicates through the
+  // branch-free cursor loops, at a tiny morsel grain so chunk-boundary
+  // handoff is exercised thousands of times.
+  Rng rng(91);
+  for (double density : {0.0, 1.0, 0.03, 0.5}) {
+    auto pred = Column::MakeBool(30000);
+    for (size_t i = 0; i < 30000; ++i) {
+      pred->bools().push_back(density == 0.5 ? (i & 1) != 0
+                                             : rng.Chance(density) ? 1 : 0);
+    }
+    IdxVec serial = FilterIndices(*pred, nullptr);
+    for (ThreadPool* tp : Pools()) {
+      for (const KernelTuning& kt : Tunings()) {
+        EXPECT_EQ(FilterIndices(*pred, tp, kt), serial);
+      }
+    }
+    // FilterGather scatters values with the same loop.
+    Table t;
+    t.AddCol("i", RandInts(30000, -1000, 1000, 92));
+    t.AddCol("it", RandItems(30000, 93));
+    Table sref = FilterGather(t, *pred, nullptr);
+    for (ThreadPool* tp : Pools()) {
+      KernelTuning kt;
+      kt.morsel_rows = 64;
+      Table par = FilterGather(t, *pred, tp, kt);
+      ASSERT_EQ(par.num_cols(), sref.num_cols());
+      EXPECT_EQ(par.col(0)->ints(), sref.col(0)->ints());
+      EXPECT_EQ(par.col(1)->items(), sref.col(1)->items());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pathfinder::bat
