@@ -1,0 +1,300 @@
+// Query-server benchmark: a many-client open-loop workload against
+// pf_serve. C client connections each send XMark queries on a fixed
+// arrival schedule (latency is measured from the *scheduled* send
+// time, so server-side queueing is charged to the server, open-loop
+// style), against either an in-process server (default) or an already
+// running pf_serve (--port).
+//
+// Every response is checked byte-for-byte against a reference captured
+// during warmup; any mismatch, error reply, or dropped connection
+// counts as a failed request. Emits BENCH_serve.json with QPS and
+// p50/p99 latency plus the shared cache's cross-client hit counters.
+//
+//   --smoke       small scale factor and short run, then gate: the
+//                 emitted JSON parses, zero failed requests, and the
+//                 warm cross-client plan-cache hit rate is > 0 — the
+//                 CI gate.
+//   --port N      drive an external pf_serve on 127.0.0.1:N
+//   --sf X        XMark scale factor      (default 0.05, smoke 0.01)
+//   --clients N   concurrent connections  (default 8)
+//   --seconds S   measured duration       (default 5, smoke 2)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/rng.h"
+#include "bench/bench_util.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+#include "xml/database.h"
+#include "xml/serializer.h"
+
+namespace pathfinder::bench {
+namespace {
+
+using serve::Client;
+using serve::Server;
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+struct ClientReport {
+  std::vector<double> latencies_ms;
+  int64_t requests = 0;
+  int64_t failed = 0;
+  int64_t plan_hits = 0;
+  std::string first_error;
+};
+
+int Run(int argc, char** argv) {
+  bool smoke = false;
+  int ext_port = 0;
+  double sf = 0.05;
+  int clients = 8;
+  double seconds = 5.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      sf = 0.01;
+      seconds = 2.0;
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      ext_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
+      sf = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // The document ships over the wire — identical path for in-process
+  // and external servers.
+  std::string xml;
+  {
+    xml::Database scratch;
+    auto doc = xmark::GenerateXMark(sf, /*seed=*/42, scratch.pool());
+    if (!doc.ok()) {
+      std::fprintf(stderr, "generate: %s\n", doc.status().ToString().c_str());
+      return 1;
+    }
+    xml = xml::SerializeDocument(*doc, *scratch.pool());
+  }
+  std::printf("bench_serve: sf %g (%zu XML bytes), %d clients, %.0fs %s\n",
+              sf, xml.size(), clients, seconds,
+              ext_port ? "(external server)" : "(in-process server)");
+
+  xml::Database db;
+  std::unique_ptr<Server> inproc;
+  int port = ext_port;
+  if (ext_port == 0) {
+    inproc = std::make_unique<Server>(&db, Server::Options::FromEnv());
+    Status st = inproc->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    port = inproc->port();
+  }
+
+  const auto& queries = xmark::XMarkQueries();
+  const char* kDoc = "bench-auction.xml";
+
+  // Warmup connection: register the document, capture reference bytes
+  // for every query (and warm the shared plan cache), and measure the
+  // mean latency that calibrates the open-loop arrival rate.
+  std::vector<std::string> expected(queries.size());
+  double warm_mean_ms = 0;
+  {
+    Client c;
+    Status st = c.Connect(port);
+    if (!st.ok()) {
+      std::fprintf(stderr, "connect: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto reg = c.Call(Client::RegisterFrame(kDoc, xml), /*timeout_ms=*/300000);
+    if (!reg.ok() || reg->Find("ok") == nullptr || !reg->Find("ok")->AsBool()) {
+      std::fprintf(stderr, "register failed\n");
+      return 1;
+    }
+    Clock::time_point w0 = Clock::now();
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      auto r = c.Call(Client::QueryFrame("warm-" + std::to_string(qi),
+                                         queries[qi].text, kDoc),
+                      /*timeout_ms=*/300000);
+      if (!r.ok() || !r->Find("ok")->AsBool()) {
+        std::fprintf(stderr, "warmup Q%zu failed\n", qi + 1);
+        return 1;
+      }
+      expected[qi] = r->Find("result")->str;
+    }
+    warm_mean_ms = MsSince(w0) / static_cast<double>(queries.size());
+  }
+  // Per-connection arrival interval: ~80% of a connection's serial
+  // capacity, so the aggregate load is high but sustainable.
+  double interval_ms = std::max(0.5, warm_mean_ms * 1.25);
+  std::printf("warm mean %.2f ms/query -> open-loop interval %.2f ms "
+              "per connection\n",
+              warm_mean_ms, interval_ms);
+
+  std::vector<ClientReport> reports(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  for (int ci = 0; ci < clients; ++ci) {
+    threads.emplace_back([&, ci] {
+      ClientReport& rep = reports[static_cast<size_t>(ci)];
+      Client c;
+      Status st = c.Connect(port);
+      if (!st.ok()) {
+        rep.failed = 1;
+        rep.first_error = st.ToString();
+        return;
+      }
+      Rng rng(7000 + static_cast<uint64_t>(ci));
+      Clock::time_point t0 = Clock::now();
+      auto end = t0 + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(seconds));
+      int64_t i = 0;
+      while (Clock::now() < end) {
+        auto scheduled =
+            t0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double, std::milli>(
+                         static_cast<double>(i) * interval_ms));
+        std::this_thread::sleep_until(scheduled);
+        size_t qi = rng.Below(queries.size());
+        std::string id = "c" + std::to_string(ci) + "-" + std::to_string(i);
+        ++rep.requests;
+        auto r = c.Call(Client::QueryFrame(id, queries[qi].text, kDoc),
+                        /*timeout_ms=*/300000);
+        double latency = std::chrono::duration<double, std::milli>(
+                             Clock::now() - scheduled)
+                             .count();
+        const serve::JsonValue* ok = r.ok() ? r->Find("ok") : nullptr;
+        if (ok == nullptr || !ok->AsBool() ||
+            r->Find("result")->str != expected[qi]) {
+          ++rep.failed;
+          if (rep.first_error.empty()) {
+            rep.first_error =
+                id + ": " + (r.ok() ? "bad response" : r.status().ToString());
+          }
+          ++i;
+          continue;
+        }
+        if (r->Find("plan_cache_hit")->AsBool()) ++rep.plan_hits;
+        rep.latencies_ms.push_back(latency);
+        ++i;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<double> lat;
+  int64_t requests = 0, failed = 0, plan_hits = 0;
+  for (const ClientReport& rep : reports) {
+    requests += rep.requests;
+    failed += rep.failed;
+    plan_hits += rep.plan_hits;
+    lat.insert(lat.end(), rep.latencies_ms.begin(), rep.latencies_ms.end());
+    if (!rep.first_error.empty()) {
+      std::fprintf(stderr, "client error: %s\n", rep.first_error.c_str());
+    }
+  }
+  std::sort(lat.begin(), lat.end());
+  auto pct = [&lat](double p) {
+    if (lat.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(p * static_cast<double>(lat.size() - 1));
+    return lat[idx];
+  };
+  double qps = seconds > 0 ? static_cast<double>(lat.size()) / seconds : 0;
+  double p50 = pct(0.50), p99 = pct(0.99);
+  double hit_rate =
+      requests > 0 ? static_cast<double>(plan_hits) /
+                         static_cast<double>(requests)
+                   : 0;
+
+  // Cross-client counters from the server itself.
+  int64_t srv_plan_hits = 0, srv_subplan_hits = 0;
+  {
+    Client c;
+    if (c.Connect(port).ok()) {
+      auto st = c.Call(Client::StatsFrame());
+      if (st.ok() && st->Find("plan_cache_hits") != nullptr) {
+        srv_plan_hits = st->Find("plan_cache_hits")->AsInt();
+        srv_subplan_hits = st->Find("subplan_cache_hits")->AsInt();
+      }
+    }
+  }
+
+  std::printf("requests %lld  failed %lld  qps %.1f  p50 %.2f ms  "
+              "p99 %.2f ms  plan-hit rate %.2f\n",
+              static_cast<long long>(requests),
+              static_cast<long long>(failed), qps, p50, p99, hit_rate);
+
+  const char* path = "BENCH_serve.json";
+  {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\"sf\": %g, \"clients\": %d, \"seconds\": %g,\n"
+                 " \"requests\": %lld, \"failed\": %lld, \"qps\": %.2f,\n"
+                 " \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n"
+                 " \"plan_hit_rate\": %.4f, \"server_plan_cache_hits\": %lld,"
+                 " \"server_subplan_cache_hits\": %lld}\n",
+                 sf, clients, seconds, static_cast<long long>(requests),
+                 static_cast<long long>(failed), qps, p50, p99, hit_rate,
+                 static_cast<long long>(srv_plan_hits),
+                 static_cast<long long>(srv_subplan_hits));
+    std::fclose(f);
+  }
+
+  if (smoke) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    if (!ValidJsonDocument(ss.str())) {
+      std::fprintf(stderr, "smoke: %s is not valid JSON\n", path);
+      return 1;
+    }
+    if (requests == 0) {
+      std::fprintf(stderr, "smoke: no requests completed\n");
+      return 1;
+    }
+    if (failed != 0) {
+      std::fprintf(stderr, "smoke: %lld failed requests\n",
+                   static_cast<long long>(failed));
+      return 1;
+    }
+    if (hit_rate <= 0) {
+      std::fprintf(stderr, "smoke: warm plan-cache hit rate is zero — "
+                           "no cross-client reuse\n");
+      return 1;
+    }
+    std::printf("smoke: OK\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathfinder::bench
+
+int main(int argc, char** argv) { return pathfinder::bench::Run(argc, argv); }

@@ -1,6 +1,7 @@
 #include "api/pathfinder.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <unordered_map>
@@ -319,6 +320,22 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
   if (subplan_cache) {
     res.ctx->result_cache = cache;
     res.ctx->cache_generation = cache_generation;
+  }
+  {
+    // Cancellation/limit plumbing: a caller-supplied token is used as
+    // is; a timeout without one arms the context-owned token. Both are
+    // polled at the executor's cooperative checkpoints.
+    engine::CancelToken* token = opts.cancel_token;
+    if (opts.timeout_ms >= 0) {
+      if (token == nullptr) token = &res.ctx->owned_cancel_token;
+      token->SetDeadline(std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(opts.timeout_ms));
+    }
+    res.ctx->cancel_token = token;
+    if (opts.mem_limit_bytes >= 0) {
+      res.ctx->mem_limit_bytes = opts.mem_limit_bytes;
+    }
+    res.ctx->op_probe = opts.op_probe;
   }
   PF_ASSIGN_OR_RETURN(bat::Table t,
                       engine::Execute(res.plan_opt, res.ctx.get()));

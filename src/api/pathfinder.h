@@ -85,6 +85,23 @@ struct QueryOptions {
   /// Initial sorted-run length and merge-split grain of the parallel
   /// merge sort, clamped to [256, 2^22].
   int64_t sort_chunk_rows = -1;
+  /// Wall-time budget for this query in milliseconds (-1 = none). The
+  /// executor polls a deadline at its cooperative checkpoints (operator
+  /// boundaries, fused morsels) and aborts with StatusCode::kTimeout /
+  /// ErrorClass::kTimeout once it expires.
+  int64_t timeout_ms = -1;
+  /// Budget for materialized operator outputs in bytes (-1 = none).
+  /// Exceeding it aborts with StatusCode::kResourceExhausted.
+  int64_t mem_limit_bytes = -1;
+  /// Externally owned cancellation token (nullptr = none). Fire
+  /// token->Cancel() from any thread to abort the running query with
+  /// StatusCode::kCancelled; a timeout_ms deadline is armed on this
+  /// token when both are set. Must outlive the Run() call.
+  engine::CancelToken* cancel_token = nullptr;
+  /// Test seam: called at every executor operator checkpoint with the
+  /// operator and the query's cancel token (see engine::OpProbe).
+  /// Empty = no calls on the hot path.
+  engine::OpProbe op_probe;
 };
 
 /// A completed query: the result sequence plus every intermediate stage

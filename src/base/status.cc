@@ -19,11 +19,86 @@ const char* CodeName(StatusCode code) {
       return "NotFound";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
 
 }  // namespace
+
+ErrorClass ClassifyStatusCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return ErrorClass::kOk;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kTypeError:
+    case StatusCode::kNotSupported:
+      return ErrorClass::kInvalidQuery;
+    case StatusCode::kNotFound:
+      return ErrorClass::kNotFound;
+    case StatusCode::kTimeout:
+      return ErrorClass::kTimeout;
+    case StatusCode::kCancelled:
+      return ErrorClass::kCancelled;
+    case StatusCode::kResourceExhausted:
+      return ErrorClass::kResourceExhausted;
+    case StatusCode::kInternal:
+      return ErrorClass::kInternal;
+  }
+  return ErrorClass::kInternal;
+}
+
+const char* ErrorClassName(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kOk:
+      return "ok";
+    case ErrorClass::kInvalidQuery:
+      return "invalid_query";
+    case ErrorClass::kNotFound:
+      return "not_found";
+    case ErrorClass::kTimeout:
+      return "timeout";
+    case ErrorClass::kCancelled:
+      return "cancelled";
+    case ErrorClass::kResourceExhausted:
+      return "resource_exhausted";
+    case ErrorClass::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+const char* StatusCodeId(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kTypeError:
+      return "type_error";
+    case StatusCode::kNotSupported:
+      return "not_supported";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kTimeout:
+      return "timeout";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+  }
+  return "internal";
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

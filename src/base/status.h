@@ -19,7 +19,37 @@ enum class StatusCode {
   kNotSupported,      // construct outside the supported dialect
   kNotFound,          // named entity (document, function, variable) missing
   kInternal,          // invariant violation inside the library
+  kTimeout,           // query exceeded its wall-time budget
+  kCancelled,         // cooperatively cancelled by the caller/owner
+  kResourceExhausted, // memory budget or capacity (queue slots) exceeded
 };
+
+/// Machine-readable error taxonomy: the coarse classes a client of the
+/// query API (or the pf_serve wire protocol) dispatches on. Every
+/// StatusCode maps to exactly one class; the per-code detail stays in
+/// Status::code()/message() for logs.
+enum class ErrorClass {
+  kOk = 0,
+  kInvalidQuery,       // the request can never succeed as written
+                       // (parse/type/unsupported-dialect/bad argument)
+  kNotFound,           // a named document/entity is missing (retryable
+                       // after registration)
+  kTimeout,            // wall-time budget exceeded
+  kCancelled,          // cancelled by the owner
+  kResourceExhausted,  // memory/queue capacity exceeded (retryable)
+  kInternal,           // engine invariant violation
+};
+
+/// The class a status code belongs to.
+ErrorClass ClassifyStatusCode(StatusCode code);
+
+/// Stable snake_case identifier of an error class ("invalid_query",
+/// "timeout", ...) — the wire protocol's `error` field values.
+const char* ErrorClassName(ErrorClass c);
+
+/// Stable snake_case identifier of a status code ("parse_error",
+/// "timeout", ...), for structured logs and JSON.
+const char* StatusCodeId(StatusCode code);
 
 /// Outcome of a fallible operation: either OK or a code plus message.
 ///
@@ -49,6 +79,15 @@ class Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status Timeout(std::string m) {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -56,6 +95,9 @@ class Status {
 
   /// "OK" or "<code>: <message>", for logs and test failure output.
   std::string ToString() const;
+
+  /// The coarse class of this status (see ErrorClass).
+  ErrorClass error_class() const { return ClassifyStatusCode(code_); }
 
  private:
   StatusCode code_;

@@ -826,12 +826,18 @@ class Exec {
     for (const alg::OpPtr* opp : order) {
       Op* op = opp->get();
       bool fragment = pipe && op->pipe_frag >= 0;
+      // Checkpoint: probe first (it may fire the token), then the
+      // cancellation/limit checks. The probe sees every operator —
+      // fused interiors included — so fault injection targets the same
+      // plan positions whether or not pipelining fused them.
+      if (ctx_->op_probe) ctx_->op_probe(*op, ctx_->cancel_token);
       if (fragment && !op->pipe_tail) {
         // Interior fragment members never materialize: the tail
         // evaluates the whole chain in one fused pass.
         if (prof) recs_[op].fused = true;
         continue;
       }
+      PF_RETURN_NOT_OK(Checkpoint());
       bool costed = !costed_ops.empty() && costed_ops.count(op) > 0;
       int64_t t0 = (prof || costed) ? ProfileNowNs() : 0;
       Table t;
@@ -849,6 +855,15 @@ class Exec {
         rec.out_rows = static_cast<int64_t>(t.rows());
         rec.out_bytes = static_cast<int64_t>(t.ByteSize());
         rec.morsels = fragment ? frag_morsels_ : MorselCount(*op, t);
+      }
+      if (ctx_->mem_limit_bytes > 0) {
+        mem_charged_ += static_cast<int64_t>(t.ByteSize());
+        if (mem_charged_ > ctx_->mem_limit_bytes) {
+          return Status::ResourceExhausted(
+              "query memory budget exceeded (" +
+              std::to_string(mem_charged_) + " > " +
+              std::to_string(ctx_->mem_limit_bytes) + " bytes materialized)");
+        }
       }
       memo_.emplace(op, std::move(t));
     }
@@ -886,6 +901,21 @@ class Exec {
  private:
   const Table& Child(const Op& op, size_t i) {
     return memo_.at(op.children[i].get());
+  }
+
+  /// Cooperative cancellation checkpoint: OK while the query may keep
+  /// running. Called between operators; morsel loops poll the token
+  /// directly (TokenCheck) so long fused scans abort mid-operator too.
+  Status Checkpoint() {
+    PF_RETURN_NOT_OK(TokenCheck());
+    return Status::OK();
+  }
+
+  Status TokenCheck() {
+    if (ctx_->cancel_token != nullptr) {
+      PF_RETURN_NOT_OK(ctx_->cancel_token->Check());
+    }
+    return Status::OK();
   }
 
   /// Morsel decomposition of a materialized (non-fragment) operator:
@@ -960,6 +990,7 @@ class Exec {
       PF_RETURN_NOT_OK(ParallelForStatus(
           tp(), pc.li.size(), 1,
           [&](size_t c, size_t, size_t) -> Status {
+            PF_RETURN_NOT_OK(TokenCheck());
             PipeMorsel m;
             m.li = std::move(pc.li[c]);
             m.ri = std::move(pc.ri[c]);
@@ -986,6 +1017,7 @@ class Exec {
     PF_RETURN_NOT_OK(ParallelForStatus(
         tp(), n, morsel(),
         [&](size_t c, size_t lo, size_t hi) -> Status {
+          PF_RETURN_NOT_OK(TokenCheck());
           PipeMorsel m;
           m.li.reserve(hi - lo);
           for (size_t i = lo; i < hi; ++i) {
@@ -1318,6 +1350,12 @@ class Exec {
 
     auto eval_group = [&](const StepGroup& g, std::vector<xml::Pre>* results,
                           accel::StaircaseStats* stats, ThreadPool* inner) {
+      // Cancellation granularity inside the step kernel: one poll per
+      // (iter, fragment) group. A fired token skips the remaining
+      // groups' work; the caller below turns it into the error.
+      if (ctx_->cancel_token != nullptr && ctx_->cancel_token->fired()) {
+        return;
+      }
       const xml::Document& doc = ctx_->doc(g.frag);
       std::vector<xml::Pre> contexts(ctxs.begin() + g.ctx_begin,
                                      ctxs.begin() + g.ctx_end);
@@ -1356,6 +1394,7 @@ class Exec {
                   });
       for (const auto& s : gstats) ctx_->scj_stats.Merge(s);
     }
+    PF_RETURN_NOT_OK(TokenCheck());
 
     // Scatter each group's results into its exact output slice.
     std::vector<size_t> off(groups.size() + 1, 0);
@@ -1514,6 +1553,7 @@ class Exec {
   std::unordered_map<const Op*, Table> memo_;
   std::unordered_map<const Op*, OpProfileRec> recs_;  // profiling only
   int64_t frag_morsels_ = 0;  // morsels of the last fused fragment
+  int64_t mem_charged_ = 0;   // materialized bytes vs ctx mem budget
 };
 
 }  // namespace

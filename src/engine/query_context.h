@@ -2,7 +2,10 @@
 #define PATHFINDER_ENGINE_QUERY_CONTEXT_H_
 
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -17,6 +20,76 @@
 namespace pathfinder::engine {
 
 class QueryCache;
+
+/// Cooperative cancellation + wall-time deadline, shared between a
+/// query's owner (a server session, a watchdog, a test) and the
+/// executor's checkpoints. The owner fires `Cancel()`/`Timeout()` from
+/// any thread; the executor polls `Check()` at operator boundaries and
+/// inside morsel loops and aborts the query with the corresponding
+/// Status. Fires at most once — the first reason wins, so a cancel
+/// racing an expiring deadline yields exactly one of the two errors.
+///
+/// The live fast path is one relaxed atomic load (plus a steady_clock
+/// read per checkpoint when a deadline is armed).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { Fire(kCancelled); }
+  void Timeout() { Fire(kTimeout); }
+
+  /// Arm (or move) the wall-time deadline; Check() fires Timeout once
+  /// steady_clock passes it.
+  void SetDeadline(std::chrono::steady_clock::time_point t) {
+    int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     t.time_since_epoch())
+                     .count();
+    deadline_ns_.store(ns == 0 ? 1 : ns, std::memory_order_relaxed);
+  }
+
+  bool fired() const { return state_.load(std::memory_order_relaxed) != 0; }
+
+  /// OK while live; Cancelled/Timeout after the token fired (also
+  /// fires the deadline if it expired).
+  Status Check() {
+    uint8_t s = state_.load(std::memory_order_relaxed);
+    if (s == 0) {
+      int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+      if (d == 0) return Status::OK();
+      int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count();
+      if (now < d) return Status::OK();
+      Fire(kTimeout);
+      s = state_.load(std::memory_order_relaxed);
+    }
+    return s == kCancelled
+               ? Status::Cancelled("query cancelled")
+               : Status::Timeout("query wall-time budget exceeded");
+  }
+
+ private:
+  static constexpr uint8_t kCancelled = 1;
+  static constexpr uint8_t kTimeout = 2;
+
+  void Fire(uint8_t reason) {
+    uint8_t expected = 0;
+    state_.compare_exchange_strong(expected, reason,
+                                   std::memory_order_relaxed);
+  }
+
+  std::atomic<uint8_t> state_{0};
+  std::atomic<int64_t> deadline_ns_{0};  // steady_clock ns; 0 = unarmed
+};
+
+/// Test/observability seam: called at every executor operator
+/// checkpoint with the operator about to be evaluated and the query's
+/// cancel token (nullptr when none). Fault-injection tests use it to
+/// fire cancellation or timeouts at a deterministic plan position.
+using OpProbe =
+    std::function<void(const algebra::Op& op, CancelToken* token)>;
 
 /// Counters for the pipelined (fused fragment) execution path.
 struct PipelineExecStats {
@@ -125,6 +198,26 @@ class QueryContext {
 
   /// Fused-pipeline execution counters for this query.
   PipelineExecStats pipe_stats;
+
+  /// Cooperative cancellation/deadline for this query, or nullptr. The
+  /// executor checks it at operator boundaries and per fused morsel;
+  /// when it fires, Execute returns the token's Cancelled/Timeout
+  /// status. Owned externally (typically by a server session).
+  CancelToken* cancel_token = nullptr;
+
+  /// Token used when the API owner asked for a deadline but supplied no
+  /// token of its own (see api::QueryOptions::timeout_ms).
+  CancelToken owned_cancel_token;
+
+  /// Memory budget for materialized operator outputs (bytes; 0 = off).
+  /// The executor charges each materialized table's byte size and
+  /// aborts with ResourceExhausted once the sum exceeds the budget —
+  /// an approximation of peak usage (memoized tables live for the
+  /// query), enforced at the same checkpoints as cancellation.
+  int64_t mem_limit_bytes = 0;
+
+  /// Executor checkpoint probe (tests); empty = no calls.
+  OpProbe op_probe;
 
   /// Cross-query subplan-result cache (see engine/cache.h), or nullptr
   /// when subplan caching is off for this query. The executor consults

@@ -1,0 +1,61 @@
+#ifndef PATHFINDER_SERVE_HOOKS_H_
+#define PATHFINDER_SERVE_HOOKS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "engine/query_context.h"
+
+namespace pathfinder::serve {
+
+/// Fault-injection seams for the serve test harness. Every failure
+/// mode the server must survive — slow clients, mid-frame disconnects,
+/// timeouts inside a specific kernel, cancel racing completion — is
+/// made deterministically reproducible by blocking or firing at these
+/// points instead of relying on wall-clock races.
+///
+/// All hooks may be invoked concurrently from session, worker, and
+/// executor threads; installers must make their closures thread-safe.
+/// An empty std::function means "no injection" and costs one branch.
+struct ServeTestHooks {
+  /// What an injected writer fault does to the next send().
+  enum class WriteFault : uint8_t {
+    kNone,   // write normally
+    kDrop,   // swallow the bytes (report success, send nothing)
+    kClose,  // shut the connection down instead of writing (close-at-byte)
+  };
+
+  /// Called before every recv() on a session socket. Sleep inside to
+  /// model a slow client trickling bytes into the server.
+  std::function<void(uint64_t session_id)> before_read;
+
+  /// Called before every send() chunk with the count of bytes already
+  /// written on that connection; the returned fault is applied to this
+  /// chunk. Returning kClose at byte N is the "close-at-byte"
+  /// injection: the client sees a mid-frame disconnect.
+  std::function<WriteFault(uint64_t session_id, int64_t bytes_written)>
+      on_write;
+
+  /// Forwarded to every query's executor checkpoint (see
+  /// engine::OpProbe): fires with each operator about to run and the
+  /// query's cancel token. Cancellation-at-operator lives here — fire
+  /// token->Cancel()/Timeout() when the target operator kind appears,
+  /// or block to hold a query at a known plan position.
+  engine::OpProbe at_operator;
+
+  /// Called when a session's read loop ends (client disconnected or
+  /// the frame limit closed the connection).
+  std::function<void(uint64_t session_id)> on_disconnect;
+
+  /// Called after a query job fully finished: response write attempted,
+  /// inflight slot reclaimed. `error` is empty for success, else the
+  /// wire error token.
+  std::function<void(uint64_t session_id, const std::string& query_id,
+                     const std::string& error)>
+      on_query_done;
+};
+
+}  // namespace pathfinder::serve
+
+#endif  // PATHFINDER_SERVE_HOOKS_H_

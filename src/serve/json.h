@@ -1,0 +1,61 @@
+#ifndef PATHFINDER_SERVE_JSON_H_
+#define PATHFINDER_SERVE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+
+namespace pathfinder::serve {
+
+/// Minimal JSON document model for the pf_serve line protocol: every
+/// request and response is one JSON object per line. The parser is a
+/// strict recursive-descent reader with a hard nesting cap so
+/// adversarial input (the protocol fuzzer's garbage frames) can never
+/// crash or recurse unboundedly — malformed bytes produce a ParseError
+/// Status, nothing else.
+struct JsonValue {
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+  std::vector<JsonValue> elems;                            // kArray
+
+  /// First member with this key, or nullptr (objects only).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed accessors with defaults for absent/mistyped values.
+  std::string_view AsString(std::string_view dflt = "") const {
+    return kind == Kind::kString ? std::string_view(str) : dflt;
+  }
+  double AsNumber(double dflt = 0.0) const {
+    return kind == Kind::kNumber ? num : dflt;
+  }
+  int64_t AsInt(int64_t dflt = 0) const {
+    return kind == Kind::kNumber ? static_cast<int64_t>(num) : dflt;
+  }
+  bool AsBool(bool dflt = false) const {
+    return kind == Kind::kBool ? b : dflt;
+  }
+};
+
+/// Parse exactly one JSON value spanning the whole input (trailing
+/// whitespace allowed). ParseError on anything else.
+Result<JsonValue> ParseJson(std::string_view s);
+
+/// Append `s` to `out` as a quoted JSON string (RFC 8259 escaping;
+/// control bytes become \u00XX).
+void AppendJsonString(std::string* out, std::string_view s);
+
+/// The quoted/escaped form of `s`.
+std::string JsonQuote(std::string_view s);
+
+}  // namespace pathfinder::serve
+
+#endif  // PATHFINDER_SERVE_JSON_H_

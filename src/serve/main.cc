@@ -1,0 +1,90 @@
+// pf_serve: the Pathfinder query server.
+//
+//   pf_serve --port 7077
+//
+// speaks newline-delimited JSON (see serve/protocol.h); try it with nc:
+//
+//   $ nc localhost 7077
+//   {"op":"register","name":"d.xml","xml":"<a><b>1</b><b>2</b></a>"}
+//   {"op":"query","id":"q1","q":"count(/a/b)","doc":"d.xml"}
+//
+// Knobs come from the environment: PF_SERVE_MAX_INFLIGHT, PF_SERVE_QUEUE,
+// PF_SERVE_TIMEOUT_MS, PF_SERVE_MEM_MB, PF_SERVE_MAX_LINE_MB (plus the
+// engine-wide PF_THREADS, PF_CACHE_MB, ...). SIGTERM/SIGINT drain
+// gracefully: in-flight queries finish, their responses flush, and the
+// process exits 0.
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/server.h"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  char b = 1;
+  // Async-signal-safe wake of the main thread; best effort.
+  [[maybe_unused]] ssize_t n = write(g_signal_pipe[1], &b, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using pathfinder::serve::Server;
+
+  Server::Options opts = Server::Options::FromEnv();
+  opts.port = 7077;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      opts.port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: pf_serve [--port N]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = OnSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  pathfinder::xml::Database db;
+  Server server(&db, opts);
+  pathfinder::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "pf_serve: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("pf_serve: listening on 127.0.0.1:%d (max_inflight=%d queue=%d"
+              " timeout_ms=%lld mem_mb=%lld)\n",
+              server.port(), opts.max_inflight, opts.queue_depth,
+              static_cast<long long>(opts.timeout_ms),
+              static_cast<long long>(opts.mem_mb));
+  std::fflush(stdout);
+
+  // Park until a signal arrives, then drain.
+  pollfd p{g_signal_pipe[0], POLLIN, 0};
+  while (poll(&p, 1, -1) < 0 && errno == EINTR) {
+  }
+  std::printf("pf_serve: draining...\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  std::printf("pf_serve: drained, bye\n");
+  return 0;
+}

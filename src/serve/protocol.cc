@@ -1,0 +1,119 @@
+#include "serve/protocol.h"
+
+#include <cstdio>
+
+namespace pathfinder::serve {
+
+namespace {
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("frame: " + what);
+}
+
+Result<std::string> RequiredString(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    return Malformed(std::string("missing field '") + key + "'");
+  }
+  if (v->kind != JsonValue::Kind::kString) {
+    return Malformed(std::string("field '") + key + "' must be a string");
+  }
+  return v->str;
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(std::string_view line) {
+  PF_ASSIGN_OR_RETURN(JsonValue v, ParseJson(line));
+  if (v.kind != JsonValue::Kind::kObject) {
+    return Malformed("request must be a JSON object");
+  }
+  PF_ASSIGN_OR_RETURN(std::string op, RequiredString(v, "op"));
+  Request req;
+  if (op == "ping") {
+    req.verb = Verb::kPing;
+  } else if (op == "register") {
+    req.verb = Verb::kRegister;
+    PF_ASSIGN_OR_RETURN(req.name, RequiredString(v, "name"));
+    PF_ASSIGN_OR_RETURN(req.xml, RequiredString(v, "xml"));
+    if (req.name.empty()) return Malformed("empty document name");
+  } else if (op == "query") {
+    req.verb = Verb::kQuery;
+    PF_ASSIGN_OR_RETURN(req.id, RequiredString(v, "id"));
+    PF_ASSIGN_OR_RETURN(req.query, RequiredString(v, "q"));
+    if (req.id.empty()) return Malformed("empty query id");
+    if (const JsonValue* d = v.Find("doc")) {
+      if (d->kind != JsonValue::Kind::kString) {
+        return Malformed("field 'doc' must be a string");
+      }
+      req.doc = d->str;
+    }
+  } else if (op == "cancel") {
+    req.verb = Verb::kCancel;
+    PF_ASSIGN_OR_RETURN(req.id, RequiredString(v, "id"));
+    if (req.id.empty()) return Malformed("empty query id");
+  } else if (op == "stats") {
+    req.verb = Verb::kStats;
+  } else {
+    return Malformed("unknown verb '" + op + "'");
+  }
+  return req;
+}
+
+const char* WireErrorName(const Status& status) {
+  return ErrorClassName(status.error_class());
+}
+
+std::string PongResponse() { return R"({"ok":true,"op":"pong"})"; }
+
+std::string RegisterResponse(std::string_view name) {
+  std::string out = R"({"ok":true,"op":"register","name":)";
+  AppendJsonString(&out, name);
+  out += '}';
+  return out;
+}
+
+std::string QueryResponse(std::string_view id, std::string_view result,
+                          const QueryResponseInfo& info) {
+  std::string out = R"({"ok":true,"id":)";
+  AppendJsonString(&out, id);
+  out += ",\"result\":";
+  AppendJsonString(&out, result);
+  out += ",\"plan_cache_hit\":";
+  out += info.plan_cache_hit ? "true" : "false";
+  out += ",\"subplan_cache_hits\":";
+  out += std::to_string(info.subplan_cache_hits);
+  char ms[32];
+  std::snprintf(ms, sizeof(ms), "%.3f", info.wall_ms);
+  out += ",\"ms\":";
+  out += ms;
+  out += '}';
+  return out;
+}
+
+std::string CancelResponse(std::string_view id, bool found) {
+  std::string out = R"({"ok":true,"op":"cancel","id":)";
+  AppendJsonString(&out, id);
+  out += ",\"found\":";
+  out += found ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+std::string ErrorResponse(std::string_view id, std::string_view error,
+                          std::string_view message) {
+  std::string out = R"({"ok":false,)";
+  if (!id.empty()) {
+    out += "\"id\":";
+    AppendJsonString(&out, id);
+    out += ',';
+  }
+  out += "\"error\":";
+  AppendJsonString(&out, error);
+  out += ",\"message\":";
+  AppendJsonString(&out, message);
+  out += '}';
+  return out;
+}
+
+}  // namespace pathfinder::serve

@@ -1,0 +1,76 @@
+#ifndef PATHFINDER_SERVE_PROTOCOL_H_
+#define PATHFINDER_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "serve/json.h"
+
+namespace pathfinder::serve {
+
+/// pf_serve wire protocol: newline-delimited JSON, one object per line
+/// in each direction (see DESIGN.md "The query server" for the
+/// grammar). Requests carry an "op" verb; responses always carry "ok".
+///
+///   {"op":"ping"}
+///   {"op":"register","name":"d.xml","xml":"<doc/>"}
+///   {"op":"query","id":"q1","q":"1+2","doc":"d.xml"}
+///   {"op":"cancel","id":"q1"}
+///   {"op":"stats"}
+///
+/// Error responses are typed: {"ok":false,"id":...,"error":<token>,
+/// "message":...} where <token> is an ErrorClassName ("invalid_query",
+/// "timeout", "cancelled", "resource_exhausted", "not_found",
+/// "internal") or one of the server-level tokens "protocol" (malformed
+/// frame), "busy" (admission queue full) and "shutting_down" (drain in
+/// progress).
+enum class Verb : uint8_t { kPing, kRegister, kQuery, kCancel, kStats };
+
+struct Request {
+  Verb verb = Verb::kPing;
+  std::string id;     // query / cancel
+  std::string name;   // register: document name
+  std::string xml;    // register: document text
+  std::string query;  // query: XQuery text
+  std::string doc;    // query: context document ("" = none)
+};
+
+/// Hard cap on one frame (request or response line, newline excluded).
+/// Oversized frames are a protocol error and close the connection.
+inline constexpr size_t kDefaultMaxLineBytes = size_t{32} << 20;
+
+/// Parse one request line (newline already stripped). ParseError /
+/// InvalidArgument statuses describe malformed frames; the server maps
+/// them to a "protocol" error response.
+Result<Request> ParseRequest(std::string_view line);
+
+/// Server-level wire error tokens (beyond base ErrorClassName).
+inline constexpr const char* kErrProtocol = "protocol";
+inline constexpr const char* kErrBusy = "busy";
+inline constexpr const char* kErrShuttingDown = "shutting_down";
+
+/// The wire token of an engine/API status: its ErrorClassName.
+const char* WireErrorName(const Status& status);
+
+// --- response builders (single line, no trailing newline) ---------------
+
+std::string PongResponse();
+std::string RegisterResponse(std::string_view name);
+struct QueryResponseInfo {
+  bool plan_cache_hit = false;
+  int64_t subplan_cache_hits = 0;
+  double wall_ms = 0.0;
+};
+std::string QueryResponse(std::string_view id, std::string_view result,
+                          const QueryResponseInfo& info);
+std::string CancelResponse(std::string_view id, bool found);
+/// `error` is a wire token (WireErrorName or kErr*); `id` may be empty
+/// for frame-level errors that belong to no query.
+std::string ErrorResponse(std::string_view id, std::string_view error,
+                          std::string_view message);
+
+}  // namespace pathfinder::serve
+
+#endif  // PATHFINDER_SERVE_PROTOCOL_H_

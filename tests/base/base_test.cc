@@ -32,8 +32,70 @@ TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
       Status::InvalidArgument("x").code(), Status::ParseError("x").code(),
       Status::TypeError("x").code(),       Status::NotSupported("x").code(),
       Status::NotFound("x").code(),        Status::Internal("x").code(),
+      Status::Timeout("x").code(),         Status::Cancelled("x").code(),
+      Status::ResourceExhausted("x").code(),
   };
-  EXPECT_EQ(codes.size(), 6u);
+  EXPECT_EQ(codes.size(), 9u);
+}
+
+// --- error taxonomy (the pf_serve wire protocol's typed errors) -------
+
+TEST(ErrorTaxonomyTest, EveryCodeMapsToExactlyOneClass) {
+  EXPECT_EQ(ClassifyStatusCode(StatusCode::kOk), ErrorClass::kOk);
+  // Everything a client wrote wrong collapses to kInvalidQuery...
+  EXPECT_EQ(ClassifyStatusCode(StatusCode::kInvalidArgument),
+            ErrorClass::kInvalidQuery);
+  EXPECT_EQ(ClassifyStatusCode(StatusCode::kParseError),
+            ErrorClass::kInvalidQuery);
+  EXPECT_EQ(ClassifyStatusCode(StatusCode::kTypeError),
+            ErrorClass::kInvalidQuery);
+  EXPECT_EQ(ClassifyStatusCode(StatusCode::kNotSupported),
+            ErrorClass::kInvalidQuery);
+  // ...while the operationally distinct codes keep their own class.
+  EXPECT_EQ(ClassifyStatusCode(StatusCode::kNotFound), ErrorClass::kNotFound);
+  EXPECT_EQ(ClassifyStatusCode(StatusCode::kTimeout), ErrorClass::kTimeout);
+  EXPECT_EQ(ClassifyStatusCode(StatusCode::kCancelled),
+            ErrorClass::kCancelled);
+  EXPECT_EQ(ClassifyStatusCode(StatusCode::kResourceExhausted),
+            ErrorClass::kResourceExhausted);
+  EXPECT_EQ(ClassifyStatusCode(StatusCode::kInternal), ErrorClass::kInternal);
+}
+
+TEST(ErrorTaxonomyTest, ClassNamesAreStableWireTokens) {
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kOk), "ok");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kInvalidQuery), "invalid_query");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kNotFound), "not_found");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kTimeout), "timeout");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kCancelled), "cancelled");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kResourceExhausted),
+               "resource_exhausted");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kInternal), "internal");
+}
+
+TEST(ErrorTaxonomyTest, StatusCodeIdsAreUniqueSnakeCase) {
+  std::set<std::string> ids;
+  for (StatusCode c : {StatusCode::kOk, StatusCode::kInvalidArgument,
+                       StatusCode::kParseError, StatusCode::kTypeError,
+                       StatusCode::kNotSupported, StatusCode::kNotFound,
+                       StatusCode::kInternal, StatusCode::kTimeout,
+                       StatusCode::kCancelled,
+                       StatusCode::kResourceExhausted}) {
+    std::string id = StatusCodeId(c);
+    for (char ch : id) {
+      EXPECT_TRUE((ch >= 'a' && ch <= 'z') || ch == '_') << id;
+    }
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 10u);
+}
+
+TEST(ErrorTaxonomyTest, StatusExposesItsClass) {
+  EXPECT_EQ(Status::OK().error_class(), ErrorClass::kOk);
+  EXPECT_EQ(Status::ParseError("x").error_class(), ErrorClass::kInvalidQuery);
+  EXPECT_EQ(Status::Timeout("x").error_class(), ErrorClass::kTimeout);
+  EXPECT_EQ(Status::Cancelled("x").error_class(), ErrorClass::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("x").error_class(),
+            ErrorClass::kResourceExhausted);
 }
 
 Status FailsAtTwo(int x) {

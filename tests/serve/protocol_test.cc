@@ -1,0 +1,309 @@
+// Line-protocol tests: JSON parsing, frame validation, wire round
+// trips against a live server, and a seeded protocol fuzzer — garbage
+// on the socket must never crash or hang pf_serve; every connection
+// ends in a clean error reply or a clean close.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/rng.h"
+#include "serve/client.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "xml/database.h"
+
+namespace pathfinder::serve {
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(JsonTest, ScalarsRoundTrip) {
+  auto v = ParseJson(R"({"a":1.5,"b":"x\ny","c":true,"d":null,"e":[1,2]})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->Find("a")->num, 1.5);
+  EXPECT_EQ(v->Find("b")->str, "x\ny");
+  EXPECT_TRUE(v->Find("c")->b);
+  EXPECT_EQ(v->Find("d")->kind, JsonValue::Kind::kNull);
+  ASSERT_EQ(v->Find("e")->elems.size(), 2u);
+  EXPECT_EQ(v->Find("e")->elems[1].num, 2.0);
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, UnicodeEscapes) {
+  auto v = ParseJson(R"("a\u00e9\ud83d\ude00b")");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->str, "a\xC3\xA9\xF0\x9F\x98\x80"
+                    "b");
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  const char* bad[] = {
+      "",        "{",        "[1,",       "{\"a\":}",   "tru",
+      "1.2.3",   "\"\\x\"",  "\"\\ud800\"", "01x",      "{\"a\":1}extra",
+      "\"unterminated", "nan", "[1 2]",
+  };
+  for (const char* s : bad) {
+    EXPECT_FALSE(ParseJson(s).ok()) << "accepted: " << s;
+  }
+}
+
+TEST(JsonTest, DepthCapStopsNestingBombs) {
+  std::string deep;
+  for (int i = 0; i < 500; ++i) deep += '[';
+  for (int i = 0; i < 500; ++i) deep += ']';
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(JsonQuote("a\"b\\c\n\x01"), "\"a\\\"b\\\\c\\n\\u0001\"");
+  auto back = ParseJson(JsonQuote("a\"b\\c\n\x01"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->str, "a\"b\\c\n\x01");
+}
+
+// ------------------------------------------------------------- framing --
+
+TEST(ParseRequestTest, AllVerbs) {
+  auto ping = ParseRequest(R"({"op":"ping"})");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->verb, Verb::kPing);
+
+  auto reg = ParseRequest(R"({"op":"register","name":"d.xml","xml":"<a/>"})");
+  ASSERT_TRUE(reg.ok());
+  EXPECT_EQ(reg->verb, Verb::kRegister);
+  EXPECT_EQ(reg->name, "d.xml");
+  EXPECT_EQ(reg->xml, "<a/>");
+
+  auto q = ParseRequest(R"({"op":"query","id":"q1","q":"1+2","doc":"d.xml"})");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->verb, Verb::kQuery);
+  EXPECT_EQ(q->id, "q1");
+  EXPECT_EQ(q->query, "1+2");
+  EXPECT_EQ(q->doc, "d.xml");
+
+  auto c = ParseRequest(R"({"op":"cancel","id":"q1"})");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->verb, Verb::kCancel);
+
+  auto s = ParseRequest(R"({"op":"stats"})");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->verb, Verb::kStats);
+}
+
+TEST(ParseRequestTest, RejectsBadFrames) {
+  const char* bad[] = {
+      "not json at all",
+      "[1,2,3]",                                  // not an object
+      R"({"q":"1+2"})",                           // missing op
+      R"({"op":"frobnicate"})",                   // unknown verb
+      R"({"op":"query","id":"q1"})",              // missing q
+      R"({"op":"query","q":"1"})",                // missing id
+      R"({"op":"query","id":"","q":"1"})",        // empty id
+      R"({"op":"query","id":7,"q":"1"})",         // mistyped id
+      R"({"op":"query","id":"a","q":"1","doc":3})",  // mistyped doc
+      R"({"op":"register","name":"d.xml"})",      // missing xml
+      R"({"op":"register","name":"","xml":""})",  // empty name
+      R"({"op":"cancel"})",                       // missing id
+  };
+  for (const char* s : bad) {
+    EXPECT_FALSE(ParseRequest(s).ok()) << "accepted: " << s;
+  }
+}
+
+// ------------------------------------------------------------ the wire --
+
+class WireTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Server::Options o;
+    o.max_line_bytes = 1 << 16;  // small cap so oversized is testable
+    server_ = std::make_unique<Server>(&db_, o);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_TRUE(client_.Connect(server_->port()).ok());
+  }
+
+  JsonValue Call(const std::string& frame) {
+    auto r = client_.Call(frame);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << frame;
+    return r.ok() ? std::move(r.value()) : JsonValue{};
+  }
+
+  xml::Database db_;
+  std::unique_ptr<Server> server_;
+  Client client_;
+};
+
+TEST_F(WireTest, PingRegisterQueryStatsRoundTrip) {
+  EXPECT_EQ(Call(Client::PingFrame()).Find("op")->str, "pong");
+
+  JsonValue reg = Call(Client::RegisterFrame(
+      "d.xml", "<a><b>1</b><b>2</b><b>3</b></a>"));
+  EXPECT_TRUE(reg.Find("ok")->b);
+
+  JsonValue q = Call(Client::QueryFrame("q1", "count(/a/b)", "d.xml"));
+  ASSERT_NE(q.Find("ok"), nullptr);
+  EXPECT_TRUE(q.Find("ok")->b);
+  EXPECT_EQ(q.Find("id")->str, "q1");
+  EXPECT_EQ(q.Find("result")->str, "3");
+  ASSERT_NE(q.Find("plan_cache_hit"), nullptr);
+  ASSERT_NE(q.Find("ms"), nullptr);
+
+  JsonValue st = Call(Client::StatsFrame());
+  EXPECT_TRUE(st.Find("ok")->b);
+  EXPECT_EQ(st.Find("completed")->AsInt(), 1);
+  EXPECT_EQ(st.Find("registers")->AsInt(), 1);
+  EXPECT_EQ(st.Find("inflight")->AsInt(), 0);
+}
+
+TEST_F(WireTest, QueryErrorIsTypedAndKeepsConnection) {
+  JsonValue q = Call(Client::QueryFrame("q1", "1 +"));
+  EXPECT_FALSE(q.Find("ok")->b);
+  EXPECT_EQ(q.Find("error")->str, "invalid_query");
+  EXPECT_EQ(q.Find("id")->str, "q1");
+
+  JsonValue q2 = Call(Client::QueryFrame("q2", "doc(\"nope.xml\")/x"));
+  EXPECT_FALSE(q2.Find("ok")->b);
+  EXPECT_EQ(q2.Find("error")->str, "not_found");
+
+  EXPECT_EQ(Call(Client::PingFrame()).Find("op")->str, "pong");
+}
+
+TEST_F(WireTest, MalformedFramesGetProtocolErrorAndConnectionSurvives) {
+  const char* bad[] = {"this is not json", R"({"op":"nope"})",
+                       R"({"op":"query","id":"x"})", "{{{{", ""};
+  for (const char* frame : bad) {
+    auto r = client_.Call(frame);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r->Find("ok")->b);
+    EXPECT_EQ(r->Find("error")->str, "protocol") << frame;
+  }
+  EXPECT_EQ(Call(Client::PingFrame()).Find("op")->str, "pong");
+}
+
+TEST_F(WireTest, CancelUnknownIdAnswersNotFound) {
+  JsonValue c = Call(Client::CancelFrame("never-sent"));
+  EXPECT_TRUE(c.Find("ok")->b);
+  EXPECT_FALSE(c.Find("found")->b);
+}
+
+TEST_F(WireTest, OversizedFrameClosesConnectionWithError) {
+  std::string huge((1 << 16) + 100, 'x');
+  ASSERT_TRUE(client_.SendLine(huge).ok());
+  auto r = client_.ReadLine();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto parsed = ParseJson(*r);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("error")->str, "protocol");
+  // The server closed the line-unrecoverable connection...
+  auto eof = client_.ReadLine();
+  EXPECT_FALSE(eof.ok());
+  // ...but keeps serving new ones.
+  Client fresh;
+  ASSERT_TRUE(fresh.Connect(server_->port()).ok());
+  auto pong = fresh.Call(Client::PingFrame());
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->Find("op")->str, "pong");
+}
+
+// -------------------------------------------------------------- fuzzer --
+
+// Random bytes, truncated frames, and mutated valid frames must never
+// crash or hang the server: after each burst the connection either
+// still answers a ping or was cleanly closed, and a fresh connection
+// always works.
+TEST(ProtocolFuzzTest, GarbageNeverCrashesOrHangsTheServer) {
+  xml::Database db;
+  ASSERT_TRUE(db.LoadXml("d.xml", "<a><b>1</b></a>").ok());
+  Server::Options o;
+  o.max_line_bytes = 4096;
+  Server server(&db, o);
+  ASSERT_TRUE(server.Start().ok());
+
+  Rng rng(20260809);
+  const std::string valid =
+      Client::QueryFrame("fz", "count(/a/b)", "d.xml");
+  for (int round = 0; round < 120; ++round) {
+    Client c;
+    ASSERT_TRUE(c.Connect(server.port()).ok()) << "round " << round;
+    int burst = 1 + static_cast<int>(rng.Below(4));
+    for (int i = 0; i < burst; ++i) {
+      std::string frame;
+      switch (rng.Below(3)) {
+        case 0: {  // pure garbage
+          size_t len = rng.Below(300);
+          for (size_t j = 0; j < len; ++j) {
+            char b = static_cast<char>(rng.Below(256));
+            if (b == '\n') b = '?';
+            frame += b;
+          }
+          break;
+        }
+        case 1: {  // mutated valid frame
+          frame = valid;
+          size_t flips = 1 + rng.Below(5);
+          for (size_t j = 0; j < flips && !frame.empty(); ++j) {
+            char b = static_cast<char>(rng.Below(256));
+            if (b == '\n') b = '!';
+            frame[rng.Below(frame.size())] = b;
+          }
+          break;
+        }
+        default: {  // structurally valid JSON, nonsense fields
+          frame = "{\"op\":\"" + std::to_string(rng.Next()) + "\",\"x\":" +
+                  std::to_string(static_cast<int64_t>(rng.Below(1000))) + "}";
+          break;
+        }
+      }
+      ASSERT_TRUE(c.SendLine(frame).ok());
+      // Each garbage line draws exactly one reply (or a clean close).
+      auto reply = c.ReadLine(10000);
+      if (!reply.ok()) {
+        EXPECT_EQ(reply.status().code(), StatusCode::kNotFound)
+            << "round " << round << ": " << reply.status().ToString();
+        break;  // server closed (e.g. oversized); that's a clean end
+      }
+      auto parsed = ParseJson(*reply);
+      ASSERT_TRUE(parsed.ok())
+          << "server emitted invalid JSON: " << *reply;
+    }
+    // Liveness: the server still answers on a fresh connection.
+    if (round % 20 == 0) {
+      Client fresh;
+      ASSERT_TRUE(fresh.Connect(server.port()).ok());
+      auto pong = fresh.Call(Client::PingFrame());
+      ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+      EXPECT_EQ(pong->Find("op")->str, "pong");
+    }
+  }
+  // And real work still succeeds after the bombardment.
+  Client c;
+  ASSERT_TRUE(c.Connect(server.port()).ok());
+  auto q = c.Call(Client::QueryFrame("after", "count(/a/b)", "d.xml"));
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->Find("ok")->b);
+  EXPECT_EQ(q->Find("result")->str, "1");
+}
+
+// Truncated frames (no newline) must not wedge the reader: closing the
+// connection mid-frame is handled as a normal disconnect.
+TEST(ProtocolFuzzTest, TruncatedFrameThenCloseIsClean) {
+  xml::Database db;
+  Server server(&db, {});
+  ASSERT_TRUE(server.Start().ok());
+  for (int i = 0; i < 10; ++i) {
+    Client c;
+    ASSERT_TRUE(c.Connect(server.port()).ok());
+    ASSERT_TRUE(c.SendRaw(R"({"op":"ping")").ok());  // no newline
+    c.Close();
+  }
+  Client c;
+  ASSERT_TRUE(c.Connect(server.port()).ok());
+  auto pong = c.Call(Client::PingFrame());
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->Find("op")->str, "pong");
+}
+
+}  // namespace
+}  // namespace pathfinder::serve
