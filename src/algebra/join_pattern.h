@@ -1,0 +1,126 @@
+#ifndef PATHFINDER_ALGEBRA_JOIN_PATTERN_H_
+#define PATHFINDER_ALGEBRA_JOIN_PATTERN_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/op.h"
+#include "algebra/schema.h"
+
+namespace pathfinder::algebra {
+
+// ---------------------------------------------------------------------
+// Key (uniqueness) inference.
+
+/// Callback: does a staircase step with (axis, test) yield at most one
+/// result node per *context node*, for every document the plan could
+/// read? Supplied by the opt layer from shred-time DocStats (e.g.
+/// `child::profile` when no element in any registered document has two
+/// profile children; `attribute::income` when no owner carries the
+/// name twice). Null = unknown, conservative.
+using StepUniqueness =
+    std::function<bool(accel::Axis, const accel::NodeTest&)>;
+
+/// Bottom-up inference of duplicate-free column sets ("keys") per plan
+/// node. A key {c1..ck} of op means no two output rows agree on all of
+/// c1..ck — which is exactly the license to drop a `distinct` over a
+/// superset of those columns, and to prove joins non-expanding.
+class KeyAnalysis {
+ public:
+  /// Does `op` have an inferred key that is a subset of `cols`?
+  bool CoversKey(const Op* op, const std::vector<std::string>& cols) const;
+
+  /// Is {col} (alone) a key of `op`?
+  bool IsUniqueCol(const Op* op, const std::string& col) const {
+    return CoversKey(op, {col});
+  }
+
+  const std::vector<std::vector<std::string>>* KeysOf(const Op* op) const {
+    auto it = keys_.find(op);
+    return it == keys_.end() ? nullptr : &it->second;
+  }
+
+  /// May the op's output item columns contain *constructed* nodes
+  /// (element/text/attribute constructors anywhere below)? Stats-backed
+  /// step facts only hold for store documents, so they require this to
+  /// be false.
+  bool StoreNodesOnly(const Op* op) const {
+    auto it = store_only_.find(op);
+    return it != store_only_.end() && it->second;
+  }
+
+ private:
+  friend KeyAnalysis InferKeys(const OpPtr&, const StepUniqueness&);
+
+  void AddKey(const Op* op, std::vector<std::string> key);
+
+  // Sorted, minimal (no key contains another), capped per op.
+  std::unordered_map<const Op*, std::vector<std::vector<std::string>>> keys_;
+  std::unordered_map<const Op*, bool> store_only_;
+};
+
+/// Run the inference over the whole DAG (children before parents).
+/// `step_unique` may be null (structural facts only).
+KeyAnalysis InferKeys(const OpPtr& root, const StepUniqueness& step_unique);
+
+// ---------------------------------------------------------------------
+// Join-graph isolation: value-join clusters.
+
+/// A value-join subgraph isolated from the loop-lifting scaffolding: a
+/// maximal region of single-consumer {⋈, θ⋈, σ, π} operators rooted at
+/// `root`, decomposed into its base inputs (leaves), join edges and
+/// pushable select predicates, all expressed in a unified column space
+/// of (leaf occurrence, leaf column) references. Because every join of
+/// a loop-lifted plan connects columns of exactly one leaf per side,
+/// the edges always form a tree over the leaves — the join graph the
+/// cost-based orderer enumerates.
+struct JoinCluster {
+  /// A column in the unified space: column `col` of leaves[leaf].
+  struct ColRef {
+    int leaf = -1;
+    std::string col;
+  };
+
+  /// One join predicate (edge of the leaf tree). `left`/`right` follow
+  /// the original plan's operand sides; a rebuild that swaps them must
+  /// mirror `cmp`.
+  struct Edge {
+    ColRef left, right;
+    bool equi = true;
+    bat::CmpOp cmp = bat::CmpOp::kEq;
+  };
+
+  /// The original join shape over the edges, for cost comparison and
+  /// order-preserving re-stitches. Either `leaf` >= 0 (leaf occurrence)
+  /// or `edge` >= 0 with two children (indices into `nodes`).
+  struct ShapeNode {
+    int leaf = -1;
+    int edge = -1;
+    int left = -1, right = -1;
+  };
+
+  const Op* root = nullptr;          // cluster root inside the plan
+  std::vector<OpPtr> leaves;         // base inputs, left-to-right
+  std::vector<Edge> edges;           // leaves.size() - 1 of them
+  std::vector<ColRef> selects;       // pushable BOOL predicates
+  std::vector<ShapeNode> nodes;      // original shape, root = nodes.back()
+  /// Root output schema: (name, source) pairs in original column order.
+  std::vector<std::pair<std::string, ColRef>> output;
+  int interior_ops = 0;              // σ/π/⋈ ops the region replaces
+  int num_joins = 0;
+};
+
+/// Find every join cluster of the plan. Regions are disjoint; clusters
+/// that violate the tree model (shared columns, non-tree edges, >
+/// `max_leaves` leaves) are skipped rather than returned partially.
+/// `schemas` must cover every op of the plan (see InferSchemas).
+std::vector<JoinCluster> CollectJoinClusters(
+    const OpPtr& root,
+    const std::unordered_map<const Op*, Schema>& schemas,
+    int max_leaves = 10);
+
+}  // namespace pathfinder::algebra
+
+#endif  // PATHFINDER_ALGEBRA_JOIN_PATTERN_H_

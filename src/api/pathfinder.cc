@@ -37,15 +37,17 @@ void IndexProfile(
 
 /// Plan-cache key fingerprint: exactly the options that change the
 /// built plan (context document, join recognition, optimizer, CSE,
-/// pipeline annotation). Execution-only knobs — threads, staircase,
-/// profiling, the cache switches themselves — produce identical plans
-/// and share entries.
-std::string KeyFingerprint(const QueryOptions& o, bool cse, bool pipeline) {
+/// join-graph pass, pipeline annotation). Execution-only knobs —
+/// threads, staircase, profiling, the cache switches themselves —
+/// produce identical plans and share entries.
+std::string KeyFingerprint(const QueryOptions& o, bool cse, bool pipeline,
+                           bool join_opt) {
   std::string f;
   f += o.join_recognition ? 'j' : '-';
   f += o.optimize ? 'o' : '-';
   f += cse ? 'c' : '-';
   f += pipeline ? 'p' : '-';
+  f += join_opt ? 'g' : '-';
   f += '|';
   f += std::to_string(o.context_doc.size());
   f += ':';
@@ -85,6 +87,10 @@ std::string QueryResult::ProfileText() const {
   head << "# opt: " << opt_stats.ops_before << "->" << opt_stats.ops_after
        << " ops, " << opt_stats.cse_merges << " cse merges, "
        << opt_stats.rounds << " rounds\n";
+  head << "# joinopt: " << opt_stats.join_clusters << " clusters, "
+       << opt_stats.joins_reordered << " reordered, "
+       << opt_stats.selects_pushed << " selects pushed, "
+       << opt_stats.key_distincts_removed << " key distincts removed\n";
   head << "# cache: plan " << (plan_cache_hit ? "hit" : "miss")
        << ", subplan " << subplan_cache_hits << " hits / "
        << subplan_cache_misses << " misses; resident "
@@ -135,6 +141,14 @@ std::string QueryResult::ProfileJson() const {
   out += std::to_string(opt_stats.cse_merges);
   out += ", \"rounds\": ";
   out += std::to_string(opt_stats.rounds);
+  out += ", \"join_clusters\": ";
+  out += std::to_string(opt_stats.join_clusters);
+  out += ", \"joins_reordered\": ";
+  out += std::to_string(opt_stats.joins_reordered);
+  out += ", \"selects_pushed\": ";
+  out += std::to_string(opt_stats.selects_pushed);
+  out += ", \"key_distincts_removed\": ";
+  out += std::to_string(opt_stats.key_distincts_removed);
   out += "}, \"cache\": {\"plan_hit\": ";
   out += plan_cache_hit ? "true" : "false";
   out += ", \"subplan_hits\": ";
@@ -201,6 +215,9 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
       opts.pipeline < 0 ? engine::PipelineDefault() : opts.pipeline != 0;
   bool cse =
       opts.optimize && (opts.cse < 0 ? opt::CseDefault() : opts.cse != 0);
+  bool join_opt =
+      opts.optimize &&
+      (opts.join_opt < 0 ? opt::JoinOptDefault() : opts.join_opt != 0);
   engine::QueryCache* cache = cache_.get();
   if (opts.cache_budget_bytes >= 0) {
     cache->SetBudget(static_cast<size_t>(opts.cache_budget_bytes));
@@ -228,7 +245,7 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
   std::string raw_key, core_key;
   engine::PlanEntryPtr entry;
   if (plan_cache) {
-    raw_key = "r:" + KeyFingerprint(opts, cse, pipeline) + query;
+    raw_key = "r:" + KeyFingerprint(opts, cse, pipeline, join_opt) + query;
     entry = cache->LookupPlan(raw_key);
   }
   if (!entry) {
@@ -236,7 +253,7 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
     if (plan_cache) {
       // Tier 2: a differently spelled query with the same Core shares
       // the entry; remember the raw spelling for next time.
-      core_key = "c:" + KeyFingerprint(opts, cse, pipeline) +
+      core_key = "c:" + KeyFingerprint(opts, cse, pipeline, join_opt) +
                  frontend::CanonicalCoreText(res.core);
       entry = cache->LookupPlan(core_key);
       if (entry) cache->AliasPlan(raw_key, entry);
@@ -258,6 +275,8 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
     if (opts.optimize) {
       opt::OptimizeOptions oopts;
       oopts.cse = cse;
+      oopts.join_opt = join_opt;
+      oopts.db = db_;
       PF_ASSIGN_OR_RETURN(res.plan_opt,
                           opt::Optimize(res.plan, &res.opt_stats, oopts));
     } else {

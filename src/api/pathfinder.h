@@ -50,6 +50,14 @@ struct QueryOptions {
   /// `optimize`. -1 = the process default (PF_CSE env var; on unless
   /// "0"), 0 = off, 1 = on. Results are identical either way.
   int cse = -1;
+  /// Join-graph pass after the peephole passes: stats-backed removal of
+  /// redundant distincts, join-cluster isolation, select pushdown and
+  /// cost-based join reordering driven by shred-time document
+  /// statistics. Only meaningful with `optimize`. -1 = the process
+  /// default (PF_JOINOPT env var; on unless "0"), 0 = off, 1 = on.
+  /// Results are byte-identical either way (reordered clusters restore
+  /// the original row order through rank columns).
+  int join_opt = -1;
   /// Cross-query plan cache: repeated query texts (or texts normalizing
   /// to the same Core) skip parse/normalize/compile/optimize and reuse
   /// the annotated plan. -1 = on whenever the cache budget is nonzero

@@ -1,0 +1,386 @@
+#include "opt/cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "xml/database.h"
+#include "xml/document.h"
+#include "xml/stats.h"
+
+namespace pathfinder::opt {
+
+using algebra::Op;
+using algebra::OpKind;
+
+namespace {
+
+constexpr double kRowFloor = 0.05;
+
+double KnownNdv(const OpEstimate& e, const std::string& col) {
+  auto it = e.ndv.find(col);
+  return it == e.ndv.end() ? -1.0 : it->second;
+}
+
+}  // namespace
+
+double CardinalityEstimator::Clamp(double rows) {
+  return std::max(rows, kRowFloor);
+}
+
+double CardinalityEstimator::EquiJoinRows(const OpEstimate& l,
+                                          const std::string& lcol,
+                                          const OpEstimate& r,
+                                          const std::string& rcol) {
+  double ln = KnownNdv(l, lcol);
+  double rn = KnownNdv(r, rcol);
+  double denom;
+  if (ln > 0 && rn > 0) {
+    denom = std::max(ln, rn);
+  } else if (ln > 0 || rn > 0) {
+    denom = std::max(ln, rn);
+  } else {
+    denom = std::sqrt(std::max(l.rows, r.rows));
+  }
+  denom = std::max(denom, 1.0);
+  return Clamp(l.rows * r.rows / denom);
+}
+
+double CardinalityEstimator::ThetaJoinRows(double lrows, double rrows) {
+  return Clamp(lrows * rrows / 3.0);
+}
+
+CardinalityEstimator::CardinalityEstimator(const xml::Database* db) {
+  if (db == nullptr) return;
+  size_t n = db->num_documents();
+  for (size_t i = 0; i < n; ++i) {
+    const xml::DocStats* s = db->doc(static_cast<xml::FragId>(i)).stats();
+    if (s == nullptr) continue;
+    store_.docs += 1;
+    store_.total_nodes += static_cast<double>(s->total_nodes);
+    store_.elems += static_cast<double>(
+        s->kind_counts[static_cast<size_t>(xml::NodeKind::kElem)]);
+    store_.texts += static_cast<double>(
+        s->kind_counts[static_cast<size_t>(xml::NodeKind::kText)]);
+    for (const auto& [tag, ts] : s->tags) {
+      store_.tag_count[tag] += static_cast<double>(ts.count);
+      store_.tag_text_ndv[tag] += static_cast<double>(ts.distinct_text_values);
+      store_.tag_subtree[tag] += static_cast<double>(ts.subtree_nodes);
+      auto& tm = store_.tag_text_max[tag];
+      tm = std::max(tm, static_cast<double>(ts.max_text_children));
+    }
+    for (const auto& [name, as] : s->attrs) {
+      store_.attr_count[name] += static_cast<double>(as.count);
+      store_.attr_ndv[name] += static_cast<double>(as.distinct_values);
+      auto& am = store_.attr_max_owner[name];
+      am = std::max(am, static_cast<double>(as.max_per_owner));
+    }
+    for (const auto& [key, mx] : s->max_children) {
+      auto& em = store_.edge_max[key];
+      em = std::max(em, static_cast<double>(mx));
+    }
+  }
+}
+
+const OpEstimate& CardinalityEstimator::Estimate(const Op* op) {
+  auto it = memo_.find(op);
+  if (it != memo_.end()) return it->second;
+  OpEstimate e = Compute(op);
+  e.rows = Clamp(e.rows);
+  for (auto& [col, n] : e.ndv) n = std::min(n, e.rows);
+  return memo_.emplace(op, std::move(e)).first->second;
+}
+
+OpEstimate CardinalityEstimator::Compute(const Op* op) {
+  auto child = [&](size_t i) -> const OpEstimate& {
+    return Estimate(op->children[i].get());
+  };
+  OpEstimate e;
+  switch (op->kind) {
+    case OpKind::kLitTable: {
+      e.rows = static_cast<double>(op->rows.size());
+      for (size_t c = 0; c < op->names.size(); ++c) {
+        std::set<std::pair<uint8_t, uint64_t>> vals;
+        for (const auto& row : op->rows) {
+          vals.emplace(static_cast<uint8_t>(row[c].kind), row[c].raw);
+        }
+        e.ndv[op->names[c]] = static_cast<double>(vals.size());
+      }
+      return e;
+    }
+    case OpKind::kProject: {
+      const OpEstimate& c = child(0);
+      e.rows = c.rows;
+      for (const auto& [nw, old] : op->proj) {
+        if (double n = KnownNdv(c, old); n > 0) e.ndv[nw] = n;
+        if (auto t = c.tag.find(old); t != c.tag.end()) e.tag[nw] = t->second;
+      }
+      return e;
+    }
+    case OpKind::kAttach: {
+      e = child(0);
+      e.ndv[op->out] = 1.0;
+      return e;
+    }
+    case OpKind::kSelect: {
+      e = child(0);
+      e.rows = Clamp(e.rows * 0.5);
+      return e;
+    }
+    case OpKind::kDisjointUnion: {
+      const OpEstimate& a = child(0);
+      const OpEstimate& b = child(1);
+      e.rows = a.rows + b.rows;
+      for (const auto& [col, n] : a.ndv) {
+        if (double m = KnownNdv(b, col); m > 0) e.ndv[col] = n + m;
+      }
+      return e;
+    }
+    case OpKind::kDifference: {
+      e = child(0);
+      child(1);  // memoize the subtrahend too
+      e.rows = Clamp(e.rows * 0.5);
+      return e;
+    }
+    case OpKind::kDistinct: {
+      const OpEstimate& c = child(0);
+      double prod = 1.0;
+      for (const auto& k : op->keys) {
+        double n = KnownNdv(c, k);
+        prod *= n > 0 ? n : std::sqrt(std::max(c.rows, 1.0));
+      }
+      e = c;
+      e.rows = Clamp(std::min(c.rows, prod));
+      return e;
+    }
+    case OpKind::kEquiJoin: {
+      const OpEstimate& l = child(0);
+      const OpEstimate& r = child(1);
+      e.rows = EquiJoinRows(l, op->col, r, op->col2);
+      e.ndv = l.ndv;
+      e.ndv.insert(r.ndv.begin(), r.ndv.end());
+      e.tag = l.tag;
+      e.tag.insert(r.tag.begin(), r.tag.end());
+      return e;
+    }
+    case OpKind::kThetaJoin:
+    case OpKind::kCross: {
+      const OpEstimate& l = child(0);
+      const OpEstimate& r = child(1);
+      e.rows = op->kind == OpKind::kCross ? l.rows * r.rows
+                                          : ThetaJoinRows(l.rows, r.rows);
+      e.ndv = l.ndv;
+      e.ndv.insert(r.ndv.begin(), r.ndv.end());
+      e.tag = l.tag;
+      e.tag.insert(r.tag.begin(), r.tag.end());
+      return e;
+    }
+    case OpKind::kRowNum:
+    case OpKind::kRank: {
+      e = child(0);
+      e.ndv[op->out] = e.rows;
+      return e;
+    }
+    case OpKind::kSort:
+    case OpKind::kSerialize:
+      return child(0);
+    case OpKind::kStep: {
+      const OpEstimate& c = child(0);
+      bool have = store_.total_nodes > 0;
+
+      // Population of nodes matching the test.
+      double cnt;
+      double value_ndv = -1.0;  // distinct *values*, when measurable
+      bool sets_tag = false;
+      switch (op->test.kind) {
+        case accel::NodeTest::Kind::kName:
+          if (op->axis == accel::Axis::kAttribute) {
+            cnt = store_.AttrCount(op->test.name);
+            if (auto a = store_.attr_ndv.find(op->test.name);
+                a != store_.attr_ndv.end()) {
+              value_ndv = a->second;
+            }
+          } else {
+            cnt = store_.TagCount(op->test.name);
+            sets_tag = true;
+          }
+          break;
+        case accel::NodeTest::Kind::kText:
+          cnt = store_.texts;
+          if (auto t = c.tag.find("item"); t != c.tag.end()) {
+            if (auto v = store_.tag_text_ndv.find(t->second);
+                v != store_.tag_text_ndv.end()) {
+              value_ndv = v->second;
+            }
+          }
+          break;
+        case accel::NodeTest::Kind::kElement:
+          cnt = store_.elems;
+          break;
+        case accel::NodeTest::Kind::kAnyKind:
+          cnt = store_.total_nodes;
+          break;
+        default:  // comments / PIs: rare
+          cnt = std::max(1.0, store_.total_nodes * 0.001);
+          break;
+      }
+
+      // Tag provenance of the context items: when the input column is
+      // known to hold P-tagged elements (or document roots), fan-outs
+      // become per-P ratios capped by the measured structural maxima,
+      // instead of store-wide averages. This is what keeps the deep
+      // root-to-leaf step chains of loop-lifted plans from collapsing
+      // to the row floor: child::site from the document node is 1 per
+      // doc, not count(site)/count(elements).
+      double parent_pop = -1.0;
+      StrId ptag = 0;
+      if (auto t = c.tag.find("item"); t != c.tag.end()) {
+        ptag = t->second;
+        parent_pop = ptag == xml::DocStats::kDocParent
+                         ? store_.docs
+                         : store_.TagCount(ptag);
+      }
+      auto avg_subtree = [&]() -> double {
+        if (ptag == xml::DocStats::kDocParent) {
+          return store_.total_nodes / std::max(store_.docs, 1.0);
+        }
+        auto it = store_.tag_subtree.find(ptag);
+        return it == store_.tag_subtree.end()
+                   ? -1.0
+                   : it->second / std::max(parent_pop, 1.0);
+      };
+
+      // Per-context fan-out by axis.
+      double share = have ? cnt / std::max(store_.total_nodes, 1.0) : 0.5;
+      double f;
+      switch (op->axis) {
+        case accel::Axis::kSelf:
+          f = share;
+          break;
+        case accel::Axis::kParent:
+          f = op->test.kind == accel::NodeTest::Kind::kName
+                  ? std::min(1.0, 16.0 * share)
+                  : 1.0;
+          break;
+        case accel::Axis::kChild:
+        case accel::Axis::kAttribute:
+          f = have ? cnt / std::max(store_.elems, 1.0) : 2.0;
+          if (have && parent_pop > 0) {
+            double fp = cnt / parent_pop;
+            double cap = -1.0;
+            if (op->axis == accel::Axis::kAttribute) {
+              auto it = store_.attr_max_owner.find(op->test.name);
+              cap = it == store_.attr_max_owner.end() ? 0.0 : it->second;
+            } else if (op->test.kind == accel::NodeTest::Kind::kName) {
+              auto it = store_.edge_max.find(
+                  xml::DocStats::EdgeKey(ptag, op->test.name));
+              cap = it == store_.edge_max.end() ? 0.0 : it->second;
+            } else if (op->test.kind == accel::NodeTest::Kind::kText) {
+              auto it = store_.tag_text_max.find(ptag);
+              cap = it == store_.tag_text_max.end() ? 0.0 : it->second;
+            } else if (double s = avg_subtree(); s > 0) {
+              cap = s;  // elements/nodes: bounded by the subtree size
+            }
+            if (cap >= 0) fp = std::min(fp, cap);
+            f = fp;
+          }
+          break;
+        case accel::Axis::kDescendant:
+        case accel::Axis::kDescendantOrSelf:
+          // Loop-lifted descendant steps overwhelmingly run from the
+          // document root(s): fan-out is the whole matching population.
+          f = have ? cnt / std::max(store_.docs, 1.0) : 8.0;
+          if (have && parent_pop > 0) {
+            double fp = cnt / parent_pop;
+            if (double s = avg_subtree(); s > 0) fp = std::min(fp, s);
+            f = fp;
+          }
+          break;
+        case accel::Axis::kAncestor:
+        case accel::Axis::kAncestorOrSelf:
+          f = op->test.kind == accel::NodeTest::Kind::kName
+                  ? std::min(4.0, 64.0 * share)
+                  : 4.0;
+          break;
+        default:  // siblings, following, preceding
+          f = have ? std::max(1.0, cnt / std::max(store_.elems, 1.0)) : 2.0;
+          break;
+      }
+      e.rows = Clamp(c.rows * std::max(f, 0.001));
+      if (double n = KnownNdv(c, "iter"); n > 0) e.ndv["iter"] = n;
+      double item_ndv = value_ndv > 0 ? value_ndv
+                        : have        ? std::max(cnt, 1.0)
+                                      : e.rows;
+      e.ndv["item"] = item_ndv;
+      if (sets_tag) e.tag["item"] = op->test.name;
+      return e;
+    }
+    case OpKind::kDocRoot: {
+      const OpEstimate& c = child(0);
+      e.rows = c.rows;
+      if (double n = KnownNdv(c, "iter"); n > 0) e.ndv["iter"] = n;
+      e.ndv["item"] = std::max(store_.docs, 1.0);
+      e.tag["item"] = xml::DocStats::kDocParent;
+      return e;
+    }
+    case OpKind::kElemConstr: {
+      const OpEstimate& c = child(0);
+      child(1);
+      e.rows = c.rows;
+      if (double n = KnownNdv(c, "iter"); n > 0) e.ndv["iter"] = n;
+      e.ndv["item"] = e.rows;  // fresh nodes
+      return e;
+    }
+    case OpKind::kTextConstr:
+    case OpKind::kAttrConstr:
+    case OpKind::kStrJoin: {
+      const OpEstimate& c = child(0);
+      if (op->children.size() > 1) child(1);
+      double iters = KnownNdv(c, "iter");
+      e.rows = iters > 0 ? std::min(iters, c.rows) : Clamp(c.rows * 0.3);
+      e.ndv["iter"] = e.rows;
+      e.ndv["item"] = e.rows;
+      return e;
+    }
+    case OpKind::kFun1: {
+      e = child(0);
+      e.ndv.erase(op->out);
+      e.tag.erase(op->out);
+      // Atomization and casts are value-preserving maps: the output
+      // inherits the input column's value distribution.
+      if (op->fun1 == algebra::Fun1::kData ||
+          op->fun1 == algebra::Fun1::kStringFn ||
+          op->fun1 == algebra::Fun1::kNumberFn) {
+        if (double n = KnownNdv(e, op->col); n > 0) e.ndv[op->out] = n;
+      }
+      return e;
+    }
+    case OpKind::kFun2: {
+      e = child(0);
+      e.ndv.erase(op->out);
+      e.tag.erase(op->out);
+      return e;
+    }
+    case OpKind::kAggr: {
+      const OpEstimate& c = child(0);
+      double groups = KnownNdv(c, op->col);
+      e.rows = groups > 0 ? std::min(groups, c.rows)
+                          : Clamp(std::sqrt(std::max(c.rows, 1.0)));
+      e.ndv[op->col] = e.rows;
+      return e;
+    }
+  }
+  return e;
+}
+
+std::unordered_map<int, double> EstimatePlanCards(const algebra::OpPtr& root,
+                                                  const xml::Database* db) {
+  CardinalityEstimator est(db);
+  std::unordered_map<int, double> out;
+  for (Op* op : algebra::TopoOrder(root)) {
+    out[op->id] = est.Estimate(op).rows;
+  }
+  return out;
+}
+
+}  // namespace pathfinder::opt

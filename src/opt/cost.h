@@ -1,0 +1,103 @@
+#ifndef PATHFINDER_OPT_COST_H_
+#define PATHFINDER_OPT_COST_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "algebra/op.h"
+#include "base/string_pool.h"
+
+namespace pathfinder::xml {
+class Database;
+}
+
+namespace pathfinder::opt {
+
+/// Cardinality estimate for one plan operator's output.
+///
+/// `rows` is never 0 (floored at 0.05) so downstream ratios stay
+/// finite; `ndv` holds per-column distinct-value estimates where one
+/// can be derived (join keys, step items, rownum/rank outputs); `tag`
+/// tracks element-tag provenance of node-valued item columns, which is
+/// what lets a later `child::text()` / `attribute::a` step pick up the
+/// *value* distribution (distinct text / attribute values) measured at
+/// shred time — the join-key NDVs the orderer actually needs.
+struct OpEstimate {
+  double rows = 1.0;
+  std::unordered_map<std::string, double> ndv;
+  std::unordered_map<std::string, StrId> tag;
+};
+
+/// Store-wide aggregation of per-document DocStats (sums for counts
+/// and distinct values, maxima for per-context fan-out facts).
+struct StoreAgg {
+  double docs = 0;
+  double total_nodes = 0;
+  double elems = 0;
+  double texts = 0;
+  std::unordered_map<StrId, double> tag_count;
+  std::unordered_map<StrId, double> tag_text_ndv;
+  std::unordered_map<StrId, double> tag_subtree;
+  std::unordered_map<StrId, double> attr_count;
+  std::unordered_map<StrId, double> attr_ndv;
+  // Structural caps (maxima over documents): max C-children per
+  // P-parent keyed by DocStats::EdgeKey, max direct text children per
+  // tag, max attributes of one name per owner. These bound the
+  // provenance-based child/attribute/text fan-outs below.
+  std::unordered_map<uint64_t, double> edge_max;
+  std::unordered_map<StrId, double> tag_text_max;
+  std::unordered_map<StrId, double> attr_max_owner;
+
+  double TagCount(StrId t) const {
+    auto it = tag_count.find(t);
+    return it == tag_count.end() ? 0.0 : it->second;
+  }
+  double AttrCount(StrId a) const {
+    auto it = attr_count.find(a);
+    return it == attr_count.end() ? 0.0 : it->second;
+  }
+};
+
+/// Bottom-up, memoized cardinality estimation over a plan DAG, driven
+/// by shred-time document statistics (xml/stats.h). Estimates are
+/// heuristic — the join orderer only needs them to *rank* orders — but
+/// they are deterministic, strictly positive, and monotone under
+/// selection (tested in tests/opt/cardinality_test.cc).
+class CardinalityEstimator {
+ public:
+  /// `db` may be null: structural rules still apply, document-derived
+  /// fan-outs fall back to neutral constants.
+  explicit CardinalityEstimator(const xml::Database* db);
+
+  const OpEstimate& Estimate(const algebra::Op* op);
+
+  const StoreAgg& store() const { return store_; }
+
+  /// Equi-join output rows from the two input estimates: |L|·|R| over
+  /// the larger known key NDV (falls back to sqrt of the larger side
+  /// when neither key's NDV is known).
+  static double EquiJoinRows(const OpEstimate& l, const std::string& lcol,
+                             const OpEstimate& r, const std::string& rcol);
+
+  /// Theta (comparison) join: fixed 1/3 selectivity.
+  static double ThetaJoinRows(double lrows, double rrows);
+
+  /// Global floor applied to every row estimate.
+  static double Clamp(double rows);
+
+ private:
+  OpEstimate Compute(const algebra::Op* op);
+
+  StoreAgg store_;
+  std::unordered_map<const algebra::Op*, OpEstimate> memo_;
+};
+
+/// Estimate every operator of the plan; keyed by Op::id (matching the
+/// per-operator `out_rows` the profiler reports, so estimates and
+/// actuals can be joined in tests).
+std::unordered_map<int, double> EstimatePlanCards(const algebra::OpPtr& root,
+                                                  const xml::Database* db);
+
+}  // namespace pathfinder::opt
+
+#endif  // PATHFINDER_OPT_COST_H_

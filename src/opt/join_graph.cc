@@ -1,0 +1,873 @@
+#include "opt/join_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <bit>
+#include <cmath>
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/schema.h"
+#include "opt/cost.h"
+#include "xml/database.h"
+#include "xml/document.h"
+#include "xml/stats.h"
+
+namespace pathfinder::opt {
+
+namespace alg = pathfinder::algebra;
+using alg::JoinCluster;
+using alg::Op;
+using alg::OpKind;
+using alg::OpPtr;
+
+algebra::StepUniqueness MakeStepUniqueness(const xml::Database* db) {
+  if (db == nullptr) return nullptr;
+  return [db](accel::Axis axis, const accel::NodeTest& test) -> bool {
+    size_t n = db->num_documents();
+    if (n == 0) return false;
+    for (size_t i = 0; i < n; ++i) {
+      const xml::DocStats* s = db->doc(static_cast<xml::FragId>(i)).stats();
+      if (s == nullptr) return false;
+      switch (axis) {
+        case accel::Axis::kChild:
+          if (test.kind == accel::NodeTest::Kind::kName) {
+            if (s->MaxChildrenAnyParent(test.name) > 1) return false;
+          } else if (test.kind == accel::NodeTest::Kind::kText) {
+            if (s->MaxTextChildrenAnyTag() > 1) return false;
+          } else {
+            return false;
+          }
+          break;
+        case accel::Axis::kAttribute: {
+          if (test.kind != accel::NodeTest::Kind::kName) return false;
+          auto it = s->attrs.find(test.name);
+          if (it != s->attrs.end() && it->second.max_per_owner > 1) {
+            return false;
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return true;
+  };
+}
+
+namespace {
+
+OpPtr Stitch(const OpPtr& root,
+             const std::unordered_map<const Op*, OpPtr>& repl);
+
+// ---------------------------------------------------------------------
+// Pass 1: key-based distinct removal.
+
+OpPtr RemoveKeyDistincts(const OpPtr& root, const alg::KeyAnalysis& ka,
+                         JoinOptStats* stats) {
+  std::unordered_map<const Op*, OpPtr> memo;
+  std::function<OpPtr(const OpPtr&)> rec = [&](const OpPtr& op) -> OpPtr {
+    auto it = memo.find(op.get());
+    if (it != memo.end()) return it->second;
+    std::vector<OpPtr> kids;
+    bool changed = false;
+    for (const auto& c : op->children) {
+      OpPtr nc = rec(c);
+      changed |= nc.get() != c.get();
+      kids.push_back(std::move(nc));
+    }
+    OpPtr node = op;
+    if (op->kind == OpKind::kDistinct && !op->keys.empty() &&
+        ka.CoversKey(op->children[0].get(), op->keys)) {
+      // The input provably carries no duplicate keys-tuples, and
+      // DistinctIndices keeps first occurrences, so dropping the
+      // operator preserves the exact row sequence.
+      node = kids[0];
+      if (stats != nullptr) stats->key_distincts_removed++;
+    } else if (changed) {
+      node = std::make_shared<Op>(*op);
+      node->children = std::move(kids);
+    }
+    memo[op.get()] = node;
+    return node;
+  };
+  return rec(root);
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: selection pushdown through mapping joins.
+//
+// The loop-lifting compiler evaluates a comparison by mapping both
+// operands into one iteration space (eqjoin iter=iter'), computing the
+// predicate as a fun1/fun2/attach/project chain over the join output
+// and filtering with a select:
+//
+//   select b / fun2 b=(item eq r) / eqjoin iter=i / ...
+//
+// When every join-output column the predicate reads lives on ONE join
+// input — columns from the other input are admissible too if they are
+// row-independent, i.e. derived purely from attach constants or 1-row
+// literal tables (the compiler's shape for comparison with a literal)
+// — a copy of the predicate + select is planted below the join on that
+// input, followed by a schema-restoring project. The original select
+// stays put: it is a no-op on the pre-filtered stream, so downstream
+// schemas and plan shape are untouched. Order safety: a pair survives
+// the upper select iff its filtered-side row passes the pushed filter,
+// and surviving pairs keep their relative order, so results stay
+// byte-identical.
+
+/// Rebuild column `col` of `op`'s output on top of `base` under the
+/// name `out`, provided its value is row-independent (derived only
+/// from attach constants / 1-row literal tables through fun chains).
+/// Returns nullptr when the column is not provably constant.
+OpPtr BuildConstCol(const Op* op, const std::string& col, OpPtr base,
+                    const std::string& out,
+                    const std::unordered_map<const Op*, alg::Schema>& schemas,
+                    int depth) {
+  if (depth > 24 || base == nullptr) return nullptr;
+  switch (op->kind) {
+    case OpKind::kAttach:
+      if (op->out == col) {
+        return alg::Attach(std::move(base), out, op->types[0],
+                           op->attach_val);
+      }
+      return BuildConstCol(op->children[0].get(), col, std::move(base), out,
+                           schemas, depth + 1);
+    case OpKind::kLitTable: {
+      if (op->rows.size() != 1) return nullptr;
+      for (size_t i = 0; i < op->names.size(); ++i) {
+        if (op->names[i] == col) {
+          return alg::Attach(std::move(base), out, op->types[i],
+                             op->rows[0][i]);
+        }
+      }
+      return nullptr;
+    }
+    case OpKind::kProject:
+      for (const auto& [nw, old] : op->proj) {
+        if (nw == col) {
+          return BuildConstCol(op->children[0].get(), old, std::move(base),
+                               out, schemas, depth + 1);
+        }
+      }
+      return nullptr;
+    case OpKind::kFun1: {
+      if (op->out != col) {
+        return BuildConstCol(op->children[0].get(), col, std::move(base),
+                             out, schemas, depth + 1);
+      }
+      OpPtr in = BuildConstCol(op->children[0].get(), op->col,
+                               std::move(base), out + "i", schemas,
+                               depth + 1);
+      if (in == nullptr) return nullptr;
+      return alg::MapFun1(std::move(in), op->fun1, out + "i", out);
+    }
+    case OpKind::kFun2: {
+      if (op->out != col) {
+        return BuildConstCol(op->children[0].get(), col, std::move(base),
+                             out, schemas, depth + 1);
+      }
+      OpPtr a = BuildConstCol(op->children[0].get(), op->col,
+                              std::move(base), out + "a", schemas,
+                              depth + 1);
+      OpPtr b = BuildConstCol(op->children[0].get(), op->col2, std::move(a),
+                              out + "b", schemas, depth + 1);
+      if (b == nullptr) return nullptr;
+      return alg::MapFun2(std::move(b), op->fun2, out + "a", out + "b", out);
+    }
+    case OpKind::kSelect:
+    case OpKind::kDistinct:
+      // Filtering / deduplication preserves per-row constancy.
+      return BuildConstCol(op->children[0].get(), col, std::move(base), out,
+                           schemas, depth + 1);
+    case OpKind::kRowNum:
+    case OpKind::kRank:
+      if (op->out == col) return nullptr;  // row-dependent by definition
+      return BuildConstCol(op->children[0].get(), col, std::move(base), out,
+                           schemas, depth + 1);
+    case OpKind::kEquiJoin:
+    case OpKind::kThetaJoin: {
+      for (int s = 0; s < 2; ++s) {
+        auto it = schemas.find(op->children[s].get());
+        if (it == schemas.end()) continue;
+        for (const auto& [n, t] : it->second.cols) {
+          if (n == col) {
+            return BuildConstCol(op->children[s].get(), col, std::move(base),
+                                 out, schemas, depth + 1);
+          }
+        }
+      }
+      return nullptr;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+/// Symbolic form of the predicate chain between a select and the join
+/// it filters: a small expression tree whose leaves are join-output
+/// columns or attach constants.
+struct PredExpr {
+  enum class Kind { kJoinCol, kConst, kFun1, kFun2 } kind;
+  std::string col;                          // kJoinCol
+  bat::ColType ctype = bat::ColType::kItem;  // kConst
+  Item cval{ItemKind::kInt, 0};              // kConst
+  alg::Fun1 f1 = alg::Fun1::kNot;
+  alg::Fun2 f2 = alg::Fun2::kAdd;
+  std::shared_ptr<PredExpr> a, b;
+};
+using PredExprPtr = std::shared_ptr<PredExpr>;
+
+void CollectJoinCols(const PredExprPtr& e, std::vector<std::string>* out) {
+  if (e->kind == PredExpr::Kind::kJoinCol) {
+    if (std::find(out->begin(), out->end(), e->col) == out->end()) {
+      out->push_back(e->col);
+    }
+  }
+  if (e->a) CollectJoinCols(e->a, out);
+  if (e->b) CollectJoinCols(e->b, out);
+}
+
+/// One select pushed through one join per call site, applied
+/// repeatedly until no select moves.
+struct SelectPusher {
+  JoinOptStats* stats;
+  std::set<int> done;  // select ids already handled (clones keep the id)
+
+  /// Symbolically evaluate the chain (bottom-up) to express the
+  /// select's predicate column over the join's output columns.
+  PredExprPtr EvalChain(const std::vector<const Op*>& chain,
+                        const alg::Schema& join_schema,
+                        const std::string& pred_col) {
+    std::unordered_map<std::string, PredExprPtr> env;
+    for (const auto& [n, t] : join_schema.cols) {
+      auto e = std::make_shared<PredExpr>();
+      e->kind = PredExpr::Kind::kJoinCol;
+      e->col = n;
+      env[n] = e;
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      const Op* c = *it;
+      switch (c->kind) {
+        case OpKind::kProject: {
+          std::unordered_map<std::string, PredExprPtr> next;
+          for (const auto& [nw, old] : c->proj) {
+            auto oit = env.find(old);
+            if (oit == env.end()) return nullptr;
+            next[nw] = oit->second;
+          }
+          env = std::move(next);
+          break;
+        }
+        case OpKind::kAttach: {
+          auto e = std::make_shared<PredExpr>();
+          e->kind = PredExpr::Kind::kConst;
+          e->ctype = c->types[0];
+          e->cval = c->attach_val;
+          env[c->out] = e;
+          break;
+        }
+        case OpKind::kFun1: {
+          auto ait = env.find(c->col);
+          if (ait == env.end()) return nullptr;
+          auto e = std::make_shared<PredExpr>();
+          e->kind = PredExpr::Kind::kFun1;
+          e->f1 = c->fun1;
+          e->a = ait->second;
+          env[c->out] = e;
+          break;
+        }
+        case OpKind::kFun2: {
+          auto ait = env.find(c->col);
+          auto bit = env.find(c->col2);
+          if (ait == env.end() || bit == env.end()) return nullptr;
+          auto e = std::make_shared<PredExpr>();
+          e->kind = PredExpr::Kind::kFun2;
+          e->f2 = c->fun2;
+          e->a = ait->second;
+          e->b = bit->second;
+          env[c->out] = e;
+          break;
+        }
+        default:
+          return nullptr;
+      }
+    }
+    auto pit = env.find(pred_col);
+    return pit == env.end() ? nullptr : pit->second;
+  }
+
+  /// Emit ops computing `e` on top of `*base`; returns the column name
+  /// holding the result (empty string = failure).
+  std::string Emit(const PredExprPtr& e, OpPtr* base, int sel_id,
+                   int* fresh,
+                   const std::unordered_map<std::string, std::string>& ren) {
+    auto name = [&] {
+      return "jp" + std::to_string(sel_id) + "_" + std::to_string((*fresh)++);
+    };
+    switch (e->kind) {
+      case PredExpr::Kind::kJoinCol: {
+        auto it = ren.find(e->col);
+        return it == ren.end() ? e->col : it->second;
+      }
+      case PredExpr::Kind::kConst: {
+        std::string n = name();
+        *base = alg::Attach(std::move(*base), n, e->ctype, e->cval);
+        return n;
+      }
+      case PredExpr::Kind::kFun1: {
+        std::string in = Emit(e->a, base, sel_id, fresh, ren);
+        if (in.empty()) return "";
+        std::string n = name();
+        *base = alg::MapFun1(std::move(*base), e->f1, in, n);
+        return n;
+      }
+      case PredExpr::Kind::kFun2: {
+        std::string in1 = Emit(e->a, base, sel_id, fresh, ren);
+        std::string in2 = Emit(e->b, base, sel_id, fresh, ren);
+        if (in1.empty() || in2.empty()) return "";
+        std::string n = name();
+        *base = alg::MapFun2(std::move(*base), e->f2, in1, in2, n);
+        return n;
+      }
+    }
+    return "";
+  }
+
+  /// Re-emit one original chain op verbatim on top of `base`.
+  OpPtr Reemit(const Op* c, OpPtr base) {
+    switch (c->kind) {
+      case OpKind::kProject:
+        return alg::Project(std::move(base), c->proj);
+      case OpKind::kAttach:
+        return alg::Attach(std::move(base), c->out, c->types[0],
+                           c->attach_val);
+      case OpKind::kFun1:
+        return alg::MapFun1(std::move(base), c->fun1, c->col, c->out);
+      case OpKind::kFun2:
+        return alg::MapFun2(std::move(base), c->fun2, c->col, c->col2,
+                            c->out);
+      default:
+        return nullptr;
+    }
+  }
+
+  /// Try to push `sel`'s predicate below `join` onto side `s`. Columns
+  /// in `other` come from side 1-s and must be reconstructible as
+  /// constants. Returns the replacement for `sel`, or nullptr.
+  OpPtr TrySide(const Op* sel, const std::vector<const Op*>& chain,
+                const Op* join, int s, const PredExprPtr& pred,
+                const std::vector<std::string>& other,
+                const std::unordered_map<const Op*, alg::Schema>& schemas) {
+    OpPtr side = join->children[s];
+    std::unordered_map<std::string, std::string> ren;
+    for (const auto& c : other) {
+      std::string fresh_name = "jp" + std::to_string(sel->id) + "_" + c;
+      side = BuildConstCol(join->children[1 - s].get(), c, std::move(side),
+                           fresh_name, schemas, 0);
+      if (side == nullptr) return nullptr;
+      ren[c] = fresh_name;
+    }
+    int fresh = 0;
+    std::string pcol = Emit(pred, &side, sel->id, &fresh, ren);
+    if (pcol.empty()) return nullptr;
+    side = alg::Select(std::move(side), pcol);  // fresh id: can cascade
+    std::vector<std::pair<std::string, std::string>> proj;
+    for (const auto& [n, t] : schemas.at(join->children[s].get()).cols) {
+      proj.emplace_back(n, n);
+    }
+    side = alg::Project(std::move(side), std::move(proj));
+    OpPtr l = s == 0 ? side : join->children[0];
+    OpPtr r = s == 0 ? join->children[1] : side;
+    OpPtr cur = join->kind == OpKind::kEquiJoin
+                    ? alg::EquiJoin(std::move(l), std::move(r), join->col,
+                                    join->col2)
+                    : alg::ThetaJoin(std::move(l), std::move(r), join->col,
+                                     join->col2, join->cmp);
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      cur = Reemit(*it, std::move(cur));
+      if (cur == nullptr) return nullptr;
+    }
+    // The original select stays on top (a no-op on the pre-filtered
+    // stream) so the subtree's schema is exactly what it was. Clone it
+    // to keep its id: `done` then skips it on later rounds.
+    auto top = std::make_shared<Op>(*sel);
+    top->children = {std::move(cur)};
+    return top;
+  }
+
+  Result<OpPtr> Run(OpPtr cur) {
+    for (int round = 0; round < 4; ++round) {
+      std::unordered_map<const Op*, alg::Schema> schemas;
+      PF_RETURN_NOT_OK(alg::InferSchemas(cur, &schemas).status());
+      std::vector<Op*> order = alg::TopoOrder(cur);
+      std::unordered_map<const Op*, int> consumers;
+      for (Op* op : order) {
+        consumers[op];
+        for (const auto& c : op->children) consumers[c.get()]++;
+      }
+      std::unordered_map<const Op*, OpPtr> repl;
+      const bool dbg = std::getenv("PF_JOINOPT_DEBUG") != nullptr;
+      for (Op* op : order) {
+        if (op->kind != OpKind::kSelect || done.count(op->id) != 0) continue;
+        // Walk the predicate-computing chain down to a join.
+        std::vector<const Op*> chain;
+        const Op* d = op->children[0].get();
+        while ((d->kind == OpKind::kFun1 || d->kind == OpKind::kFun2 ||
+                d->kind == OpKind::kAttach ||
+                d->kind == OpKind::kProject) &&
+               consumers.at(d) == 1 && chain.size() < 8) {
+          chain.push_back(d);
+          d = d->children[0].get();
+        }
+        if (chain.empty()) {
+          if (dbg)
+            fprintf(stderr, "[jp] sel#%d: empty chain (child kind %d)\n",
+                    op->id, static_cast<int>(op->children[0]->kind));
+          continue;
+        }
+        if ((d->kind != OpKind::kEquiJoin &&
+             d->kind != OpKind::kThetaJoin) ||
+            consumers.at(d) != 1) {
+          if (dbg)
+            fprintf(stderr,
+                    "[jp] sel#%d: chain=%zu ends at #%d kind %d cons %d\n",
+                    op->id, chain.size(), d->id, static_cast<int>(d->kind),
+                    consumers.at(d));
+          continue;
+        }
+        PredExprPtr pred = EvalChain(chain, schemas.at(d), op->col);
+        if (pred == nullptr) {
+          if (dbg) fprintf(stderr, "[jp] sel#%d: EvalChain failed\n", op->id);
+          continue;
+        }
+        std::vector<std::string> needed;
+        CollectJoinCols(pred, &needed);
+        if (needed.empty()) continue;  // constant predicate: leave alone
+        std::vector<std::string> froml, fromr;
+        bool known = true;
+        for (const auto& n : needed) {
+          bool inl = false, inr = false;
+          for (const auto& [cn, t] : schemas.at(d->children[0].get()).cols) {
+            if (cn == n) inl = true;
+          }
+          for (const auto& [cn, t] : schemas.at(d->children[1].get()).cols) {
+            if (cn == n) inr = true;
+          }
+          if (inl) {
+            froml.push_back(n);
+          } else if (inr) {
+            fromr.push_back(n);
+          } else {
+            known = false;
+            break;
+          }
+        }
+        if (!known) continue;
+        OpPtr r;
+        if (fromr.empty()) {
+          r = TrySide(op, chain, d, 0, pred, {}, schemas);
+        } else if (froml.empty()) {
+          r = TrySide(op, chain, d, 1, pred, {}, schemas);
+        } else {
+          r = TrySide(op, chain, d, 0, pred, fromr, schemas);
+          if (r == nullptr) r = TrySide(op, chain, d, 1, pred, froml, schemas);
+        }
+        if (r == nullptr) continue;
+        done.insert(op->id);
+        repl[op] = std::move(r);
+        if (stats != nullptr) stats->selects_pushed++;
+      }
+      if (repl.empty()) break;
+      cur = Stitch(cur, repl);
+    }
+    return cur;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Pass 3: cluster costing and reordering.
+
+std::string JgName(int leaf, const std::string& col) {
+  return "jg" + std::to_string(leaf) + "_" + col;
+}
+
+bat::CmpOp FlipCmp(bat::CmpOp c) {
+  switch (c) {
+    case bat::CmpOp::kLt:
+      return bat::CmpOp::kGt;
+    case bat::CmpOp::kLe:
+      return bat::CmpOp::kGe;
+    case bat::CmpOp::kGt:
+      return bat::CmpOp::kLt;
+    case bat::CmpOp::kGe:
+      return bat::CmpOp::kLe;
+    case bat::CmpOp::kEq:
+    case bat::CmpOp::kNe:
+      return c;
+  }
+  return c;
+}
+
+/// Per-cluster cost model: multiplicative cardinalities over the leaf
+/// tree. card(S) = prod(leaf cards in S) * prod(selectivities of edges
+/// inside S) — split-independent, so the DP is well-defined.
+struct ClusterModel {
+  int n = 0;
+  std::vector<double> leaf_card;             // select-reduced
+  std::vector<double> edge_sel;              // per edge, <= 1 (theta 1/3)
+  std::vector<std::vector<std::pair<int, int>>> adj;  // leaf -> (edge, other)
+
+  double SubsetCard(uint32_t mask, const JoinCluster& cl) const {
+    double card = 1.0;
+    for (int i = 0; i < n; ++i) {
+      if (mask >> i & 1) card *= leaf_card[i];
+    }
+    for (size_t e = 0; e < cl.edges.size(); ++e) {
+      if ((mask >> cl.edges[e].left.leaf & 1) &&
+          (mask >> cl.edges[e].right.leaf & 1)) {
+        card *= edge_sel[e];
+      }
+    }
+    return std::max(card, 0.05);
+  }
+
+  double JoinCost(bool equi, double lc, double rc, double out) const {
+    return equi ? lc + rc + out : lc * rc;
+  }
+};
+
+ClusterModel BuildModel(const JoinCluster& cl, CardinalityEstimator& est) {
+  ClusterModel m;
+  m.n = static_cast<int>(cl.leaves.size());
+  m.adj.resize(m.n);
+  std::vector<const OpEstimate*> le(m.n);
+  m.leaf_card.resize(m.n);
+  for (int i = 0; i < m.n; ++i) {
+    le[i] = &est.Estimate(cl.leaves[i].get());
+    m.leaf_card[i] = le[i]->rows;
+  }
+  for (const auto& s : cl.selects) {
+    m.leaf_card[s.leaf] = std::max(m.leaf_card[s.leaf] * 0.5, 0.05);
+  }
+  for (size_t e = 0; e < cl.edges.size(); ++e) {
+    const auto& ed = cl.edges[e];
+    double sel;
+    if (!ed.equi) {
+      sel = 1.0 / 3.0;
+    } else {
+      double ln = -1, rn = -1;
+      if (auto it = le[ed.left.leaf]->ndv.find(ed.left.col);
+          it != le[ed.left.leaf]->ndv.end()) {
+        ln = it->second;
+      }
+      if (auto it = le[ed.right.leaf]->ndv.find(ed.right.col);
+          it != le[ed.right.leaf]->ndv.end()) {
+        rn = it->second;
+      }
+      double denom = std::max(ln, rn);
+      if (denom <= 0) {
+        denom = std::sqrt(std::max(
+            {le[ed.left.leaf]->rows, le[ed.right.leaf]->rows, 1.0}));
+      }
+      sel = 1.0 / std::max(denom, 1.0);
+    }
+    m.edge_sel.push_back(sel);
+    m.adj[ed.left.leaf].emplace_back(static_cast<int>(e), ed.right.leaf);
+    m.adj[ed.right.leaf].emplace_back(static_cast<int>(e), ed.left.leaf);
+  }
+  return m;
+}
+
+/// Cost of a fixed join shape (with selects already pushed): returns
+/// {output card, cumulative cost}.
+struct TreeCost {
+  double card = 0;
+  double cost = 0;
+};
+
+TreeCost CostShape(const JoinCluster& cl, const ClusterModel& m, int ni,
+                   uint32_t* mask_out) {
+  const JoinCluster::ShapeNode& nd = cl.nodes[ni];
+  if (nd.leaf >= 0) {
+    *mask_out = 1u << nd.leaf;
+    return {m.leaf_card[nd.leaf], 0.0};
+  }
+  uint32_t lm = 0, rm = 0;
+  TreeCost l = CostShape(cl, m, nd.left, &lm);
+  TreeCost r = CostShape(cl, m, nd.right, &rm);
+  uint32_t sm = lm | rm;
+  *mask_out = sm;
+  double card = m.SubsetCard(sm, cl);
+  double cost = l.cost + r.cost +
+                m.JoinCost(cl.edges[nd.edge].equi, l.card, r.card, card);
+  return {card, cost};
+}
+
+/// DPsub over connected subsets of the leaf tree. Every connected
+/// bipartition of a connected subset is crossed by exactly one edge,
+/// so enumerating the edges inside each subset enumerates its splits.
+struct DpChoice {
+  int edge = -1;
+  uint32_t lmask = 0;  // build/left side
+};
+
+struct DpResult {
+  double cost = 0;
+  std::vector<DpChoice> choice;  // per mask
+};
+
+uint32_t Component(const ClusterModel& m, uint32_t mask, int start,
+                   int skip_edge) {
+  uint32_t comp = 1u << start;
+  std::vector<int> stack = {start};
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    for (const auto& [e, o] : m.adj[v]) {
+      if (e == skip_edge) continue;
+      if (!(mask >> o & 1) || (comp >> o & 1)) continue;
+      comp |= 1u << o;
+      stack.push_back(o);
+    }
+  }
+  return comp;
+}
+
+DpResult RunDp(const JoinCluster& cl, const ClusterModel& m) {
+  uint32_t full = (1u << m.n) - 1;
+  std::vector<double> cost(full + 1, -1.0);
+  DpResult res;
+  res.choice.assign(full + 1, {});
+  for (int i = 0; i < m.n; ++i) cost[1u << i] = 0.0;
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if ((mask & (mask - 1)) == 0) continue;  // singleton
+    int first = std::countr_zero(mask);
+    if (Component(m, mask, first, -1) != mask) continue;  // not connected
+    double best = -1.0;
+    DpChoice bc;
+    for (size_t e = 0; e < cl.edges.size(); ++e) {
+      int a = cl.edges[e].left.leaf, b = cl.edges[e].right.leaf;
+      if (!(mask >> a & 1) || !(mask >> b & 1)) continue;
+      uint32_t la = Component(m, mask, a, static_cast<int>(e));
+      uint32_t lb = mask ^ la;
+      if (!(lb >> b & 1)) continue;  // edge not a cut of this subset
+      if (cost[la] < 0 || cost[lb] < 0) continue;
+      double ca = m.SubsetCard(la, cl);
+      double cb = m.SubsetCard(lb, cl);
+      double out = m.SubsetCard(mask, cl);
+      double c = cost[la] + cost[lb] +
+                 m.JoinCost(cl.edges[e].equi, ca, cb, out);
+      // Deterministic orientation: smaller side builds (left); ties
+      // break toward the side holding the edge's original left leaf.
+      uint32_t lmask = ca < cb ? la : cb < ca ? lb : la;
+      if (best < 0 || c < best - 1e-12 ||
+          (std::abs(c - best) <= 1e-12 &&
+           (static_cast<int>(e) < bc.edge ||
+            (static_cast<int>(e) == bc.edge && lmask < bc.lmask)))) {
+        best = c;
+        bc = {static_cast<int>(e), lmask};
+      }
+    }
+    cost[mask] = best;
+    res.choice[mask] = bc;
+  }
+  res.cost = cost[full];
+  return res;
+}
+
+/// Build the replacement subtree for one cluster.
+class ClusterRebuilder {
+ public:
+  ClusterRebuilder(const JoinCluster& cl,
+                   const std::unordered_map<const Op*, alg::Schema>& schemas)
+      : cl_(cl), schemas_(schemas) {
+    used_.resize(cl.leaves.size());
+    for (const auto& [name, ref] : cl.output) Use(ref);
+    for (const auto& e : cl.edges) {
+      Use(e.left);
+      Use(e.right);
+    }
+    for (const auto& s : cl.selects) Use(s);
+  }
+
+  /// Leaf -> rename to the unified jg column space -> pushed selects
+  /// -> optional rank column.
+  OpPtr PrepareLeaf(int i, bool rank) {
+    std::vector<std::pair<std::string, std::string>> proj;
+    for (const auto& col : used_[i]) proj.emplace_back(JgName(i, col), col);
+    OpPtr cur = alg::Project(cl_.leaves[i], std::move(proj));
+    for (const auto& s : cl_.selects) {
+      if (s.leaf == i) cur = alg::Select(cur, JgName(i, s.col));
+    }
+    if (rank) cur = alg::Rank(cur, RankCol(i));
+    return cur;
+  }
+
+  static std::string RankCol(int i) { return JgName(i, "#rank"); }
+
+  OpPtr Join(OpPtr l, OpPtr r, const JoinCluster::Edge& e, bool flipped) {
+    const auto& a = flipped ? e.right : e.left;
+    const auto& b = flipped ? e.left : e.right;
+    std::string ac = JgName(a.leaf, a.col);
+    std::string bc = JgName(b.leaf, b.col);
+    if (e.equi) return alg::EquiJoin(std::move(l), std::move(r), ac, bc);
+    return alg::ThetaJoin(std::move(l), std::move(r), ac, bc,
+                          flipped ? FlipCmp(e.cmp) : e.cmp);
+  }
+
+  /// Original shape, selects pushed (order-preserving: select pushdown
+  /// below a join filters the same rows out of the same left-major
+  /// pair sequence).
+  OpPtr BuildTierA() {
+    std::vector<OpPtr> prepared;
+    for (size_t i = 0; i < cl_.leaves.size(); ++i) {
+      prepared.push_back(PrepareLeaf(static_cast<int>(i), false));
+    }
+    std::function<OpPtr(int)> build = [&](int ni) -> OpPtr {
+      const auto& nd = cl_.nodes[ni];
+      if (nd.leaf >= 0) return prepared[nd.leaf];
+      return Join(build(nd.left), build(nd.right), cl_.edges[nd.edge],
+                  false);
+    };
+    return Finish(build(static_cast<int>(cl_.nodes.size()) - 1));
+  }
+
+  /// DP shape + per-leaf ranks + order-restoring sort.
+  OpPtr BuildTierB(const DpResult& dp) {
+    std::vector<OpPtr> prepared;
+    for (size_t i = 0; i < cl_.leaves.size(); ++i) {
+      prepared.push_back(PrepareLeaf(static_cast<int>(i), true));
+    }
+    std::function<OpPtr(uint32_t)> build = [&](uint32_t mask) -> OpPtr {
+      if ((mask & (mask - 1)) == 0) return prepared[std::countr_zero(mask)];
+      const DpChoice& ch = dp.choice[mask];
+      OpPtr l = build(ch.lmask);
+      OpPtr r = build(mask ^ ch.lmask);
+      const auto& e = cl_.edges[ch.edge];
+      bool flipped = !(ch.lmask >> e.left.leaf & 1);
+      return Join(std::move(l), std::move(r), e, flipped);
+    };
+    uint32_t full = (1u << cl_.leaves.size()) - 1;
+    OpPtr tree = build(full);
+    // Per output row the rank tuple (in original leaf order) is unique,
+    // so this sort totally orders the result — back to the exact
+    // sequence the original left-deep evaluation produces.
+    std::vector<std::string> order;
+    for (size_t i = 0; i < cl_.leaves.size(); ++i) {
+      order.push_back(RankCol(static_cast<int>(i)));
+    }
+    return Finish(alg::Sort(std::move(tree), std::move(order)));
+  }
+
+ private:
+  void Use(const JoinCluster::ColRef& ref) {
+    auto& u = used_[ref.leaf];
+    if (std::find(u.begin(), u.end(), ref.col) == u.end()) {
+      u.push_back(ref.col);
+    }
+  }
+
+  /// Restore the cluster root's exact output schema (names and order).
+  OpPtr Finish(OpPtr cur) {
+    std::vector<std::pair<std::string, std::string>> proj;
+    for (const auto& [name, ref] : cl_.output) {
+      proj.emplace_back(name, JgName(ref.leaf, ref.col));
+    }
+    return alg::Project(std::move(cur), std::move(proj));
+  }
+
+  const JoinCluster& cl_;
+  const std::unordered_map<const Op*, alg::Schema>& schemas_;
+  std::vector<std::vector<std::string>> used_;  // per leaf, ordered
+};
+
+/// Re-stitch the plan, swapping every cluster root for its replacement.
+/// Replacement subtrees are traversed too: a cluster's leaf may itself
+/// be another (multi-consumer) cluster's root.
+OpPtr Stitch(const OpPtr& root,
+             const std::unordered_map<const Op*, OpPtr>& repl) {
+  std::unordered_map<const Op*, OpPtr> memo;
+  std::function<OpPtr(const OpPtr&)> rec = [&](const OpPtr& op) -> OpPtr {
+    auto it = memo.find(op.get());
+    if (it != memo.end()) return it->second;
+    OpPtr target = op;
+    if (auto r = repl.find(op.get()); r != repl.end()) target = r->second;
+    std::vector<OpPtr> kids;
+    bool kid_changed = false;
+    for (const auto& c : target->children) {
+      OpPtr nc = rec(c);
+      kid_changed |= nc.get() != c.get();
+      kids.push_back(std::move(nc));
+    }
+    OpPtr out = target;
+    if (kid_changed) {
+      out = std::make_shared<Op>(*target);
+      out->children = std::move(kids);
+    }
+    memo[op.get()] = out;
+    return out;
+  };
+  return rec(root);
+}
+
+}  // namespace
+
+Result<algebra::OpPtr> IsolateAndReorderJoins(const algebra::OpPtr& root,
+                                              const xml::Database* db,
+                                              JoinOptStats* stats) {
+  // 1. Stats-backed key inference -> distinct removal.
+  alg::KeyAnalysis ka = alg::InferKeys(root, MakeStepUniqueness(db));
+  OpPtr cur = RemoveKeyDistincts(root, ka, stats);
+
+  // 2. Selection pushdown through mapping joins.
+  {
+    SelectPusher sp{stats, {}};
+    PF_ASSIGN_OR_RETURN(cur, sp.Run(std::move(cur)));
+  }
+
+  // 3. Join clusters.
+  std::unordered_map<const Op*, alg::Schema> schemas;
+  PF_RETURN_NOT_OK(alg::InferSchemas(cur, &schemas).status());
+  std::vector<JoinCluster> clusters = CollectJoinClusters(cur, schemas);
+  if (clusters.empty()) return cur;
+
+  CardinalityEstimator est(db);
+  std::unordered_map<const Op*, OpPtr> repl;
+  for (const JoinCluster& cl : clusters) {
+    if (stats != nullptr) stats->join_clusters++;
+    ClusterModel model = BuildModel(cl, est);
+    uint32_t mask = 0;
+    TreeCost orig =
+        CostShape(cl, model, static_cast<int>(cl.nodes.size()) - 1, &mask);
+    DpResult dp = RunDp(cl, model);
+    ClusterRebuilder rb(cl, schemas);
+    // The DP optimum includes the original shape, so dp.cost <=
+    // orig.cost always; reorder only when it wins by >30% even after
+    // paying for the order-restoring sort.
+    double sort_cost =
+        2.0 * model.SubsetCard((1u << model.n) - 1, cl) * model.n;
+    bool reorder = dp.cost >= 0 && dp.cost + sort_cost < 0.7 * orig.cost;
+    if (reorder) {
+      repl[cl.root] = rb.BuildTierB(dp);
+      if (stats != nullptr) {
+        stats->joins_reordered++;
+        stats->selects_pushed += static_cast<int>(cl.selects.size());
+      }
+    } else if (!cl.selects.empty()) {
+      repl[cl.root] = rb.BuildTierA();
+      if (stats != nullptr) {
+        stats->selects_pushed += static_cast<int>(cl.selects.size());
+      }
+    }
+  }
+  if (!repl.empty()) cur = Stitch(cur, repl);
+  PF_RETURN_NOT_OK(alg::ValidatePlan(cur));
+  return cur;
+}
+
+}  // namespace pathfinder::opt

@@ -1,0 +1,58 @@
+#ifndef PATHFINDER_OPT_JOIN_GRAPH_H_
+#define PATHFINDER_OPT_JOIN_GRAPH_H_
+
+#include "algebra/join_pattern.h"
+#include "algebra/op.h"
+#include "base/result.h"
+
+namespace pathfinder::xml {
+class Database;
+}
+
+namespace pathfinder::opt {
+
+/// Counters of the join-graph pass (folded into OptimizeStats).
+struct JoinOptStats {
+  /// Value-join clusters detected (>= 1 join, tree-shaped).
+  int join_clusters = 0;
+  /// Clusters rebuilt with a cost-based order different from the
+  /// query's syntactic join order.
+  int joins_reordered = 0;
+  /// Select predicates pushed below joins onto their source leaf.
+  int selects_pushed = 0;
+  /// `distinct` operators removed because stats-backed key inference
+  /// proved their input duplicate-free.
+  int key_distincts_removed = 0;
+};
+
+/// Build the step-uniqueness oracle over every document currently
+/// registered in `db` (see algebra::StepUniqueness): true only when the
+/// shred-time statistics of *all* documents prove the (axis, test) step
+/// yields at most one node per context node. Null database → null
+/// callback (key inference falls back to structural facts).
+algebra::StepUniqueness MakeStepUniqueness(const xml::Database* db);
+
+/// The join-graph pass:
+///  1. stats-backed key inference removes `distinct` operators whose
+///     input is provably duplicate-free (the existential-semantics
+///     distincts the loop-lifting compiler must emit, which peephole
+///     rules can never remove),
+///  2. every value-join cluster (join_pattern.h) is isolated from the
+///     iteration scaffolding, its selects are pushed onto their source
+///     leaves, and a dynamic program over the cluster's join tree picks
+///     the cheapest order under the DocStats cardinality model
+///     (cost.h). A reordered cluster restores the original row order
+///     through per-leaf kRank columns and a final kSort, so results
+///     stay byte-identical; reordering is only chosen when its
+///     estimated cost (including that sort) beats the original order's
+///     by >30%.
+///
+/// Returns a fresh DAG wherever something fired; untouched subtrees are
+/// shared with the input.
+Result<algebra::OpPtr> IsolateAndReorderJoins(const algebra::OpPtr& root,
+                                              const xml::Database* db,
+                                              JoinOptStats* stats = nullptr);
+
+}  // namespace pathfinder::opt
+
+#endif  // PATHFINDER_OPT_JOIN_GRAPH_H_

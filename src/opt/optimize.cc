@@ -8,6 +8,7 @@
 
 #include "algebra/hash.h"
 #include "algebra/schema.h"
+#include "opt/join_graph.h"
 
 namespace pathfinder::opt {
 
@@ -165,6 +166,17 @@ Result<Required> AnalyzeRequired(
         r.Add(child(0), op->col);
         if (!op->col2.empty()) r.Add(child(0), op->col2);
         break;
+      case OpKind::kSort: {
+        r.AddAll(child(0), R);
+        for (const auto& k : op->order) r.Add(child(0), k);
+        break;
+      }
+      case OpKind::kRank: {
+        ColSet cs = R;
+        cs.erase(op->out);
+        r.AddAll(child(0), cs);
+        break;
+      }
       case OpKind::kSerialize:
         r.Add(child(0), "iter");
         r.Add(child(0), "pos");
@@ -247,12 +259,35 @@ class Optimizer {
       : stats_(stats), opts_(opts) {}
 
   Result<OpPtr> Run(OpPtr cur) {
-    if (stats_) stats_->ops_before = alg::CountOps(cur);
+    if (stats_) {
+      *stats_ = OptimizeStats{};  // a reused struct must not accumulate
+      stats_->ops_before = alg::CountOps(cur);
+    }
     for (int round = 0; round < 8; ++round) {
       if (stats_) stats_->rounds = round + 1;
       changed_ = false;
       PF_ASSIGN_OR_RETURN(cur, Pass(cur));
       if (!changed_) break;
+    }
+    if (opts_.join_opt) {
+      JoinOptStats js;
+      PF_ASSIGN_OR_RETURN(cur, IsolateAndReorderJoins(cur, opts_.db, &js));
+      if (stats_) {
+        stats_->join_clusters = js.join_clusters;
+        stats_->joins_reordered = js.joins_reordered;
+        stats_->selects_pushed = js.selects_pushed;
+        stats_->key_distincts_removed = js.key_distincts_removed;
+      }
+      if (js.joins_reordered > 0 || js.selects_pushed > 0 ||
+          js.key_distincts_removed > 0) {
+        // Clean up the rebuilt regions (fresh rename projections fuse,
+        // unused leaf columns die).
+        for (int round = 0; round < 2; ++round) {
+          changed_ = false;
+          PF_ASSIGN_OR_RETURN(cur, Pass(cur));
+          if (!changed_) break;
+        }
+      }
     }
     if (opts_.cse) {
       CseMerger cse;
@@ -519,6 +554,14 @@ Result<algebra::OpPtr> CseMerge(const algebra::OpPtr& root, int* merges) {
 bool CseDefault() {
   static const bool kOn = [] {
     const char* e = std::getenv("PF_CSE");
+    return e == nullptr || std::string_view(e) != "0";
+  }();
+  return kOn;
+}
+
+bool JoinOptDefault() {
+  static const bool kOn = [] {
+    const char* e = std::getenv("PF_JOINOPT");
     return e == nullptr || std::string_view(e) != "0";
   }();
   return kOn;

@@ -4,8 +4,14 @@
 #include "algebra/op.h"
 #include "base/result.h"
 
+namespace pathfinder::xml {
+class Database;
+}
+
 namespace pathfinder::opt {
 
+/// Counters of one Optimize invocation. Reset at entry, so a reused
+/// struct never carries counts over from a previous plan.
 struct OptimizeStats {
   size_t ops_before = 0;
   size_t ops_after = 0;
@@ -17,6 +23,11 @@ struct OptimizeStats {
   /// CSE (hash-consing) pass.
   int cse_merges = 0;
   int rounds = 0;
+  // Join-graph pass (opt/join_graph.h), zero when join_opt is off.
+  int join_clusters = 0;
+  int joins_reordered = 0;
+  int selects_pushed = 0;
+  int key_distincts_removed = 0;
 };
 
 /// Knobs for a single Optimize invocation.
@@ -26,6 +37,13 @@ struct OptimizeOptions {
   /// shared nodes, so the executor's shared-subplan memoization (and
   /// the subplan-result cache) fires once per distinct computation.
   bool cse = true;
+  /// Run the join-graph pass after the peephole fixpoint: stats-backed
+  /// key inference (redundant-distinct removal) plus join-cluster
+  /// isolation and cost-based join reordering. Needs `db` for document
+  /// statistics; with a null db only structural facts apply and
+  /// reordering is effectively inert.
+  bool join_opt = false;
+  const xml::Database* db = nullptr;
 };
 
 /// Peephole optimizer over the algebra DAG (paper Sec. 2: "This
@@ -63,6 +81,10 @@ Result<algebra::OpPtr> CseMerge(const algebra::OpPtr& root,
 /// Process-wide default for the CSE pass: the PF_CSE environment
 /// variable, read once. Unset or any value but "0" = on.
 bool CseDefault();
+
+/// Process-wide default for the join-graph pass: the PF_JOINOPT
+/// environment variable, read once. Unset or any value but "0" = on.
+bool JoinOptDefault();
 
 }  // namespace pathfinder::opt
 

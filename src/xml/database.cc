@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "xml/parser.h"
+#include "xml/stats.h"
 
 namespace pathfinder::xml {
 
@@ -20,6 +21,10 @@ Database::~Database() {
 }
 
 FragId Database::AddDocument(const std::string& name, Document doc) {
+  // Shred-time statistics: computed before the slot is published, so
+  // every reader that can see the document sees its stats (the cost
+  // model and key inference rely on their immutability).
+  if (doc.stats() == nullptr) doc.set_stats(ComputeDocStats(doc));
   std::lock_guard<std::mutex> lock(mu_);
   size_t n = count_.load(std::memory_order_relaxed);
   assert(n < kMaxChunks * kChunkSize && "document capacity exceeded");

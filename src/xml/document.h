@@ -2,10 +2,12 @@
 #define PATHFINDER_XML_DOCUMENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "base/string_pool.h"
+#include "xml/stats.h"
 
 namespace pathfinder::xml {
 
@@ -75,6 +77,15 @@ class Document {
   /// attributes have size 0. Used by tests and the shredder.
   bool Validate(std::string* error) const;
 
+  /// Shred-time statistics (see xml/stats.h). Null until the document
+  /// is registered: Database::AddDocument computes them before
+  /// publishing the slot, so any document obtained from the store has
+  /// them; immutable afterwards.
+  const DocStats* stats() const { return stats_.get(); }
+  void set_stats(DocStats s) {
+    stats_ = std::make_shared<const DocStats>(std::move(s));
+  }
+
  private:
   friend class TreeBuilder;
 
@@ -83,6 +94,7 @@ class Document {
   std::vector<uint8_t> kind_;
   std::vector<StrId> prop_;
   std::vector<StrId> value_;
+  std::shared_ptr<const DocStats> stats_;
 };
 
 }  // namespace pathfinder::xml

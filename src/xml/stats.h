@@ -1,0 +1,100 @@
+#ifndef PATHFINDER_XML_STATS_H_
+#define PATHFINDER_XML_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/string_pool.h"
+
+namespace pathfinder::xml {
+
+class Document;
+
+/// Shred-time document statistics: tag/level histograms plus the
+/// structural uniqueness facts the cost-based join optimizer needs
+/// (cardinality estimation and key inference over loop-lifted plans).
+///
+/// Computed once per document inside Database::AddDocument, before the
+/// document is published, and immutable afterwards — the optimizer
+/// reads them wait-free through Document::stats(). All string-valued
+/// dimensions are keyed by StrId surrogates of the shared StringPool,
+/// so identical tags/values across documents share keys.
+struct DocStats {
+  uint64_t total_nodes = 0;
+
+  /// Node counts per NodeKind (index by static_cast<size_t>).
+  std::array<uint64_t, 6> kind_counts{};
+
+  /// Nodes per tree level (index = level).
+  std::vector<uint64_t> level_counts;
+
+  struct TagStats {
+    /// Elements carrying this tag.
+    uint64_t count = 0;
+    /// Sum of subtree sizes (size(v) + 1) over those elements — the
+    /// staircase-join selectivity handle from the pre/size encoding.
+    uint64_t subtree_nodes = 0;
+    /// Max direct text-node children over those elements (1 means
+    /// `child::text()` below this tag yields at most one node).
+    uint32_t max_text_children = 0;
+    /// Distinct direct text-child contents (value surrogates).
+    uint64_t distinct_text_values = 0;
+  };
+  /// Per element-tag surrogate.
+  std::unordered_map<StrId, TagStats> tags;
+
+  struct AttrStats {
+    /// Attribute nodes carrying this name.
+    uint64_t count = 0;
+    /// Distinct attribute values (value surrogates).
+    uint64_t distinct_values = 0;
+    /// Max attributes of this name on one owner element (1 for
+    /// well-formed XML; measured, not assumed, so `attribute::name`
+    /// uniqueness never depends on parser leniency).
+    uint32_t max_per_owner = 0;
+  };
+  /// Per attribute-name surrogate.
+  std::unordered_map<StrId, AttrStats> attrs;
+
+  /// Max child-element fan-out per (parent tag, child tag): key
+  /// EdgeKey(P, C) maps to the max number of C-tagged element children
+  /// any single P-tagged parent (or the document node, P = kDocParent)
+  /// has. A value of 1 proves `child::C` preserves per-context
+  /// uniqueness under P.
+  std::unordered_map<uint64_t, uint32_t> max_children;
+
+  /// Pseudo parent-tag for the document node in max_children keys
+  /// (element tags are pool surrogates and never equal this).
+  static constexpr StrId kDocParent = 0xFFFFFFFFu;
+
+  static uint64_t EdgeKey(StrId parent, StrId child) {
+    return (static_cast<uint64_t>(parent) << 32) | child;
+  }
+
+  uint64_t TagCount(StrId tag) const {
+    auto it = tags.find(tag);
+    return it == tags.end() ? 0 : it->second.count;
+  }
+  uint64_t AttrCount(StrId name) const {
+    auto it = attrs.find(name);
+    return it == attrs.end() ? 0 : it->second.count;
+  }
+
+  /// Max C-children per parent over *all* parent tags (including the
+  /// document node). 0 = tag absent, 1 = `child::C` is per-context
+  /// unique everywhere in this document.
+  uint32_t MaxChildrenAnyParent(StrId child_tag) const;
+
+  /// Max direct text children any element of this document has.
+  uint32_t MaxTextChildrenAnyTag() const;
+};
+
+/// One pass over the pre|size|level encoding (O(nodes), stack of open
+/// elements driven by the level column).
+DocStats ComputeDocStats(const Document& doc);
+
+}  // namespace pathfinder::xml
+
+#endif  // PATHFINDER_XML_STATS_H_

@@ -214,7 +214,33 @@ class QueryGen {
     return out;
   }
 
+  /// A two-generator FLWOR whose where clause equi-joins the two
+  /// bindings on attribute values — the value-join shape the join-graph
+  /// pass (PF_JOINOPT) isolates, with optional extra conjuncts that
+  /// compile to post-join selects (pushdown fodder).
+  std::string JoinFlwor() {
+    size_t vars_before = vars_.size();
+    std::string a = FreshVar();
+    std::string b = FreshVar();
+    std::string q = "for $" + a + " in " +
+                    Pick({"//item", "/shop/dept/item"}) + " for $" + b +
+                    " in //order where $" + b + "/@ref = $" + a + "/@sku";
+    if (rng_.Chance(0.5)) {
+      q += " and $" + a + "/@price " + Pick({">", "<", ">=", "="}) + " " +
+           Pick({"2", "5", "30"});
+    }
+    if (rng_.Chance(0.3)) q += " and $" + b + "/@qty > 1";
+    q += " return ";
+    q += Pick({"$" + a + "/@sku", "$" + b + "/@qty",
+               "($" + a + "/@price, $" + b + "/@qty)",
+               "<j>{ $" + a + "/text() }</j>"});
+    vars_.resize(vars_before);
+    return q;
+  }
+
   std::string Flwor() {
+    // A fifth of all FLWORs are explicit two-generator value joins.
+    if (depth_ <= 2 && rng_.Chance(0.2)) return JoinFlwor();
     size_t vars_before = vars_.size();
     // The domain is generated BEFORE the variable becomes visible.
     std::string domain = rng_.Chance(0.5)
@@ -311,8 +337,10 @@ TEST_P(RandomQueryTest, EnginesAgreeOnGeneratedQueries) {
     // the cache/CSE knobs: 7 disables CSE, 8 forces both caches on with
     // a budget small enough to churn (all masks share this Pathfinder,
     // so 8 is served against a cache warmed by earlier masks), 9 pins
-    // both caches off.
-    for (int mask = 0; mask < 10; ++mask) {
+    // both caches off. Masks 10-11 pin the join-graph pass off and on
+    // (overriding the PF_JOINOPT process default): the cost-based join
+    // orderer must be invisible in every serialized byte.
+    for (int mask = 0; mask < 12; ++mask) {
       QueryOptions o;
       o.context_doc = "shop.xml";
       o.join_recognition = mask != 1;
@@ -336,6 +364,10 @@ TEST_P(RandomQueryTest, EnginesAgreeOnGeneratedQueries) {
       if (mask == 9) {
         o.plan_cache = 0;
         o.subplan_cache = 0;
+      }
+      if (mask >= 10) {
+        o.join_opt = mask - 10;
+        o.plan_cache = 0;  // force both variants through the optimizer
       }
       auto pr = pf.Run(q, o);
       ASSERT_TRUE(pr.ok()) << pr.status().ToString() << " mask=" << mask;

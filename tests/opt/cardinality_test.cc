@@ -1,0 +1,193 @@
+// Cardinality-estimator property tests.
+//
+// The join orderer only needs estimates that *rank* join orders, so
+// these tests pin properties, not exact numbers:
+//
+//   1. Estimates are strictly positive for every operator of every
+//      XMark plan (a zero would zero out whole subtree costs).
+//   2. Selection is monotone: est(select(X)) <= est(X), and stacking
+//      selections never increases the estimate.
+//   3. Accuracy, loosely: the q-error between the estimate and the
+//      profiler's measured out_rows on XMark sf 0.01 stays within a
+//      generous bound for most operators. This is a tripwire for
+//      estimator regressions (e.g. losing the document statistics),
+//      not a precision claim.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algebra/op.h"
+#include "api/pathfinder.h"
+#include "bat/item.h"
+#include "engine/profile.h"
+#include "opt/cost.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+#include "xml/database.h"
+
+namespace pathfinder {
+namespace {
+
+xml::Database* Db() {
+  static xml::Database* db = [] {
+    auto* d = new xml::Database();
+    auto doc = xmark::GenerateXMark(0.01, 42, d->pool());
+    if (!doc.ok()) {
+      ADD_FAILURE() << "XMark generation failed: "
+                    << doc.status().ToString();
+      return d;
+    }
+    d->AddDocument("auction.xml", std::move(*doc));
+    return d;
+  }();
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Strict positivity on every XMark plan operator.
+
+class XMarkCardinalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(XMarkCardinalityTest, AllEstimatesPositive) {
+  Pathfinder pf(Db());
+  QueryOptions opts;
+  opts.context_doc = "auction.xml";
+  auto r = pf.Run(xmark::GetXMarkQuery(GetParam()).text, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto cards = opt::EstimatePlanCards(r->plan_opt, Db());
+  EXPECT_GT(cards.size(), 0u);
+  for (const auto& [id, rows] : cards) {
+    EXPECT_GT(rows, 0.0) << "op #" << id << " estimated zero rows";
+    EXPECT_TRUE(std::isfinite(rows)) << "op #" << id << " not finite";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, XMarkCardinalityTest,
+                         ::testing::Range(1, 21));
+
+// ---------------------------------------------------------------------------
+// 2. Monotonicity under selection.
+
+algebra::OpPtr IntTable(int n) {
+  std::vector<std::vector<Item>> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Item{ItemKind::kInt, i},
+                    Item{ItemKind::kBool, i % 2}});
+  }
+  return algebra::LitTable({"a", "b"}, {bat::ColType::kInt,
+                                        bat::ColType::kBool},
+                           std::move(rows));
+}
+
+TEST(CardinalityMonotone, SelectNeverIncreases) {
+  opt::CardinalityEstimator est(Db());
+  algebra::OpPtr base = IntTable(1000);
+  algebra::OpPtr sel1 = algebra::Select(base, "b");
+  algebra::OpPtr sel2 = algebra::Select(sel1, "b");
+  double r0 = est.Estimate(base.get()).rows;
+  double r1 = est.Estimate(sel1.get()).rows;
+  double r2 = est.Estimate(sel2.get()).rows;
+  EXPECT_GT(r0, 0.0);
+  EXPECT_LE(r1, r0);
+  EXPECT_LE(r2, r1);
+  EXPECT_GT(r2, 0.0);  // floored, never zero
+}
+
+TEST(CardinalityMonotone, SelectMonotoneAcrossInputSizes) {
+  opt::CardinalityEstimator est(Db());
+  // The estimator memoizes by Op address, so every plan must stay
+  // alive for the whole comparison.
+  std::vector<algebra::OpPtr> plans;
+  for (int n : {10, 100, 1000, 10000}) {
+    plans.push_back(algebra::Select(IntTable(n), "b"));
+  }
+  double prev = 0.0;
+  for (const auto& p : plans) {
+    double r = est.Estimate(p.get()).rows;
+    EXPECT_GT(r, prev) << "larger input must not shrink the estimate";
+    prev = r;
+  }
+}
+
+TEST(CardinalityMonotone, JoinHelpersBehave) {
+  opt::OpEstimate l, r;
+  l.rows = 1000;
+  r.rows = 500;
+  l.ndv["k"] = 100;
+  r.ndv["k"] = 50;
+  double out = opt::CardinalityEstimator::EquiJoinRows(l, "k", r, "k");
+  EXPECT_GT(out, 0.0);
+  EXPECT_LE(out, l.rows * r.rows);
+  // Known NDV beats the sqrt fallback: same inputs, no NDV.
+  opt::OpEstimate l2 = l, r2 = r;
+  l2.ndv.clear();
+  r2.ndv.clear();
+  double out2 = opt::CardinalityEstimator::EquiJoinRows(l2, "k", r2, "k");
+  EXPECT_GT(out2, 0.0);
+  EXPECT_EQ(opt::CardinalityEstimator::ThetaJoinRows(30, 30), 300.0);
+  EXPECT_GT(opt::CardinalityEstimator::Clamp(0.0), 0.0);
+}
+
+TEST(CardinalityMonotone, NullDatabaseStillPositive) {
+  opt::CardinalityEstimator est(nullptr);
+  algebra::OpPtr p = algebra::Select(IntTable(100), "b");
+  EXPECT_GT(est.Estimate(p.get()).rows, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Q-error against measured out_rows.
+
+void CollectActuals(const engine::OperatorProfile& p,
+                    std::unordered_map<int, int64_t>* out) {
+  // Only materialized, executed operators have trustworthy counts.
+  if (!p.fused && !p.cached && !p.shared_ref && p.out_rows >= 0) {
+    out->emplace(p.op_id, p.out_rows);
+  }
+  for (const auto& c : p.children) CollectActuals(c, out);
+}
+
+TEST(CardinalityAccuracy, QErrorBoundedOnXMark) {
+  std::vector<double> qerrs;
+  for (int qi = 1; qi <= 20; ++qi) {
+    Pathfinder pf(Db());
+    QueryOptions opts;
+    opts.context_doc = "auction.xml";
+    opts.profile = 1;
+    opts.pipeline = 0;  // materialize per-operator row counts
+    opts.num_threads = 1;
+    auto r = pf.Run(xmark::GetXMarkQuery(qi).text, opts);
+    ASSERT_TRUE(r.ok()) << "Q" << qi << ": " << r.status().ToString();
+    ASSERT_NE(r->profile, nullptr);
+    auto cards = opt::EstimatePlanCards(r->plan_opt, Db());
+    std::unordered_map<int, int64_t> actual;
+    CollectActuals(*r->profile, &actual);
+    ASSERT_GT(actual.size(), 0u) << "Q" << qi;
+    for (const auto& [id, act] : actual) {
+      auto it = cards.find(id);
+      if (it == cards.end()) continue;
+      // Tiny intermediates are all noise: a 1-row actual vs. a 40-row
+      // estimate is irrelevant to join ranking. Only score operators
+      // with some mass.
+      if (act < 10) continue;
+      double est = std::max(it->second, 0.05);
+      double q = std::max(est / act, act / est);
+      qerrs.push_back(q);
+    }
+  }
+  ASSERT_GT(qerrs.size(), 50u) << "too few scored operators";
+  std::sort(qerrs.begin(), qerrs.end());
+  double median = qerrs[qerrs.size() / 2];
+  double p90 = qerrs[qerrs.size() * 9 / 10];
+  // Generous tripwires: losing document statistics entirely pushes the
+  // median well past these (sqrt fallbacks on every join).
+  EXPECT_LE(median, 4.0) << "median q-error regressed";
+  EXPECT_LE(p90, 100.0) << "p90 q-error regressed";
+}
+
+}  // namespace
+}  // namespace pathfinder
