@@ -1,0 +1,374 @@
+// Path-summary benchmark & gate: the structural XMark queries (Q1-Q7)
+// with path summaries (PF_PATHSUM) on and off, plus a multi-document
+// corpus scenario where one plan touches several per-document
+// summaries.
+//
+// Hard gates (exit 1), in both full and --smoke mode:
+//   * byte-identity: every query serializes identically with summaries
+//     on and off, at 1, 2, and 7 threads (the machinery must be
+//     invisible in the result bytes);
+//   * counters fire: the pure structural chains collapse to path scans
+//     and the name-test staircase joins prune partitions (per-query
+//     floors below);
+//   * off means off: path_summary=0 keeps all pathsum counters at 0;
+//   * the emitted BENCH_pathsum.json re-reads and parses.
+//
+// Timing gates (full mode only — smoke timings are microseconds of
+// noise): with a warmed plan cache no query may regress past
+// off/on < 0.70, and the geomean over Q1-Q7 must show a measurable win
+// (>= 1.05). The wins concentrate in the chain-heavy queries where a
+// handful of partition lookups replace full staircase scans.
+//
+// Usage:
+//   --smoke   sf 0.002, identity/counters/JSON gates only
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/pathfinder.h"
+#include "bench/bench_util.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+#include "xml/database.h"
+
+namespace pathfinder::bench {
+namespace {
+
+struct PathQuery {
+  std::string name;
+  std::string text;
+  int min_chains = 0;           // opt_stats.structural_answers floor
+  size_t min_structural = 0;    // scj_stats.structural_answers floor
+  size_t min_pruned = 0;        // scj_stats.path_partitions_pruned floor
+};
+
+std::vector<PathQuery> Queries() {
+  std::vector<PathQuery> qs;
+  for (int qn = 1; qn <= 7; ++qn) {
+    PathQuery q;
+    q.name = "Q" + std::to_string(qn);
+    q.text = xmark::GetXMarkQuery(qn).text;
+    // Structure, not scale, determines the floors: Q1-Q6 open with a
+    // pure root-anchored chain of >= 2 steps that collapses to a path
+    // scan; Q7's only chain is the single step /site (not collapsible)
+    // but its three descendant scans prune to tag partitions.
+    if (qn == 7) {
+      q.min_pruned = 1;
+    } else {
+      q.min_chains = 1;
+      q.min_structural = 1;
+    }
+    qs.push_back(std::move(q));
+  }
+  // Pure chain + aggregate: answered from partitions alone.
+  qs.push_back({"C1", "count(/site/regions/africa/item)", 1, 1, 0});
+  qs.push_back({"C2", "/site/open_auctions/open_auction/bidder/increase", 1,
+                1, 0});
+  // Non-root contexts: not rewritable, but the descendant scan prunes.
+  qs.push_back({"P1",
+                "for $a in /site/open_auctions/open_auction "
+                "return count($a//keyword)",
+                1, 1, 1});
+  return qs;
+}
+
+struct QueryReport {
+  std::string name;
+  double on_ms = 0, off_ms = 0;
+  int chains = 0;
+  size_t structural = 0, pruned = 0;
+};
+
+int RunIdentityAndCounters(xml::Database* db,
+                           const std::vector<PathQuery>& queries,
+                           std::vector<QueryReport>* reports) {
+  int failures = 0;
+  for (const PathQuery& q : queries) {
+    Pathfinder pf(db);
+    QueryReport rep;
+    rep.name = q.name;
+    std::string baseline;
+    for (int on : {0, 1}) {
+      for (int threads : {1, 2, 7}) {
+        QueryOptions o;
+        o.context_doc = "auction.xml";
+        o.path_summary = on;
+        o.num_threads = threads;
+        o.plan_cache = 0;    // both variants must pass the optimizer
+        o.subplan_cache = 0;  // counters require real execution, not replay
+        auto r = pf.Run(q.text, o);
+        if (!r.ok()) {
+          std::fprintf(stderr, "FAIL %s pathsum=%d threads=%d: %s\n",
+                       q.name.c_str(), on, threads,
+                       r.status().ToString().c_str());
+          return -1;
+        }
+        auto s = r->Serialize();
+        if (!s.ok()) {
+          std::fprintf(stderr, "FAIL %s: serialize\n", q.name.c_str());
+          return -1;
+        }
+        if (baseline.empty()) {
+          baseline = *s;
+        } else if (*s != baseline) {
+          std::fprintf(stderr,
+                       "FAIL %s: pathsum=%d threads=%d changed the result "
+                       "bytes\n",
+                       q.name.c_str(), on, threads);
+          ++failures;
+        }
+        if (on == 0 && (r->opt_stats.structural_answers != 0 ||
+                        r->scj_stats.structural_answers != 0 ||
+                        r->scj_stats.path_partitions_pruned != 0)) {
+          std::fprintf(stderr,
+                       "FAIL %s: pathsum counters nonzero with summaries "
+                       "off\n",
+                       q.name.c_str());
+          ++failures;
+        }
+        if (on == 1 && threads == 1) {
+          rep.chains = r->opt_stats.structural_answers;
+          rep.structural = r->scj_stats.structural_answers;
+          rep.pruned = r->scj_stats.path_partitions_pruned;
+        }
+      }
+    }
+    if (rep.chains < q.min_chains || rep.structural < q.min_structural ||
+        rep.pruned < q.min_pruned) {
+      std::fprintf(stderr,
+                   "FAIL %s: counters below floor (chains %d/%d, "
+                   "structural %zu/%zu, pruned %zu/%zu)\n",
+                   q.name.c_str(), rep.chains, q.min_chains, rep.structural,
+                   q.min_structural, rep.pruned, q.min_pruned);
+      ++failures;
+    }
+    reports->push_back(std::move(rep));
+  }
+  return failures;
+}
+
+// Registers one XMark instance named corpus<i>.xml; returns false on
+// generation failure.
+bool AddCorpusDoc(double sf, uint64_t seed, int index, xml::Database* db) {
+  auto doc = xmark::GenerateXMark(sf, seed, db->pool());
+  if (!doc.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n",
+                 doc.status().ToString().c_str());
+    return false;
+  }
+  db->AddDocument("corpus" + std::to_string(index) + ".xml",
+                  std::move(*doc));
+  return true;
+}
+
+// Multi-document corpus: three XMark instances under distinct names,
+// one summary each; a single plan crossing all three must consume every
+// summary and stay byte-identical on/off.
+int RunCorpusScenario(double sf, bool smoke, double* on_ms, double* off_ms) {
+  static xml::Database* db = nullptr;
+  if (db == nullptr) {
+    db = new xml::Database();
+    for (int i = 0; i < 3; ++i) {
+      if (!AddCorpusDoc(sf / 2, 100 + i, i, db)) return -1;
+    }
+  }
+  const std::string query =
+      "count(doc(\"corpus0.xml\")/site/regions/africa/item) + "
+      "count(doc(\"corpus1.xml\")/site/regions/asia/item) + "
+      "count(doc(\"corpus2.xml\")//keyword)";
+  Pathfinder pf(db);
+  std::string baseline;
+  for (int on : {0, 1}) {
+    for (int threads : {1, 2, 7}) {
+      QueryOptions o;
+      o.path_summary = on;
+      o.num_threads = threads;
+      o.plan_cache = 0;
+      o.subplan_cache = 0;
+      auto r = pf.Run(query, o);
+      if (!r.ok()) {
+        std::fprintf(stderr, "FAIL corpus pathsum=%d threads=%d: %s\n", on,
+                     threads, r.status().ToString().c_str());
+        return -1;
+      }
+      auto s = r->Serialize();
+      if (!s.ok()) return -1;
+      if (baseline.empty()) {
+        baseline = *s;
+      } else if (*s != baseline) {
+        std::fprintf(stderr,
+                     "FAIL corpus: pathsum=%d threads=%d changed the result "
+                     "bytes\n",
+                     on, threads);
+        return 1;
+      }
+      if (on == 1 && threads == 1 &&
+          r->opt_stats.structural_answers < 2) {
+        std::fprintf(stderr,
+                     "FAIL corpus: expected >= 2 collapsed chains across "
+                     "documents, got %d\n",
+                     r->opt_stats.structural_answers);
+        return 1;
+      }
+    }
+  }
+  int reps = smoke ? 1 : 5;
+  for (int on : {1, 0}) {
+    QueryOptions o;
+    o.path_summary = on;
+    o.num_threads = 1;
+    o.subplan_cache = 0;
+    auto warm = pf.Run(query, o);
+    if (!warm.ok()) return -1;
+    double ms = BestOfMs(reps, [&] {
+      auto r = pf.Run(query, o);
+      if (!r.ok()) std::exit(1);
+    });
+    *(on ? on_ms : off_ms) = ms;
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  double sf = smoke ? 0.002 : ScaleFactors().back();
+  xml::Database* db = XMarkDb(sf);
+  std::vector<PathQuery> queries = Queries();
+
+  std::printf("Path summaries (PF_PATHSUM) on XMark sf %g\n\n", sf);
+  std::printf("%-5s %10s %10s %8s %7s %11s %8s\n", "query", "on", "off",
+              "off/on", "chains", "structural", "pruned");
+
+  std::vector<QueryReport> reports;
+  int failures = RunIdentityAndCounters(db, queries, &reports);
+  if (failures < 0) return 1;
+
+  // Warm-plan timing: plan cache on, so the optimizer cost is paid once
+  // and the comparison is execution of path scans + pruned staircases
+  // vs. full staircase scans.
+  int reps = smoke ? 1 : 5;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const PathQuery& q = queries[i];
+    QueryReport& rep = reports[i];
+    for (int on : {1, 0}) {
+      Pathfinder pf(db);
+      QueryOptions o;
+      o.context_doc = "auction.xml";
+      o.path_summary = on;
+      o.num_threads = 1;
+      o.subplan_cache = 0;  // time the execution, not a cache replay
+      auto warm = pf.Run(q.text, o);  // populate the plan cache
+      if (!warm.ok()) {
+        std::fprintf(stderr, "FAIL %s warmup\n", q.name.c_str());
+        return 1;
+      }
+      double ms = BestOfMs(reps, [&] {
+        auto r = pf.Run(q.text, o);
+        if (!r.ok()) std::exit(1);
+      });
+      (on ? rep.on_ms : rep.off_ms) = ms;
+    }
+    std::printf("%-5s %10s %10s %7.2fx %7d %11zu %8zu\n", rep.name.c_str(),
+                FmtMs(rep.on_ms).c_str(), FmtMs(rep.off_ms).c_str(),
+                rep.on_ms > 0 ? rep.off_ms / rep.on_ms : 0.0, rep.chains,
+                rep.structural, rep.pruned);
+    std::fflush(stdout);
+  }
+
+  double corpus_on = 0, corpus_off = 0;
+  int corpus_rc = RunCorpusScenario(sf, smoke, &corpus_on, &corpus_off);
+  if (corpus_rc < 0) return 1;
+  failures += corpus_rc;
+  std::printf("%-5s %10s %10s %7.2fx   (3-document corpus)\n", "M1",
+              FmtMs(corpus_on).c_str(), FmtMs(corpus_off).c_str(),
+              corpus_on > 0 ? corpus_off / corpus_on : 0.0);
+
+  // Timing gates (full mode): never slower per query, measurable
+  // geomean win over the structural XMark subset Q1-Q7.
+  if (!smoke) {
+    double log_sum = 0;
+    int structural_n = 0;
+    for (const QueryReport& rep : reports) {
+      double ratio = rep.on_ms > 0 ? rep.off_ms / rep.on_ms : 1.0;
+      if (ratio < 0.70) {
+        std::fprintf(stderr, "FAIL %s: summaries-on is %.2fx of off\n",
+                     rep.name.c_str(), ratio);
+        ++failures;
+      }
+      if (rep.name[0] == 'Q') {
+        log_sum += std::log(ratio);
+        ++structural_n;
+      }
+    }
+    double geomean = std::exp(log_sum / structural_n);
+    std::printf("\ngeomean off/on (Q1-Q7): %.3fx\n", geomean);
+    if (geomean < 1.05) {
+      std::fprintf(stderr, "FAIL geomean %.3f < 1.05\n", geomean);
+      ++failures;
+    }
+  }
+
+  // Emit + re-read the JSON report.
+  const char* path = "BENCH_pathsum.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\"sf\": %g, \"queries\": [", sf);
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const QueryReport& r = reports[i];
+    std::fprintf(f,
+                 "%s\n  {\"query\": \"%s\", \"on_ms\": %.3f, \"off_ms\": "
+                 "%.3f, \"ratio\": %.3f, \"chains\": %d, \"structural\": "
+                 "%zu, \"pruned\": %zu}",
+                 i ? "," : "", r.name.c_str(), r.on_ms, r.off_ms,
+                 r.on_ms > 0 ? r.off_ms / r.on_ms : 0.0, r.chains,
+                 r.structural, r.pruned);
+  }
+  std::fprintf(f,
+               "\n], \"corpus\": {\"docs\": 3, \"on_ms\": %.3f, "
+               "\"off_ms\": %.3f}}\n",
+               corpus_on, corpus_off);
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+
+  f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot re-read %s\n", path);
+    return 1;
+  }
+  std::string contents;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, got);
+  }
+  std::fclose(f);
+  if (!ValidJsonDocument(contents)) {
+    std::fprintf(stderr, "%s: emitted JSON does not parse\n", path);
+    return 1;
+  }
+  std::printf("%s parses as valid JSON (%zu bytes)\n", path,
+              contents.size());
+
+  if (failures > 0) {
+    std::fprintf(stderr, "\n%d gate failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("all gates passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathfinder::bench
+
+int main(int argc, char** argv) {
+  return pathfinder::bench::Main(argc, argv);
+}

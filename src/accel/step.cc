@@ -154,12 +154,29 @@ void NaiveStep(const Document& doc, Pre v, Axis axis, const NodeTest& test,
 
 void StaircaseJoin(const Document& doc, const std::vector<Pre>& contexts,
                    Axis axis, const NodeTest& test, std::vector<Pre>* out,
-                   StaircaseStats* stats, ThreadPool* tp) {
+                   StaircaseStats* stats, ThreadPool* tp,
+                   const xml::PathSummary* summary) {
   StaircaseStats local;
   StaircaseStats& st = stats ? *stats : local;
   st.contexts_in += contexts.size();
   if (contexts.empty()) return;
   size_t out_start = out->size();
+
+  // Path-partition pruning: a name test on a region-scanning axis only
+  // ever matches elements with that tag, and the summary's partitions
+  // list exactly those pres in document order. `tag_paths` is non-null
+  // when the pruned variant applies; an *empty* list (tag absent from
+  // the document) still counts as pruned — the scan is skipped whole.
+  static const std::vector<int32_t> kNoPaths;
+  const std::vector<int32_t>* tag_paths = nullptr;
+  if (summary != nullptr && test.kind == NodeTest::Kind::kName &&
+      (axis == Axis::kDescendant || axis == Axis::kDescendantOrSelf ||
+       axis == Axis::kFollowing || axis == Axis::kPreceding)) {
+    tag_paths = summary->ElementPathsByTag(test.name);
+    if (tag_paths == nullptr) tag_paths = &kNoPaths;
+    st.path_partitions_pruned +=
+        summary->num_element_paths() - tag_paths->size();
+  }
 
   switch (axis) {
     case Axis::kSelf: {
@@ -273,6 +290,38 @@ void StaircaseJoin(const Document& doc, const std::vector<Pre>& contexts,
         vs.push_back(v);
         last_end = End(doc, v);
         have_last = true;
+      }
+      if (tag_paths != nullptr) {
+        // Pruned variant: every node with the tested tag inside a
+        // survivor's region is a result, and the tag's partitions hold
+        // exactly those pres — binary-search each partition to the
+        // region and merge. Survivor regions are disjoint and
+        // ascending, so per-survivor emission concatenates in document
+        // order, byte-identical to the full scan.
+        //
+        // Per-survivor cutoff: the gather costs one binary search per
+        // partition of the tag, so for a small region over a
+        // many-partitioned tag (recursive content under a tight loop)
+        // the plain region scan is cheaper. Both emit the identical
+        // ascending sequence for the region, so the choice is local.
+        const size_t gather_floor = 32 * tag_paths->size();
+        size_t scanned = 0;
+        for (Pre v : vs) {
+          Pre hi = End(doc, v);
+          Pre lo = orself ? v : v + 1;
+          if (lo > hi) continue;
+          size_t region = static_cast<size_t>(hi - lo) + 1;
+          if (region >= gather_floor) {
+            scanned += summary->GatherPartitions(*tag_paths, lo, hi, out);
+          } else {
+            for (Pre w = lo; w <= hi; ++w) {
+              if (MatchesTest(doc, w, axis, test)) out->push_back(w);
+            }
+            scanned += region;
+          }
+        }
+        st.nodes_scanned += scanned;
+        break;
       }
       std::vector<size_t> prefix(vs.size() + 1, 0);
       for (size_t i = 0; i < vs.size(); ++i) {
@@ -393,6 +442,13 @@ void StaircaseJoin(const Document& doc, const std::vector<Pre>& contexts,
       for (Pre v : contexts) min_end = std::min(min_end, End(doc, v));
       st.contexts_pruned += contexts.size() - 1;
       Pre first = min_end + 1;
+      if (tag_paths != nullptr) {
+        if (doc.num_nodes() > first) {
+          st.nodes_scanned += summary->GatherPartitions(
+              *tag_paths, first, doc.num_nodes() - 1, out);
+        }
+        break;
+      }
       size_t n = doc.num_nodes() > first
                      ? static_cast<size_t>(doc.num_nodes() - first)
                      : 0;
@@ -421,6 +477,20 @@ void StaircaseJoin(const Document& doc, const std::vector<Pre>& contexts,
       // Dually, preceding of the right-most context covers the union.
       Pre vmax = contexts.back();
       st.contexts_pruned += contexts.size() - 1;
+      if (tag_paths != nullptr) {
+        // Candidates: tag partitions below vmax; the preceding axis
+        // additionally requires the whole subtree to end before vmax
+        // (ancestors of vmax are excluded by the End test).
+        std::vector<Pre> cand;
+        if (vmax > 1) {
+          summary->GatherPartitions(*tag_paths, 1, vmax - 1, &cand);
+        }
+        st.nodes_scanned += cand.size();
+        for (Pre w : cand) {
+          if (End(doc, w) < vmax) out->push_back(w);
+        }
+        break;
+      }
       size_t n = vmax > 1 ? static_cast<size_t>(vmax - 1) : 0;
       if (tp != nullptr && n >= 2 * kScanGrain) {
         // Parallel variant: chunk the [1, vmax) pre range and test

@@ -25,6 +25,15 @@ struct StaircaseStats {
   size_t contexts_pruned = 0;  // removed by the pruning phase
   size_t nodes_scanned = 0;    // encoding rows touched
   size_t results = 0;
+  /// Path-summary consumption (PF_PATHSUM). `path_partitions_pruned`
+  /// counts summary path partitions a name-test scan never fanned out
+  /// to (the non-matching element paths, once per pruned staircase
+  /// call); `structural_answers` counts step evaluations answered
+  /// entirely from the summary's partitions (kPathScan groups) without
+  /// touching the encoding. Both are computed in the serial planning
+  /// phase, so they are identical at every thread count.
+  size_t path_partitions_pruned = 0;
+  size_t structural_answers = 0;
 
   void Reset() { *this = StaircaseStats{}; }
 
@@ -35,6 +44,8 @@ struct StaircaseStats {
     contexts_pruned += o.contexts_pruned;
     nodes_scanned += o.nodes_scanned;
     results += o.results;
+    path_partitions_pruned += o.path_partitions_pruned;
+    structural_answers += o.structural_answers;
   }
 };
 
@@ -61,11 +72,21 @@ struct StaircaseStats {
 /// results and stats are identical to the serial evaluation at every
 /// thread count. Pruning itself stays serial (it is a linear pass over
 /// the context sequence, tiny next to the scans).
+/// With `summary` (the document's path summary, see xml/path_summary.h)
+/// the name-test variants of the region-scanning axes — descendant,
+/// descendant-or-self, following, preceding — skip the encoding scan
+/// entirely: the candidate set is read from the tag's path partitions
+/// (binary-searched to the scan range and merged in document order), so
+/// only rows that can match are ever touched. Results and their order
+/// are identical with and without a summary; only `nodes_scanned`
+/// drops to the candidate count and `path_partitions_pruned` reports
+/// the partitions skipped.
 void StaircaseJoin(const xml::Document& doc,
                    const std::vector<xml::Pre>& contexts, Axis axis,
                    const NodeTest& test, std::vector<xml::Pre>* out,
                    StaircaseStats* stats = nullptr,
-                   ThreadPool* tp = nullptr);
+                   ThreadPool* tp = nullptr,
+                   const xml::PathSummary* summary = nullptr);
 
 }  // namespace pathfinder::accel
 

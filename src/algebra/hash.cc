@@ -100,6 +100,12 @@ uint64_t LocalParamsHash(const Op& op) {
   h = Mix(h, static_cast<uint64_t>(op.axis));
   h = Mix(h, static_cast<uint64_t>(op.test.kind));
   h = Mix(h, op.test.name);
+  h = Mix(h, op.path.size());
+  for (const PathStep& s : op.path) {
+    h = Mix(h, static_cast<uint64_t>(s.axis));
+    h = Mix(h, static_cast<uint64_t>(s.test.kind));
+    h = Mix(h, s.test.name);
+  }
   h = Mix(h, static_cast<uint64_t>(op.fun1));
   h = Mix(h, static_cast<uint64_t>(op.fun2));
   h = Mix(h, static_cast<uint64_t>(op.cmp));
@@ -140,6 +146,14 @@ bool LocalParamsEqual(const Op& a, const Op& b) {
   if (a.axis != b.axis || a.test.kind != b.test.kind ||
       a.test.name != b.test.name) {
     return false;
+  }
+  if (a.path.size() != b.path.size()) return false;
+  for (size_t i = 0; i < a.path.size(); ++i) {
+    if (a.path[i].axis != b.path[i].axis ||
+        a.path[i].test.kind != b.path[i].test.kind ||
+        a.path[i].test.name != b.path[i].test.name) {
+      return false;
+    }
   }
   if (a.fun1 != b.fun1 || a.fun2 != b.fun2 || a.cmp != b.cmp ||
       a.agg != b.agg) {
@@ -227,6 +241,7 @@ size_t ApproxPlanBytes(const OpPtr& root) {
     total += op->order_desc.capacity();
     for (const auto& s : op->names) total += s.capacity() + sizeof(s);
     total += op->types.capacity() * sizeof(bat::ColType);
+    total += op->path.capacity() * sizeof(PathStep);
     for (const auto& row : op->rows) total += row.capacity() * sizeof(Item);
     total += op->children.capacity() * sizeof(OpPtr);
   }

@@ -65,6 +65,8 @@ const char* OpKindName(OpKind k) {
       return "sort";
     case OpKind::kRank:
       return "rank";
+    case OpKind::kPathScan:
+      return "pathscan";
     case OpKind::kSerialize:
       return "serialize";
   }
@@ -305,6 +307,12 @@ OpPtr Step(OpPtr child, accel::Axis axis, accel::NodeTest test) {
 }
 
 OpPtr DocRoot(OpPtr child) { return NewOp(OpKind::kDocRoot, {std::move(child)}); }
+
+OpPtr PathScan(OpPtr child, std::vector<PathStep> path) {
+  auto op = NewOp(OpKind::kPathScan, {std::move(child)});
+  op->path = std::move(path);
+  return op;
+}
 
 OpPtr ElemConstr(OpPtr name, OpPtr content) {
   return NewOp(OpKind::kElemConstr, {std::move(name), std::move(content)});

@@ -40,6 +40,7 @@ enum class OpKind : uint8_t {
   kAttrConstr,     // attribute node construction (static name)
   kSort,           // re-order rows by key columns (join-order restoration)
   kRank,           // append the input row position as an INT column
+  kPathScan,       // structural step chain answered from the path summary
   kSerialize,      // plan root: materialize the (iter,pos,item) result
 };
 
@@ -119,6 +120,12 @@ const char* Fun2Name(Fun2 f);
 struct Op;
 using OpPtr = std::shared_ptr<Op>;
 
+/// One axis step of a kPathScan chain (see the PathScan builder).
+struct PathStep {
+  accel::Axis axis = accel::Axis::kChild;
+  accel::NodeTest test;
+};
+
 /// One node of an algebra plan DAG.
 ///
 /// A deliberately plain struct: all parameter fields live side by side
@@ -145,6 +152,10 @@ struct Op {
   // kStep parameters.
   accel::Axis axis = accel::Axis::kChild;
   accel::NodeTest test;
+
+  // kPathScan: the collapsed step chain, applied in order to the
+  // child's (iter, item) rows.
+  std::vector<PathStep> path;
 
   // Function / comparison / aggregate selectors.
   Fun1 fun1 = Fun1::kNot;
@@ -223,6 +234,13 @@ OpPtr RowNum(OpPtr child, std::string out, std::vector<std::string> part,
              std::vector<uint8_t> order_desc = {});
 OpPtr Step(OpPtr child, accel::Axis axis, accel::NodeTest test);
 OpPtr DocRoot(OpPtr child);
+/// Collapsed chain of purely structural steps over the child's
+/// (iter, item) rows — semantically identical to applying kStep for
+/// each entry of `path` in order, but evaluated in one operator so the
+/// executor can answer it from a document's path summary (and fall
+/// back to successive staircase joins when no summary is available).
+/// Produced only by the opt/ path rewrite; `path` must be non-empty.
+OpPtr PathScan(OpPtr child, std::vector<PathStep> path);
 /// name: (iter, item STR-item) singleton per iter; content: (iter, pos,
 /// item). Result: (iter, item node).
 OpPtr ElemConstr(OpPtr name, OpPtr content);

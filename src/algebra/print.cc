@@ -111,6 +111,12 @@ std::string OpLabel(const Op& op, const StringPool& pool) {
       os << " " << accel::AxisName(op.axis)
          << "::" << op.test.ToString(pool);
       break;
+    case OpKind::kPathScan:
+      for (const PathStep& s : op.path) {
+        os << " /" << accel::AxisName(s.axis)
+           << "::" << s.test.ToString(pool);
+      }
+      break;
     case OpKind::kFun1:
       os << " " << op.out << "=" << Fun1Name(op.fun1) << "(" << op.col
          << ")";

@@ -181,6 +181,15 @@ Result<Schema> InferOne(const Op& op, const std::vector<const Schema*>& cs) {
       s.cols.emplace_back("item", bat::ColType::kItem);
       return s;
     }
+    case OpKind::kPathScan: {
+      PF_RETURN_NOT_OK(require_children(1));
+      PF_RETURN_NOT_OK(RequireSeqCols(op, *cs[0], /*need_pos=*/false));
+      if (op.path.empty()) return Fail(op, "pathscan with empty chain");
+      Schema s;
+      s.cols.emplace_back("iter", bat::ColType::kInt);
+      s.cols.emplace_back("item", bat::ColType::kItem);
+      return s;
+    }
     case OpKind::kDocRoot: {
       PF_RETURN_NOT_OK(require_children(1));
       PF_RETURN_NOT_OK(RequireSeqCols(op, *cs[0], /*need_pos=*/false));

@@ -41,13 +41,14 @@ void IndexProfile(
 /// threads, staircase, profiling, the cache switches themselves —
 /// produce identical plans and share entries.
 std::string KeyFingerprint(const QueryOptions& o, bool cse, bool pipeline,
-                           bool join_opt) {
+                           bool join_opt, bool path_summary) {
   std::string f;
   f += o.join_recognition ? 'j' : '-';
   f += o.optimize ? 'o' : '-';
   f += cse ? 'c' : '-';
   f += pipeline ? 'p' : '-';
   f += join_opt ? 'g' : '-';
+  f += path_summary ? 's' : '-';
   f += '|';
   f += std::to_string(o.context_doc.size());
   f += ':';
@@ -91,6 +92,10 @@ std::string QueryResult::ProfileText() const {
        << opt_stats.joins_reordered << " reordered, "
        << opt_stats.selects_pushed << " selects pushed, "
        << opt_stats.key_distincts_removed << " key distincts removed\n";
+  head << "# pathsum: " << opt_stats.structural_answers
+       << " chains collapsed, " << scj_stats.structural_answers
+       << " structural answers, " << scj_stats.path_partitions_pruned
+       << " partitions pruned\n";
   head << "# cache: plan " << (plan_cache_hit ? "hit" : "miss")
        << ", subplan " << subplan_cache_hits << " hits / "
        << subplan_cache_misses << " misses; resident "
@@ -149,6 +154,14 @@ std::string QueryResult::ProfileJson() const {
   out += std::to_string(opt_stats.selects_pushed);
   out += ", \"key_distincts_removed\": ";
   out += std::to_string(opt_stats.key_distincts_removed);
+  out += ", \"structural_answers\": ";
+  out += std::to_string(opt_stats.structural_answers);
+  out += "}, \"pathsum\": {\"chains_collapsed\": ";
+  out += std::to_string(opt_stats.structural_answers);
+  out += ", \"structural_answers\": ";
+  out += std::to_string(scj_stats.structural_answers);
+  out += ", \"path_partitions_pruned\": ";
+  out += std::to_string(scj_stats.path_partitions_pruned);
   out += "}, \"cache\": {\"plan_hit\": ";
   out += plan_cache_hit ? "true" : "false";
   out += ", \"subplan_hits\": ";
@@ -218,6 +231,12 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
   bool join_opt =
       opts.optimize &&
       (opts.join_opt < 0 ? opt::JoinOptDefault() : opts.join_opt != 0);
+  // Unlike cse/join_opt this is not gated on `optimize`: the staircase
+  // partition pruning and the summary-backed cost model apply to
+  // unoptimized plans too; only the kPathScan rewrite needs the
+  // optimizer.
+  bool path_summary =
+      opts.path_summary < 0 ? opt::PathSumDefault() : opts.path_summary != 0;
   engine::QueryCache* cache = cache_.get();
   if (opts.cache_budget_bytes >= 0) {
     cache->SetBudget(static_cast<size_t>(opts.cache_budget_bytes));
@@ -245,7 +264,9 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
   std::string raw_key, core_key;
   engine::PlanEntryPtr entry;
   if (plan_cache) {
-    raw_key = "r:" + KeyFingerprint(opts, cse, pipeline, join_opt) + query;
+    raw_key = "r:" + KeyFingerprint(opts, cse, pipeline, join_opt,
+                                    path_summary) +
+              query;
     entry = cache->LookupPlan(raw_key);
   }
   if (!entry) {
@@ -253,7 +274,8 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
     if (plan_cache) {
       // Tier 2: a differently spelled query with the same Core shares
       // the entry; remember the raw spelling for next time.
-      core_key = "c:" + KeyFingerprint(opts, cse, pipeline, join_opt) +
+      core_key = "c:" + KeyFingerprint(opts, cse, pipeline, join_opt,
+                                       path_summary) +
                  frontend::CanonicalCoreText(res.core);
       entry = cache->LookupPlan(core_key);
       if (entry) cache->AliasPlan(raw_key, entry);
@@ -276,6 +298,7 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
       opt::OptimizeOptions oopts;
       oopts.cse = cse;
       oopts.join_opt = join_opt;
+      oopts.path_summary = path_summary;
       oopts.db = db_;
       PF_ASSIGN_OR_RETURN(res.plan_opt,
                           opt::Optimize(res.plan, &res.opt_stats, oopts));
@@ -314,6 +337,7 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
 
   res.ctx = std::make_unique<engine::QueryContext>(db_);
   res.ctx->use_staircase = opts.use_staircase;
+  res.ctx->path_summary = path_summary;
   res.ctx->pipeline = pipeline;
   res.ctx->profile =
       opts.profile < 0 ? engine::ProfileDefault() : opts.profile != 0;

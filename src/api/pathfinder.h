@@ -58,6 +58,13 @@ struct QueryOptions {
   /// Results are byte-identical either way (reordered clusters restore
   /// the original row order through rank columns).
   int join_opt = -1;
+  /// Path-summary consumption: collapse purely structural step chains
+  /// into summary-answered kPathScan operators (with `optimize`),
+  /// prune staircase-join scans to the matching tag partitions, and
+  /// use exact path-level selectivities in the cost model. -1 = the
+  /// process default (PF_PATHSUM env var; on unless "0"), 0 = off,
+  /// 1 = on. Results are byte-identical either way.
+  int path_summary = -1;
   /// Cross-query plan cache: repeated query texts (or texts normalizing
   /// to the same Core) skip parse/normalize/compile/optimize and reuse
   /// the annotated plan. -1 = on whenever the cache budget is nonzero

@@ -402,7 +402,8 @@ void AnnotateCacheCandidates(const algebra::OpPtr& root,
   for (alg::Op* op : order) {
     bool p = !IsImpure(op->kind);
     bool d = op->kind == alg::OpKind::kStep ||
-             op->kind == alg::OpKind::kDocRoot;
+             op->kind == alg::OpKind::kDocRoot ||
+             op->kind == alg::OpKind::kPathScan;
     DepSet ds;
     for (const auto& c : op->children) {
       p = p && pure.at(c.get());
@@ -428,7 +429,10 @@ void AnnotateCacheCandidates(const algebra::OpPtr& root,
     op->cache_cand = pure.at(op) && has_doc.at(op);
   };
   for (alg::Op* op : order) {
-    if (op->kind == alg::OpKind::kStep) mark(op);
+    if (op->kind == alg::OpKind::kStep ||
+        op->kind == alg::OpKind::kPathScan) {
+      mark(op);
+    }
     if (!pure.at(op)) {
       for (const auto& c : op->children) mark(c.get());
     }

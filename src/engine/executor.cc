@@ -1168,6 +1168,8 @@ class Exec {
       }
       case OpKind::kStep:
         return EvalStep(op);
+      case OpKind::kPathScan:
+        return EvalPathScan(op);
       case OpKind::kDocRoot: {
         const Table& in = Child(op, 0);
         PF_ASSIGN_OR_RETURN(ColumnPtr iter, in.GetCol("iter"));
@@ -1379,7 +1381,8 @@ class Exec {
                                      ctxs.begin() + g.ctx_end);
       if (ctx_->use_staircase) {
         accel::StaircaseJoin(doc, contexts, op.axis, op.test, results, stats,
-                             inner);
+                             inner,
+                             ctx_->path_summary ? doc.summary() : nullptr);
       } else {
         // Ablation baseline: per-context naive region selection, then
         // an explicit sort + duplicate elimination.
@@ -1436,6 +1439,148 @@ class Exec {
         }
       }
     });
+    Table t;
+    t.AddCol("iter", std::move(out_iter));
+    t.AddCol("item", std::move(out_item));
+    return t;
+  }
+
+  static xml::PathSummary::StepAxis ToSumAxis(accel::Axis a) {
+    switch (a) {
+      case accel::Axis::kDescendant:
+        return xml::PathSummary::StepAxis::kDescendant;
+      case accel::Axis::kDescendantOrSelf:
+        return xml::PathSummary::StepAxis::kDescendantOrSelf;
+      case accel::Axis::kSelf:
+        return xml::PathSummary::StepAxis::kSelf;
+      case accel::Axis::kAttribute:
+        return xml::PathSummary::StepAxis::kAttribute;
+      default:
+        return xml::PathSummary::StepAxis::kChild;
+    }
+  }
+
+  static xml::PathSummary::StepTest ToSumTest(accel::NodeTest::Kind k) {
+    switch (k) {
+      case accel::NodeTest::Kind::kName:
+        return xml::PathSummary::StepTest::kName;
+      case accel::NodeTest::Kind::kElement:
+        return xml::PathSummary::StepTest::kElement;
+      default:
+        return xml::PathSummary::StepTest::kAnyNode;
+    }
+  }
+
+  /// Evaluate a collapsed structural chain (opt/path_rewrite.h). The
+  /// child is the chain's fn:doc access, so each input row is a
+  /// document root; when the document carries a path summary the whole
+  /// chain is resolved on summary paths and the result is read from
+  /// the tag partitions without touching the encoding
+  /// (StaircaseStats::structural_answers). Fragments without a summary
+  /// — or unexpected non-root contexts — fall back to one staircase
+  /// join per chain step: same results, same order.
+  Result<Table> EvalPathScan(const Op& op) {
+    const Table& in = Child(op, 0);
+    PF_ASSIGN_OR_RETURN(ColumnPtr iter_c, in.GetCol("iter"));
+    PF_ASSIGN_OR_RETURN(ColumnPtr item_c, in.GetCol("item"));
+    const auto& iters = iter_c->ints();
+    const auto& items = item_c->items();
+    size_t n = in.rows();
+
+    // Inputs are document roots (a handful of rows per query), so the
+    // grouping and the per-group evaluation run serially; stats
+    // accumulate in group order at every thread count. Grouping logic
+    // matches EvalStep: one group per (iter, fragment) run, consecutive
+    // duplicate contexts dropped.
+    IdxVec perm(n);
+    for (size_t i = 0; i < n; ++i) perm[i] = static_cast<bat::RowIdx>(i);
+    std::sort(perm.begin(), perm.end(), [&](bat::RowIdx a, bat::RowIdx b) {
+      if (iters[a] != iters[b]) return iters[a] < iters[b];
+      return items[a].raw < items[b].raw;
+    });
+    std::vector<StepGroup> groups;
+    std::vector<xml::Pre> ctxs;
+    size_t i = 0;
+    while (i < n) {
+      int64_t iter = iters[perm[i]];
+      size_t j = i;
+      while (j < n && iters[perm[j]] == iter) ++j;
+      size_t k = i;
+      while (k < j) {
+        const Item& first = items[perm[k]];
+        if (!first.IsNode()) {
+          return Status::TypeError("path step applied to an atomic value");
+        }
+        uint32_t frag = first.NodeFrag();
+        size_t begin = ctxs.size();
+        size_t m = k;
+        while (m < j && items[perm[m]].NodeFrag() == frag) {
+          xml::Pre p = items[perm[m]].NodePre();
+          if (ctxs.size() == begin || ctxs.back() != p) ctxs.push_back(p);
+          ++m;
+        }
+        groups.push_back({iter, frag, begin, ctxs.size()});
+        k = m;
+      }
+      i = j;
+    }
+
+    std::vector<std::vector<xml::Pre>> gres(groups.size());
+    for (size_t g = 0; g < groups.size(); ++g) {
+      PF_RETURN_NOT_OK(TokenCheck());
+      const StepGroup& grp = groups[g];
+      const xml::Document& doc = ctx_->doc(grp.frag);
+      const xml::PathSummary* sum =
+          ctx_->path_summary ? doc.summary() : nullptr;
+      std::vector<xml::Pre> contexts(ctxs.begin() + grp.ctx_begin,
+                                     ctxs.begin() + grp.ctx_end);
+      bool root_ctx = contexts.size() == 1 && contexts[0] == 0;
+      if (sum != nullptr && root_ctx && doc.num_nodes() > 0) {
+        std::vector<int32_t> paths = {0};
+        std::vector<int32_t> next;
+        for (const alg::PathStep& s : op.path) {
+          sum->ResolveStep(ToSumAxis(s.axis), ToSumTest(s.test.kind),
+                           s.test.name, paths, &next);
+          paths.swap(next);
+          if (paths.empty()) break;
+        }
+        sum->GatherPartitions(paths, 0, doc.num_nodes() - 1, &gres[g]);
+        ctx_->scj_stats.structural_answers += 1;
+        ctx_->scj_stats.contexts_in += 1;
+        ctx_->scj_stats.results += gres[g].size();
+      } else {
+        std::vector<xml::Pre> cur = std::move(contexts);
+        std::vector<xml::Pre> nxt;
+        for (const alg::PathStep& s : op.path) {
+          nxt.clear();
+          accel::StaircaseJoin(doc, cur, s.axis, s.test, &nxt,
+                               &ctx_->scj_stats, tp(), sum);
+          cur.swap(nxt);
+          if (cur.empty()) break;
+        }
+        gres[g] = std::move(cur);
+      }
+    }
+
+    std::vector<size_t> off(groups.size() + 1, 0);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      off[g + 1] = off[g] + gres[g].size();
+    }
+    auto out_iter = Column::MakeInt(off.back());
+    auto out_item = Column::MakeItem(off.back());
+    out_iter->ints().resize(off.back());
+    out_item->items().resize(off.back());
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const xml::Document& doc = ctx_->doc(groups[g].frag);
+      size_t o = off[g];
+      for (xml::Pre r : gres[g]) {
+        out_iter->ints()[o] = groups[g].iter;
+        out_item->items()[o] = doc.kind(r) == xml::NodeKind::kAttr
+                                   ? Item::Attr(groups[g].frag, r)
+                                   : Item::Node(groups[g].frag, r);
+        ++o;
+      }
+    }
     Table t;
     t.AddCol("iter", std::move(out_iter));
     t.AddCol("item", std::move(out_item));

@@ -178,6 +178,13 @@ class QueryContext {
   /// naive region selection instead of the staircase join.
   bool use_staircase = true;
 
+  /// Consume the documents' path summaries at execution time: staircase
+  /// joins prune their scans to the matching tag partitions, and
+  /// kPathScan operators are answered directly from the summary. Off by
+  /// default; api::Pathfinder sets it from QueryOptions/PF_PATHSUM.
+  /// Result bytes are identical either way.
+  bool path_summary = false;
+
   /// Execute annotated pipeline fragments as fused morsel passes
   /// instead of one materialized BAT per operator. Off by default: the
   /// executor only honors fragments when the plan was annotated (see

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "opt/optimize.h"
 #include "xml/database.h"
 #include "xml/document.h"
 #include "xml/stats.h"
@@ -20,6 +21,39 @@ constexpr double kRowFloor = 0.05;
 double KnownNdv(const OpEstimate& e, const std::string& col) {
   auto it = e.ndv.find(col);
   return it == e.ndv.end() ? -1.0 : it->second;
+}
+
+/// Axes the path summary can resolve exactly (xml/path_summary.h).
+bool StructuralStepAxis(accel::Axis a) {
+  return a == accel::Axis::kChild || a == accel::Axis::kDescendant ||
+         a == accel::Axis::kDescendantOrSelf || a == accel::Axis::kSelf ||
+         a == accel::Axis::kAttribute;
+}
+
+xml::PathSummary::StepAxis SumAxis(accel::Axis a) {
+  switch (a) {
+    case accel::Axis::kDescendant:
+      return xml::PathSummary::StepAxis::kDescendant;
+    case accel::Axis::kDescendantOrSelf:
+      return xml::PathSummary::StepAxis::kDescendantOrSelf;
+    case accel::Axis::kSelf:
+      return xml::PathSummary::StepAxis::kSelf;
+    case accel::Axis::kAttribute:
+      return xml::PathSummary::StepAxis::kAttribute;
+    default:
+      return xml::PathSummary::StepAxis::kChild;
+  }
+}
+
+xml::PathSummary::StepTest SumTest(accel::NodeTest::Kind k) {
+  switch (k) {
+    case accel::NodeTest::Kind::kName:
+      return xml::PathSummary::StepTest::kName;
+    case accel::NodeTest::Kind::kElement:
+      return xml::PathSummary::StepTest::kElement;
+    default:
+      return xml::PathSummary::StepTest::kAnyNode;
+  }
 }
 
 }  // namespace
@@ -50,10 +84,17 @@ double CardinalityEstimator::ThetaJoinRows(double lrows, double rrows) {
   return Clamp(lrows * rrows / 3.0);
 }
 
-CardinalityEstimator::CardinalityEstimator(const xml::Database* db) {
+CardinalityEstimator::CardinalityEstimator(const xml::Database* db,
+                                           int use_path_summary) {
   if (db == nullptr) return;
+  bool use_paths =
+      use_path_summary < 0 ? PathSumDefault() : use_path_summary != 0;
   size_t n = db->num_documents();
   for (size_t i = 0; i < n; ++i) {
+    if (use_paths) {
+      auto sp = db->doc(static_cast<xml::FragId>(i)).shared_summary();
+      if (sp != nullptr) summaries_.push_back(std::move(sp));
+    }
     const xml::DocStats* s = db->doc(static_cast<xml::FragId>(i)).stats();
     if (s == nullptr) continue;
     store_.docs += 1;
@@ -114,6 +155,9 @@ OpEstimate CardinalityEstimator::Compute(const Op* op) {
       for (const auto& [nw, old] : op->proj) {
         if (double n = KnownNdv(c, old); n > 0) e.ndv[nw] = n;
         if (auto t = c.tag.find(old); t != c.tag.end()) e.tag[nw] = t->second;
+        if (auto p = c.paths.find(old); p != c.paths.end()) {
+          e.paths[nw] = p->second;
+        }
       }
       return e;
     }
@@ -161,6 +205,8 @@ OpEstimate CardinalityEstimator::Compute(const Op* op) {
       e.ndv.insert(r.ndv.begin(), r.ndv.end());
       e.tag = l.tag;
       e.tag.insert(r.tag.begin(), r.tag.end());
+      e.paths = l.paths;
+      e.paths.insert(r.paths.begin(), r.paths.end());
       return e;
     }
     case OpKind::kThetaJoin:
@@ -173,6 +219,8 @@ OpEstimate CardinalityEstimator::Compute(const Op* op) {
       e.ndv.insert(r.ndv.begin(), r.ndv.end());
       e.tag = l.tag;
       e.tag.insert(r.tag.begin(), r.tag.end());
+      e.paths = l.paths;
+      e.paths.insert(r.paths.begin(), r.paths.end());
       return e;
     }
     case OpKind::kRowNum:
@@ -306,11 +354,64 @@ OpEstimate CardinalityEstimator::Compute(const Op* op) {
           f = have ? std::max(1.0, cnt / std::max(store_.elems, 1.0)) : 2.0;
           break;
       }
+      // Path-summary refinement (PF_PATHSUM): when the context items
+      // carry path provenance and the step is structural, the fan-out
+      // is the *exact* path-level count ratio — distinct labeled paths
+      // replace the tag-count heuristics above (a `child::item` from
+      // africa-path elements no longer shares its estimate with the
+      // five other region subtrees).
+      const PathProv* prov = nullptr;
+      if (!summaries_.empty()) {
+        if (auto p = c.paths.find("item"); p != c.paths.end()) {
+          prov = &p->second;
+        }
+      }
+      double exact_pop = -1.0;
+      bool prov_exact =
+          StructuralStepAxis(op->axis) &&
+          (op->test.kind == accel::NodeTest::Kind::kName ||
+           op->test.kind == accel::NodeTest::Kind::kElement ||
+           (op->axis == accel::Axis::kAttribute &&
+            op->test.kind == accel::NodeTest::Kind::kAnyKind));
+      if (prov != nullptr && prov_exact) {
+        double in_cnt = 0.0;
+        double out_cnt = 0.0;
+        PathProv out_prov;
+        for (const auto& [sum, pset] : *prov) {
+          in_cnt += static_cast<double>(sum->CountOf(pset));
+          std::vector<int32_t> out_set;
+          sum->ResolveStep(SumAxis(op->axis), SumTest(op->test.kind),
+                           op->test.name, pset, &out_set);
+          out_cnt += static_cast<double>(sum->CountOf(out_set));
+          out_prov.emplace_back(sum, std::move(out_set));
+        }
+        if (in_cnt > 0) {
+          f = out_cnt / in_cnt;
+          exact_pop = out_cnt;
+        }
+        e.paths["item"] = std::move(out_prov);
+      } else if (prov != nullptr && op->axis == accel::Axis::kChild &&
+                 op->test.kind == accel::NodeTest::Kind::kText) {
+        // child::text(): the summary records direct text children per
+        // path, so this fan-out is exact too (no path provenance out —
+        // text nodes have no summary paths).
+        double in_cnt = 0.0;
+        double out_cnt = 0.0;
+        for (const auto& [sum, pset] : *prov) {
+          in_cnt += static_cast<double>(sum->CountOf(pset));
+          out_cnt += static_cast<double>(sum->TextCountOf(pset));
+        }
+        if (in_cnt > 0) {
+          f = out_cnt / in_cnt;
+          exact_pop = out_cnt;
+        }
+      }
       e.rows = Clamp(c.rows * std::max(f, 0.001));
       if (double n = KnownNdv(c, "iter"); n > 0) e.ndv["iter"] = n;
       double item_ndv = value_ndv > 0 ? value_ndv
-                        : have        ? std::max(cnt, 1.0)
-                                      : e.rows;
+                        : exact_pop >= 0 ? std::max(exact_pop, 1.0)
+                        : have           ? std::max(cnt, 1.0)
+                                         : e.rows;
       e.ndv["item"] = item_ndv;
       if (sets_tag) e.tag["item"] = op->test.name;
       return e;
@@ -321,6 +422,83 @@ OpEstimate CardinalityEstimator::Compute(const Op* op) {
       if (double n = KnownNdv(c, "iter"); n > 0) e.ndv["iter"] = n;
       e.ndv["item"] = std::max(store_.docs, 1.0);
       e.tag["item"] = xml::DocStats::kDocParent;
+      if (!summaries_.empty()) {
+        PathProv prov;
+        for (const auto& s : summaries_) {
+          prov.emplace_back(s.get(), std::vector<int32_t>{0});
+        }
+        e.paths["item"] = std::move(prov);
+      }
+      return e;
+    }
+    case OpKind::kPathScan: {
+      const OpEstimate& c = child(0);
+      if (double n = KnownNdv(c, "iter"); n > 0) e.ndv["iter"] = n;
+      const algebra::PathStep& last = op->path.back();
+      // Distinct *values*, when measurable: a chain ending in an
+      // attribute step yields attribute values downstream (joins and
+      // distincts care about value NDV, not node count), exactly like
+      // the kStep case above.
+      double value_ndv = -1.0;
+      if (last.axis == accel::Axis::kAttribute &&
+          last.test.kind == accel::NodeTest::Kind::kName) {
+        if (auto a = store_.attr_ndv.find(last.test.name);
+            a != store_.attr_ndv.end()) {
+          value_ndv = a->second;
+        }
+      }
+      double f = -1.0;
+      if (!summaries_.empty()) {
+        if (auto p = c.paths.find("item"); p != c.paths.end()) {
+          // Resolve the whole chain per summary: output rows are exact
+          // (the operator is *defined* as this resolution).
+          double in_cnt = 0.0;
+          double out_cnt = 0.0;
+          PathProv out_prov;
+          for (const auto& [sum, pset] : p->second) {
+            in_cnt += static_cast<double>(sum->CountOf(pset));
+            std::vector<int32_t> cur = pset;
+            std::vector<int32_t> next;
+            for (const algebra::PathStep& s : op->path) {
+              sum->ResolveStep(SumAxis(s.axis), SumTest(s.test.kind),
+                               s.test.name, cur, &next);
+              cur.swap(next);
+            }
+            out_cnt += static_cast<double>(sum->CountOf(cur));
+            out_prov.emplace_back(sum, std::move(cur));
+          }
+          if (in_cnt > 0) {
+            f = out_cnt / in_cnt;
+            e.ndv["item"] =
+                value_ndv > 0 ? value_ndv : std::max(out_cnt, 1.0);
+          }
+          e.paths["item"] = std::move(out_prov);
+        }
+      }
+      if (f < 0) {
+        // No provenance (summaries off or absent): fall back to the
+        // final test's store-wide population per document, like a
+        // root-anchored descendant step.
+        double cnt;
+        if (last.test.kind == accel::NodeTest::Kind::kName) {
+          cnt = last.axis == accel::Axis::kAttribute
+                    ? store_.AttrCount(last.test.name)
+                    : store_.TagCount(last.test.name);
+        } else {
+          cnt = store_.elems;
+        }
+        f = cnt / std::max(store_.docs, 1.0);
+        if (store_.total_nodes > 0) {
+          e.ndv["item"] =
+              value_ndv > 0 ? value_ndv : std::max(cnt, 1.0);
+        }
+      }
+      e.rows = Clamp(c.rows * std::max(f, 0.001));
+      if (e.ndv.find("item") == e.ndv.end()) e.ndv["item"] = e.rows;
+      if (last.test.kind == accel::NodeTest::Kind::kName &&
+          last.axis != accel::Axis::kAttribute) {
+        e.tag["item"] = last.test.name;
+      }
       return e;
     }
     case OpKind::kElemConstr: {
@@ -346,6 +524,7 @@ OpEstimate CardinalityEstimator::Compute(const Op* op) {
       e = child(0);
       e.ndv.erase(op->out);
       e.tag.erase(op->out);
+      e.paths.erase(op->out);
       // Atomization and casts are value-preserving maps: the output
       // inherits the input column's value distribution.
       if (op->fun1 == algebra::Fun1::kData ||
@@ -359,6 +538,7 @@ OpEstimate CardinalityEstimator::Compute(const Op* op) {
       e = child(0);
       e.ndv.erase(op->out);
       e.tag.erase(op->out);
+      e.paths.erase(op->out);
       return e;
     }
     case OpKind::kAggr: {
@@ -374,8 +554,9 @@ OpEstimate CardinalityEstimator::Compute(const Op* op) {
 }
 
 std::unordered_map<int, double> EstimatePlanCards(const algebra::OpPtr& root,
-                                                  const xml::Database* db) {
-  CardinalityEstimator est(db);
+                                                  const xml::Database* db,
+                                                  int use_path_summary) {
+  CardinalityEstimator est(db, use_path_summary);
   std::unordered_map<int, double> out;
   for (Op* op : algebra::TopoOrder(root)) {
     out[op->id] = est.Estimate(op).rows;

@@ -1,17 +1,29 @@
 #ifndef PATHFINDER_OPT_COST_H_
 #define PATHFINDER_OPT_COST_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "algebra/op.h"
 #include "base/string_pool.h"
+#include "xml/path_summary.h"
 
 namespace pathfinder::xml {
 class Database;
 }
 
 namespace pathfinder::opt {
+
+/// Path-summary provenance of a node-valued column: for each document
+/// (identified by its path summary), the summary path ids the column's
+/// nodes may occupy. Steps over a column with provenance get *exact*
+/// path-level fan-outs (CountOf ratios) instead of tag-count
+/// heuristics. An absent entry means "unknown" — never "empty".
+using PathProv =
+    std::vector<std::pair<const xml::PathSummary*, std::vector<int32_t>>>;
 
 /// Cardinality estimate for one plan operator's output.
 ///
@@ -26,6 +38,10 @@ struct OpEstimate {
   double rows = 1.0;
   std::unordered_map<std::string, double> ndv;
   std::unordered_map<std::string, StrId> tag;
+  /// Path-set provenance per node-valued column (see PathProv). Only
+  /// present when the estimator runs with path summaries enabled and
+  /// the column derives from fn:doc through structural steps.
+  std::unordered_map<std::string, PathProv> paths;
 };
 
 /// Store-wide aggregation of per-document DocStats (sums for counts
@@ -66,8 +82,11 @@ struct StoreAgg {
 class CardinalityEstimator {
  public:
   /// `db` may be null: structural rules still apply, document-derived
-  /// fan-outs fall back to neutral constants.
-  explicit CardinalityEstimator(const xml::Database* db);
+  /// fan-outs fall back to neutral constants. `use_path_summary`
+  /// controls the exact path-level selectivities: -1 = process default
+  /// (PF_PATHSUM, see opt::PathSumDefault), 0 = off, 1 = on.
+  explicit CardinalityEstimator(const xml::Database* db,
+                                int use_path_summary = -1);
 
   const OpEstimate& Estimate(const algebra::Op* op);
 
@@ -89,14 +108,20 @@ class CardinalityEstimator {
   OpEstimate Compute(const algebra::Op* op);
 
   StoreAgg store_;
+  /// Per-document path summaries, kept alive for the estimator's
+  /// lifetime (PathProv stores raw pointers into this vector). Empty
+  /// when path-summary selectivities are disabled.
+  std::vector<std::shared_ptr<const xml::PathSummary>> summaries_;
   std::unordered_map<const algebra::Op*, OpEstimate> memo_;
 };
 
 /// Estimate every operator of the plan; keyed by Op::id (matching the
 /// per-operator `out_rows` the profiler reports, so estimates and
-/// actuals can be joined in tests).
+/// actuals can be joined in tests). `use_path_summary` is forwarded to
+/// the CardinalityEstimator (-1 = process default PF_PATHSUM).
 std::unordered_map<int, double> EstimatePlanCards(const algebra::OpPtr& root,
-                                                  const xml::Database* db);
+                                                  const xml::Database* db,
+                                                  int use_path_summary = -1);
 
 }  // namespace pathfinder::opt
 

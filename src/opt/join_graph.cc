@@ -819,7 +819,8 @@ OpPtr Stitch(const OpPtr& root,
 
 Result<algebra::OpPtr> IsolateAndReorderJoins(const algebra::OpPtr& root,
                                               const xml::Database* db,
-                                              JoinOptStats* stats) {
+                                              JoinOptStats* stats,
+                                              int use_path_summary) {
   // 1. Stats-backed key inference -> distinct removal.
   alg::KeyAnalysis ka = alg::InferKeys(root, MakeStepUniqueness(db));
   OpPtr cur = RemoveKeyDistincts(root, ka, stats);
@@ -836,7 +837,7 @@ Result<algebra::OpPtr> IsolateAndReorderJoins(const algebra::OpPtr& root,
   std::vector<JoinCluster> clusters = CollectJoinClusters(cur, schemas);
   if (clusters.empty()) return cur;
 
-  CardinalityEstimator est(db);
+  CardinalityEstimator est(db, use_path_summary);
   std::unordered_map<const Op*, OpPtr> repl;
   for (const JoinCluster& cl : clusters) {
     if (stats != nullptr) stats->join_clusters++;

@@ -49,9 +49,12 @@ algebra::StepUniqueness MakeStepUniqueness(const xml::Database* db);
 ///
 /// Returns a fresh DAG wherever something fired; untouched subtrees are
 /// shared with the input.
+/// `use_path_summary` is forwarded to the CardinalityEstimator
+/// (-1 = process default PF_PATHSUM, 0 = off, 1 = on).
 Result<algebra::OpPtr> IsolateAndReorderJoins(const algebra::OpPtr& root,
                                               const xml::Database* db,
-                                              JoinOptStats* stats = nullptr);
+                                              JoinOptStats* stats = nullptr,
+                                              int use_path_summary = -1);
 
 }  // namespace pathfinder::opt
 

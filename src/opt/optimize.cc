@@ -9,6 +9,7 @@
 #include "algebra/hash.h"
 #include "algebra/schema.h"
 #include "opt/join_graph.h"
+#include "opt/path_rewrite.h"
 
 namespace pathfinder::opt {
 
@@ -124,6 +125,7 @@ Result<Required> AnalyzeRequired(
       }
       case OpKind::kStep:
       case OpKind::kDocRoot:
+      case OpKind::kPathScan:
         r.Add(child(0), "iter");
         r.Add(child(0), "item");
         break;
@@ -269,9 +271,29 @@ class Optimizer {
       PF_ASSIGN_OR_RETURN(cur, Pass(cur));
       if (!changed_) break;
     }
+    if (opts_.path_summary) {
+      // After the fixpoint (step chains are now in their canonical
+      // scjoin/rownum/project shape) and before the join pass (so the
+      // collapsed chains participate in join costing as single cheap
+      // operators).
+      PathRewriteStats ps;
+      PF_ASSIGN_OR_RETURN(cur, RewritePathChains(cur, &ps));
+      if (stats_) stats_->structural_answers = ps.chains_collapsed;
+      if (ps.chains_collapsed > 0) {
+        // The plumbing between collapsed links is now dead; let the
+        // peephole clean it up.
+        for (int round = 0; round < 2; ++round) {
+          changed_ = false;
+          PF_ASSIGN_OR_RETURN(cur, Pass(cur));
+          if (!changed_) break;
+        }
+      }
+    }
     if (opts_.join_opt) {
       JoinOptStats js;
-      PF_ASSIGN_OR_RETURN(cur, IsolateAndReorderJoins(cur, opts_.db, &js));
+      PF_ASSIGN_OR_RETURN(
+          cur, IsolateAndReorderJoins(cur, opts_.db, &js,
+                                      opts_.path_summary ? 1 : 0));
       if (stats_) {
         stats_->join_clusters = js.join_clusters;
         stats_->joins_reordered = js.joins_reordered;
@@ -492,8 +514,9 @@ class Optimizer {
           cur = cur->children[0].get();
           break;
         }
-        case OpKind::kStep: {
-          // Step emits the set {(iter, item)}.
+        case OpKind::kStep:
+        case OpKind::kPathScan: {
+          // Both emit the duplicate-free set {(iter, item)}.
           std::set<std::string> ks(keys.begin(), keys.end());
           return ks == std::set<std::string>{"iter", "item"};
         }
@@ -562,6 +585,14 @@ bool CseDefault() {
 bool JoinOptDefault() {
   static const bool kOn = [] {
     const char* e = std::getenv("PF_JOINOPT");
+    return e == nullptr || std::string_view(e) != "0";
+  }();
+  return kOn;
+}
+
+bool PathSumDefault() {
+  static const bool kOn = [] {
+    const char* e = std::getenv("PF_PATHSUM");
     return e == nullptr || std::string_view(e) != "0";
   }();
   return kOn;

@@ -28,6 +28,9 @@ struct OptimizeStats {
   int joins_reordered = 0;
   int selects_pushed = 0;
   int key_distincts_removed = 0;
+  /// Structural step chains collapsed into kPathScan operators by the
+  /// path rewrite (opt/path_rewrite.h); zero when path_summary is off.
+  int structural_answers = 0;
 };
 
 /// Knobs for a single Optimize invocation.
@@ -43,6 +46,11 @@ struct OptimizeOptions {
   /// statistics; with a null db only structural facts apply and
   /// reordering is effectively inert.
   bool join_opt = false;
+  /// Run the path rewrite after the peephole fixpoint: collapse purely
+  /// structural step chains rooted at fn:doc into kPathScan operators
+  /// the executor answers from the documents' path summaries
+  /// (opt/path_rewrite.h).
+  bool path_summary = false;
   const xml::Database* db = nullptr;
 };
 
@@ -85,6 +93,12 @@ bool CseDefault();
 /// Process-wide default for the join-graph pass: the PF_JOINOPT
 /// environment variable, read once. Unset or any value but "0" = on.
 bool JoinOptDefault();
+
+/// Process-wide default for path-summary consumption (the path rewrite,
+/// staircase partition pruning, and summary-backed cardinalities): the
+/// PF_PATHSUM environment variable, read once. Unset or any value but
+/// "0" = on.
+bool PathSumDefault();
 
 }  // namespace pathfinder::opt
 

@@ -1,0 +1,38 @@
+#ifndef PATHFINDER_OPT_PATH_REWRITE_H_
+#define PATHFINDER_OPT_PATH_REWRITE_H_
+
+#include "algebra/op.h"
+#include "base/result.h"
+
+namespace pathfinder::opt {
+
+struct PathRewriteStats {
+  /// Step chains collapsed into kPathScan operators.
+  int chains_collapsed = 0;
+};
+
+/// Collapse maximal chains of purely *structural* axis steps rooted at
+/// a document access into single kPathScan operators, so the executor
+/// can answer them directly from the document's path summary
+/// (xml/path_summary.h) instead of running one staircase join per step.
+///
+/// A chain is matched top-down from its outermost kStep: each link must
+/// be a step over a structural axis (child, descendant,
+/// descendant-or-self, self, attribute) with an element-shaped node
+/// test (name, element, or — for non-final links only — any-kind),
+/// separated from the next link by row-shape-preserving plumbing
+/// (identity iter/item projections, rownum/rank/attach/sort), and the
+/// innermost link's context must be a kDocRoot. Chains shorter than
+/// two steps are left alone (the staircase join's own partition pruning
+/// already covers single steps).
+///
+/// The rewrite is purely structural — it needs no statistics and no
+/// database — and preserves results exactly: kPathScan is defined as
+/// the composition of its steps. Returns a fresh DAG where chains were
+/// collapsed; untouched subtrees are shared with the input.
+Result<algebra::OpPtr> RewritePathChains(const algebra::OpPtr& root,
+                                         PathRewriteStats* stats = nullptr);
+
+}  // namespace pathfinder::opt
+
+#endif  // PATHFINDER_OPT_PATH_REWRITE_H_

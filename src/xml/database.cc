@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "xml/parser.h"
+#include "xml/path_summary.h"
 #include "xml/stats.h"
 
 namespace pathfinder::xml {
@@ -25,6 +26,11 @@ FragId Database::AddDocument(const std::string& name, Document doc) {
   // every reader that can see the document sees its stats (the cost
   // model and key inference rely on their immutability).
   if (doc.stats() == nullptr) doc.set_stats(ComputeDocStats(doc));
+  // Path summary + partitioned node index: built unconditionally (it is
+  // a few percent of the encoding) so per-query PF_PATHSUM gating only
+  // switches *consumption*, never storage — on/off runs read the same
+  // immutable document.
+  if (doc.summary() == nullptr) doc.set_summary(BuildPathSummary(doc));
   std::lock_guard<std::mutex> lock(mu_);
   size_t n = count_.load(std::memory_order_relaxed);
   assert(n < kMaxChunks * kChunkSize && "document capacity exceeded");

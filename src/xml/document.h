@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "base/string_pool.h"
+#include "xml/path_summary.h"
 #include "xml/stats.h"
 
 namespace pathfinder::xml {
@@ -86,6 +87,18 @@ class Document {
     stats_ = std::make_shared<const DocStats>(std::move(s));
   }
 
+  /// Path summary + path-partitioned node index (xml/path_summary.h).
+  /// Like stats(): null until registration — Database::AddDocument
+  /// builds it before publishing the slot — and immutable afterwards.
+  /// Constructed fragments (ε/τ results) never have one.
+  const PathSummary* summary() const { return summary_.get(); }
+  std::shared_ptr<const PathSummary> shared_summary() const {
+    return summary_;
+  }
+  void set_summary(PathSummary s) {
+    summary_ = std::make_shared<const PathSummary>(std::move(s));
+  }
+
  private:
   friend class TreeBuilder;
 
@@ -95,6 +108,7 @@ class Document {
   std::vector<StrId> prop_;
   std::vector<StrId> value_;
   std::shared_ptr<const DocStats> stats_;
+  std::shared_ptr<const PathSummary> summary_;
 };
 
 }  // namespace pathfinder::xml

@@ -224,6 +224,53 @@ TEST(ProfileTest, FusedInteriorsAttributeToFragmentTail) {
   EXPECT_TRUE(saw_tail);
 }
 
+TEST(ProfileTest, PathSummaryCountersAreExact) {
+  Pathfinder pf(ShopDb());
+  QueryOptions o;
+  o.context_doc = "shop.xml";
+  o.profile = 1;
+  o.num_threads = 1;
+  o.plan_cache = 0;
+  o.subplan_cache = 0;
+  o.path_summary = 1;
+  const std::string q =
+      "for $d in /shop/dept return count($d/descendant::item)";
+  auto r = pf.Run(q, o);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The /shop/dept chain collapses to one path scan, answered from
+  // partitions alone...
+  EXPECT_EQ(r->opt_stats.structural_answers, 1);
+  EXPECT_EQ(r->scj_stats.structural_answers, 1u);
+  // ...and descendant::item scans only the item partition: 5 of the 6
+  // element paths (/shop, dept, item, item/note, orders, orders/order)
+  // are pruned from each of the two staircase calls (one per $d
+  // iteration group).
+  EXPECT_EQ(r->scj_stats.path_partitions_pruned, 10u);
+
+  const std::string text = r->ProfileText();
+  EXPECT_NE(text.find("# pathsum: 1 chains collapsed, 1 structural answers, "
+                      "10 partitions pruned"),
+            std::string::npos)
+      << text;
+  const std::string json = r->ProfileJson();
+  EXPECT_NE(json.find("\"pathsum\": {\"chains_collapsed\": 1"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"structural_answers\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"path_partitions_pruned\": 10"), std::string::npos)
+      << json;
+
+  // Off: every path-summary counter reports zero.
+  o.path_summary = 0;
+  auto r0 = pf.Run(q, o);
+  ASSERT_TRUE(r0.ok()) << r0.status().ToString();
+  EXPECT_EQ(r0->opt_stats.structural_answers, 0);
+  EXPECT_EQ(r0->scj_stats.structural_answers, 0u);
+  EXPECT_EQ(r0->scj_stats.path_partitions_pruned, 0u);
+  EXPECT_NE(r0->ProfileText().find("# pathsum: 0 chains collapsed"),
+            std::string::npos);
+}
+
 TEST(ProfileTest, RenderingsAreWellFormed) {
   Pathfinder pf(ShopDb());
   QueryOptions o;

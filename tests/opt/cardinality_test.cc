@@ -151,7 +151,16 @@ void CollectActuals(const engine::OperatorProfile& p,
   for (const auto& c : p.children) CollectActuals(c, out);
 }
 
-TEST(CardinalityAccuracy, QErrorBoundedOnXMark) {
+struct QErrorQuantiles {
+  double median = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+};
+
+// Run all XMark queries with `path_summary` (-1 = process default) and
+// score estimated vs. measured out_rows across every materialized
+// operator of every plan.
+QErrorQuantiles MeasureQError(int path_summary) {
   std::vector<double> qerrs;
   for (int qi = 1; qi <= 20; ++qi) {
     Pathfinder pf(Db());
@@ -160,13 +169,16 @@ TEST(CardinalityAccuracy, QErrorBoundedOnXMark) {
     opts.profile = 1;
     opts.pipeline = 0;  // materialize per-operator row counts
     opts.num_threads = 1;
+    opts.path_summary = path_summary;
+    opts.plan_cache = 0;  // the plan must match the estimated mode
+    opts.subplan_cache = 0;
     auto r = pf.Run(xmark::GetXMarkQuery(qi).text, opts);
-    ASSERT_TRUE(r.ok()) << "Q" << qi << ": " << r.status().ToString();
-    ASSERT_NE(r->profile, nullptr);
-    auto cards = opt::EstimatePlanCards(r->plan_opt, Db());
+    EXPECT_TRUE(r.ok()) << "Q" << qi << ": " << r.status().ToString();
+    if (!r.ok() || r->profile == nullptr) continue;
+    auto cards = opt::EstimatePlanCards(r->plan_opt, Db(), path_summary);
     std::unordered_map<int, int64_t> actual;
     CollectActuals(*r->profile, &actual);
-    ASSERT_GT(actual.size(), 0u) << "Q" << qi;
+    EXPECT_GT(actual.size(), 0u) << "Q" << qi;
     for (const auto& [id, act] : actual) {
       auto it = cards.find(id);
       if (it == cards.end()) continue;
@@ -179,14 +191,38 @@ TEST(CardinalityAccuracy, QErrorBoundedOnXMark) {
       qerrs.push_back(q);
     }
   }
-  ASSERT_GT(qerrs.size(), 50u) << "too few scored operators";
+  EXPECT_GT(qerrs.size(), 50u) << "too few scored operators";
   std::sort(qerrs.begin(), qerrs.end());
-  double median = qerrs[qerrs.size() / 2];
-  double p90 = qerrs[qerrs.size() * 9 / 10];
-  // Generous tripwires: losing document statistics entirely pushes the
-  // median well past these (sqrt fallbacks on every join).
-  EXPECT_LE(median, 4.0) << "median q-error regressed";
-  EXPECT_LE(p90, 100.0) << "p90 q-error regressed";
+  QErrorQuantiles out;
+  if (qerrs.empty()) return out;
+  out.median = qerrs[qerrs.size() / 2];
+  out.p90 = qerrs[qerrs.size() * 9 / 10];
+  out.p95 = qerrs[qerrs.size() * 95 / 100];
+  return out;
+}
+
+TEST(CardinalityAccuracy, QErrorBoundedOnXMark) {
+  // Process default: holds with path summaries on or off, so the gate
+  // protects both CI lanes. Measured on sf 0.01 / seed 42:
+  // median 1.12 / p90 2.87 (off), median 1.03 / p90 2.49 (on).
+  QErrorQuantiles q = MeasureQError(-1);
+  EXPECT_LE(q.median, 2.0) << "median q-error regressed";
+  EXPECT_LE(q.p90, 8.0) << "p90 q-error regressed";
+}
+
+TEST(CardinalityAccuracy, PathSummariesTightenEstimates) {
+  // With path summaries the structural steps are exact, so the gates
+  // tighten well past what tag-count heuristics can reach — and the
+  // summary-backed estimator must never score worse than the heuristic
+  // one on the same workload.
+  QErrorQuantiles on = MeasureQError(1);
+  EXPECT_LE(on.median, 1.5) << "path-summary median q-error regressed";
+  EXPECT_LE(on.p90, 4.0) << "path-summary p90 q-error regressed";
+  EXPECT_LE(on.p95, 5.0) << "path-summary p95 q-error regressed";
+  QErrorQuantiles off = MeasureQError(0);
+  EXPECT_LE(on.median, off.median + 1e-9)
+      << "summaries made the median q-error worse";
+  EXPECT_LE(on.p90, off.p90 + 1e-9) << "summaries made the p90 q-error worse";
 }
 
 }  // namespace
