@@ -199,6 +199,15 @@ struct Op {
   // ignore both fields, like all execution annotations.
   std::vector<std::string> cache_docs;
   bool cache_docs_unknown = false;
+
+  // True iff no operator in this subtree can read a node's *value*
+  // (atomization, string functions, aggregates, theta-join compares,
+  // serialization): the subtree's result is a function of document
+  // structure alone. Set by AnnotateCacheCandidates alongside the
+  // dependency sets; the cache repairs such entries across content-only
+  // document updates instead of evicting them. Ignored by structural
+  // hash/equality like all execution annotations.
+  bool cache_value_free = false;
 };
 
 /// Number of distinct operator nodes in the DAG under `root`

@@ -254,10 +254,14 @@ Result<QueryResult> Pathfinder::Run(const std::string& query,
   uint64_t cache_generation = 0;
   if (plan_cache || subplan_cache) {
     // Per-document invalidation: drops exactly the entries depending
-    // on a document name whose registration version changed since the
-    // cache last saw the store; entries over untouched documents stay.
+    // on a document name whose version changed since the cache last
+    // saw the store; entries over untouched documents stay, and with
+    // cache_repair on, content-only updates evict nothing — plan
+    // entries survive and value-free subplan entries are repaired.
+    bool repair = opts.cache_repair < 0 ? engine::CacheRepairDefault()
+                                        : opts.cache_repair != 0;
     xml::Database::DocVersions v = db_->Versions();
-    cache->BeginQuery(v.generation, v.docs);
+    cache->BeginQuery(v.generation, v.docs, repair);
     cache_generation = v.generation;
   }
 

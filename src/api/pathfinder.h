@@ -76,6 +76,14 @@ struct QueryOptions {
   /// queries against the unchanged database. Same -1/0/1 convention and
   /// budget gate as `plan_cache`. Results are identical.
   int subplan_cache = -1;
+  /// Incremental cache repair across content-only document updates
+  /// (xml::ApplyUpdate leaf replace-value): plan entries survive, and
+  /// value-free subplan entries are repaired in place instead of
+  /// evicted (see engine::QueryCache::BeginQuery). -1 = the process
+  /// default (PF_CACHE_REPAIR env var; on unless "0"), 0 = treat every
+  /// update as structural (evict), 1 = on. Results are identical
+  /// either way.
+  int cache_repair = -1;
   /// Override the shared cache byte budget for this Pathfinder before
   /// running (-1 = leave as is; 0 = drop everything and disable).
   /// Evicts immediately if lowered.

@@ -33,6 +33,46 @@ bool LowerDensity(int64_t a_cost, size_t a_bytes, int64_t b_cost,
          static_cast<unsigned __int128>(b_cost) * a_bytes;
 }
 
+/// Re-point every cached node item whose fragment id appears in `remap`
+/// at the corresponding updated snapshot. Columns reachable from a
+/// Table are immutable by convention (in-flight queries and other
+/// cached tables may share them), so a touched column is replaced by a
+/// fresh one; untouched columns stay shared.
+void RemapTableFrags(bat::Table* t,
+                     const std::unordered_map<uint32_t, uint32_t>& remap) {
+  for (size_t i = 0; i < t->num_cols(); ++i) {
+    const bat::ColumnPtr& c = t->col(i);
+    if (c == nullptr || c->type() != bat::ColType::kItem) continue;
+    const std::vector<Item>& in = c->items();
+    bool touched = false;
+    for (const Item& item : in) {
+      if (item.IsNode() && remap.count(item.NodeFrag())) {
+        touched = true;
+        break;
+      }
+    }
+    if (!touched) continue;
+    auto fresh = bat::Column::MakeItem(in.size());
+    std::vector<Item>& out = fresh->items();
+    for (const Item& item : in) {
+      if (item.IsNode()) {
+        auto rit = remap.find(item.NodeFrag());
+        if (rit != remap.end()) {
+          // Content-only updates keep pre ranks bit-identical, so only
+          // the frag half of the payload moves; the item kind (element
+          // vs attribute reference) is preserved.
+          out.push_back(item.kind == ItemKind::kAttr
+                            ? Item::Attr(rit->second, item.NodePre())
+                            : Item::Node(rit->second, item.NodePre()));
+          continue;
+        }
+      }
+      out.push_back(item);
+    }
+    t->SetCol(i, std::move(fresh));
+  }
+}
+
 }  // namespace
 
 // --- QueryCache -----------------------------------------------------------
@@ -42,49 +82,87 @@ QueryCache::QueryCache(size_t budget_bytes)
 
 void QueryCache::BeginQuery(
     uint64_t db_generation,
-    const std::vector<std::pair<std::string, uint64_t>>& doc_versions) {
+    const std::vector<xml::Database::DocVersion>& doc_versions, bool repair) {
   std::lock_guard<std::mutex> lock(mu_);
   if (generation_seen_ && generation_ != db_generation) {
     stats_.invalidations++;
-    InvalidateDocsLocked(doc_versions);
+    InvalidateDocsLocked(doc_versions, repair);
   }
   if (!generation_seen_ || generation_ != db_generation) {
     doc_versions_.clear();
-    for (const auto& [name, gen] : doc_versions) doc_versions_[name] = gen;
+    for (const auto& d : doc_versions) {
+      doc_versions_[d.name] = DocSync{d.structure, d.content, d.frag};
+    }
   }
   generation_ = db_generation;
   generation_seen_ = true;
 }
 
 void QueryCache::InvalidateDocsLocked(
-    const std::vector<std::pair<std::string, uint64_t>>& doc_versions) {
-  // Changed = new names, names whose registration version moved, and
-  // names that disappeared since the last sync.
-  std::unordered_set<std::string> changed;
+    const std::vector<xml::Database::DocVersion>& doc_versions, bool repair) {
+  // structural = names whose pre numbering may have moved: new names,
+  // structure-version moves, names that disappeared since the last
+  // sync — plus every content move when repair is off. content = names
+  // that took only a content move (leaf replace-value; pre ranks
+  // bit-identical); their old frag -> new frag pairs form the node-item
+  // repair map.
+  std::unordered_set<std::string> structural;
+  std::unordered_set<std::string> content;
+  std::unordered_map<uint32_t, uint32_t> frag_remap;
   std::unordered_set<std::string_view> present;
-  for (const auto& [name, gen] : doc_versions) {
-    present.insert(name);
-    auto it = doc_versions_.find(name);
-    if (it == doc_versions_.end() || it->second != gen) changed.insert(name);
+  for (const auto& d : doc_versions) {
+    present.insert(d.name);
+    auto it = doc_versions_.find(d.name);
+    if (it == doc_versions_.end() || it->second.structure != d.structure) {
+      structural.insert(d.name);
+    } else if (it->second.content != d.content) {
+      if (repair) {
+        content.insert(d.name);
+        frag_remap[it->second.frag] = d.frag;
+      } else {
+        structural.insert(d.name);
+      }
+    }
   }
-  for (const auto& [name, gen] : doc_versions_) {
-    if (!present.count(name)) changed.insert(name);
+  for (const auto& [name, sync] : doc_versions_) {
+    if (!present.count(name)) structural.insert(name);
   }
-  if (changed.empty()) return;
-  for (auto it = plan_lru_.begin(); it != plan_lru_.end();) {
-    const PlanCacheEntry& e = **it;
-    if (!DepsHit(e.doc_deps, e.doc_deps_unknown, changed)) {
+  if (structural.empty() && content.empty()) return;
+  // Plan entries reference documents by *name*, never by fragment id,
+  // and the optimizer decisions baked into them (key inference, join
+  // order) derive from document structure — so they survive a pure
+  // content move (even unknown-dependency ones: a stale join order is
+  // a performance question, never a correctness one) and drop only on
+  // structural change.
+  if (!structural.empty()) {
+    for (auto it = plan_lru_.begin(); it != plan_lru_.end();) {
+      const PlanCacheEntry& e = **it;
+      if (!DepsHit(e.doc_deps, e.doc_deps_unknown, structural)) {
+        ++it;
+        continue;
+      }
+      for (const auto& k : e.keys) plan_map_.erase(k);
+      stats_.plan.bytes -= static_cast<int64_t>(e.bytes);
+      stats_.plan.entries--;
+      stats_.per_doc_invalidations++;
+      it = plan_lru_.erase(it);
+    }
+  }
+  for (auto it = sub_lru_.begin(); it != sub_lru_.end();) {
+    bool drop = DepsHit(it->docs, it->docs_unknown, structural);
+    bool content_hit = !drop && DepsHit(it->docs, it->docs_unknown, content);
+    if (content_hit && it->value_free && !it->docs_unknown) {
+      // Structure-only result over a content-moved document: repair in
+      // place. The resident entry's items reference the frag recorded
+      // at the last sync (the InsertSubplan generation guard refuses
+      // anything staler), so the remap is exact. `bytes` stays as
+      // charged — the fresh columns replace same-sized ones.
+      RemapTableFrags(&it->table, frag_remap);
+      stats_.subplan_repairs++;
       ++it;
       continue;
     }
-    for (const auto& k : e.keys) plan_map_.erase(k);
-    stats_.plan.bytes -= static_cast<int64_t>(e.bytes);
-    stats_.plan.entries--;
-    stats_.per_doc_invalidations++;
-    it = plan_lru_.erase(it);
-  }
-  for (auto it = sub_lru_.begin(); it != sub_lru_.end();) {
-    if (!DepsHit(it->docs, it->docs_unknown, changed)) {
+    if (!drop && !content_hit) {
       ++it;
       continue;
     }
@@ -222,6 +300,7 @@ bool QueryCache::InsertSubplan(const algebra::OpPtr& subtree,
   entry.cost_ns = cost_ns;
   entry.docs = subtree->cache_docs;
   entry.docs_unknown = subtree->cache_docs_unknown;
+  entry.value_free = subtree->cache_value_free;
   if (entry.bytes > SubBudgetLocked()) return true;  // would never fit
   EvictSubLocked(entry.bytes);
   stats_.subplan.bytes += static_cast<int64_t>(entry.bytes);
@@ -348,6 +427,23 @@ bool ComputesStrings(alg::OpKind k) {
          k == alg::OpKind::kStrJoin || k == alg::OpKind::kAggr;
 }
 
+/// Operators that can read a node's *value* (atomization, string
+/// synthesis, value comparison, serialization). A subtree free of
+/// these computes a function of document structure alone — pre ranks,
+/// sizes, levels, kinds, tag properties — all of which a content-only
+/// update provably keeps bit-identical, so its cached result can be
+/// repaired (frag re-pointing) instead of evicted. Structural joins,
+/// selections over precomputed booleans, sorts, row numbering, and
+/// projections only route items; they never look inside the value
+/// column. kThetaJoin is included because its predicate compares cell
+/// values generically; kFun1 conservatively covers name/string/number
+/// accessors alike.
+bool ReadsNodeValues(alg::OpKind k) {
+  return k == alg::OpKind::kFun1 || k == alg::OpKind::kFun2 ||
+         k == alg::OpKind::kAggr || k == alg::OpKind::kStrJoin ||
+         k == alg::OpKind::kThetaJoin || k == alg::OpKind::kSerialize;
+}
+
 struct DepSet {
   std::vector<std::string> names;  // sorted, unique
   bool unknown = false;
@@ -397,17 +493,19 @@ DepSet DocRootNames(const alg::Op& docroot, const StringPool& pool) {
 void AnnotateCacheCandidates(const algebra::OpPtr& root,
                              const StringPool& pool) {
   std::vector<alg::Op*> order = alg::TopoOrder(root);
-  std::unordered_map<const alg::Op*, bool> pure, has_doc;
+  std::unordered_map<const alg::Op*, bool> pure, has_doc, value_free;
   std::unordered_map<const alg::Op*, DepSet> deps;
   for (alg::Op* op : order) {
     bool p = !IsImpure(op->kind);
     bool d = op->kind == alg::OpKind::kStep ||
              op->kind == alg::OpKind::kDocRoot ||
              op->kind == alg::OpKind::kPathScan;
+    bool vf = !ReadsNodeValues(op->kind);
     DepSet ds;
     for (const auto& c : op->children) {
       p = p && pure.at(c.get());
       d = d || has_doc.at(c.get());
+      vf = vf && value_free.at(c.get());
       MergeDeps(&ds, deps.at(c.get()));
     }
     if (op->kind == alg::OpKind::kDocRoot) {
@@ -415,11 +513,13 @@ void AnnotateCacheCandidates(const algebra::OpPtr& root,
     }
     pure[op] = p;
     has_doc[op] = d;
+    value_free[op] = vf;
     deps[op] = std::move(ds);
     op->cache_cand = false;
     op->cache_hash = 0;
     op->cache_docs.clear();
     op->cache_docs_unknown = false;
+    op->cache_value_free = false;
   }
   // Candidates: maximal pure document-derived subtrees (pure child of
   // an impure parent, or a pure root), plus every pure Step — axis
@@ -449,6 +549,7 @@ void AnnotateCacheCandidates(const algebra::OpPtr& root,
       const DepSet& ds = deps.at(op);
       op->cache_docs = ds.names;
       op->cache_docs_unknown = ds.unknown;
+      op->cache_value_free = value_free.at(op);
     }
   }
 }
@@ -473,6 +574,14 @@ int64_t CacheDefaultMinCostUs() {
     return static_cast<int64_t>(us);
   }();
   return kUs;
+}
+
+bool CacheRepairDefault() {
+  static const bool kOn = [] {
+    const char* e = std::getenv("PF_CACHE_REPAIR");
+    return e == nullptr || std::string_view(e) != "0";
+  }();
+  return kOn;
 }
 
 }  // namespace pathfinder::engine

@@ -17,6 +17,7 @@
 #include "frontend/ast.h"
 #include "opt/optimize.h"
 #include "opt/pipeline.h"
+#include "xml/database.h"
 
 namespace pathfinder::engine {
 
@@ -50,6 +51,11 @@ struct CacheStats {
   int64_t per_doc_invalidations = 0;
   /// Subplan candidates refused by the cost-based admission floor.
   int64_t admission_rejects = 0;
+  /// Subplan entries *repaired* across a content-only document update
+  /// instead of evicted: the entry was value-free (its result depends
+  /// on document structure only), so its cached node items were
+  /// re-pointed at the updated snapshot's fragment id.
+  int64_t subplan_repairs = 0;
   int64_t budget_bytes = 0;
   int64_t min_cost_us = 0;
   /// Per-entry cost/size of the resident subplan section, MRU-first
@@ -111,12 +117,19 @@ class QueryCache {
 
   /// Sync with the store: on a generation change, drop the entries
   /// whose document dependencies intersect the names whose version
-  /// changed since the last sync (new, re-registered, or removed).
+  /// changed since the last sync (new, re-registered, removed, or
+  /// structurally updated). Names that took only a *content* move
+  /// (leaf replace-value; pre ranks bit-identical) are handled more
+  /// gently when `repair` is true: plan entries survive untouched, and
+  /// value-free subplan entries are repaired in place by re-pointing
+  /// their cached node items from the name's old fragment id to the new
+  /// one — only value-reading subplans drop. With `repair` false a
+  /// content move invalidates like a structural one.
   /// Call once per query, before any lookup, with a fresh
   /// Database::Versions() snapshot (`doc_versions` = its `docs`).
-  void BeginQuery(
-      uint64_t db_generation,
-      const std::vector<std::pair<std::string, uint64_t>>& doc_versions);
+  void BeginQuery(uint64_t db_generation,
+                  const std::vector<xml::Database::DocVersion>& doc_versions,
+                  bool repair);
 
   /// Plan lookup by exact ("r:" raw) or canonical ("c:" core) key.
   /// nullptr on miss. A raw-key miss followed by a core-key hit should
@@ -180,6 +193,10 @@ class QueryCache {
     // invalidation must not depend on it).
     std::vector<std::string> docs;
     bool docs_unknown = false;
+    // Copied from Op::cache_value_free: the result is a function of
+    // document structure only, so the entry survives content-only
+    // updates via fragment-id repair (see BeginQuery).
+    bool value_free = false;
   };
 
   using PlanLru = std::list<PlanEntryPtr>;
@@ -191,7 +208,7 @@ class QueryCache {
   void EvictSubLocked(size_t needed);
   void EraseSubLocked(SubLru::iterator it);
   void InvalidateDocsLocked(
-      const std::vector<std::pair<std::string, uint64_t>>& doc_versions);
+      const std::vector<xml::Database::DocVersion>& doc_versions, bool repair);
   void ClearLocked();
 
   mutable std::mutex mu_;
@@ -199,8 +216,16 @@ class QueryCache {
   int64_t min_cost_ns_;
   uint64_t generation_ = 0;
   bool generation_seen_ = false;
-  /// Per-name registration versions as of the last BeginQuery sync.
-  std::unordered_map<std::string, uint64_t> doc_versions_;
+  /// Per-name structure/content versions and the bound fragment id as
+  /// of the last BeginQuery sync (the frag is the repair source: every
+  /// resident entry's node items reference it, by the InsertSubplan
+  /// stale-generation guard).
+  struct DocSync {
+    uint64_t structure = 0;
+    uint64_t content = 0;
+    xml::FragId frag = 0;
+  };
+  std::unordered_map<std::string, DocSync> doc_versions_;
 
   PlanLru plan_lru_;  // front = most recent
   std::unordered_map<std::string, PlanLru::iterator> plan_map_;
@@ -219,7 +244,11 @@ class QueryCache {
 /// caching even mid-chain). Sets Op::cache_cand / Op::cache_hash, and
 /// records each candidate's (and the root's) document dependencies in
 /// Op::cache_docs / Op::cache_docs_unknown — fn:doc name constants are
-/// resolved through `pool`. Call only on freshly built plans (never on
+/// resolved through `pool`. Also computes Op::cache_value_free
+/// bottom-up: true iff no operator in the subtree can read a node's
+/// *value* (atomization/string functions, aggregates, theta-join
+/// compares, serialization), making the cached result repairable across
+/// content-only updates. Call only on freshly built plans (never on
 /// plans already published to the cache — annotation would race with
 /// concurrent executors).
 void AnnotateCacheCandidates(const algebra::OpPtr& root,
@@ -232,6 +261,11 @@ size_t CacheDefaultBudgetBytes();
 /// Process-wide default admission floor: PF_CACHE_MIN_COST_US
 /// microseconds (read once); unset = 100, "0" = admit everything.
 int64_t CacheDefaultMinCostUs();
+
+/// Process-wide default for repairing value-free subplan entries across
+/// content-only document updates: PF_CACHE_REPAIR (read once); on
+/// unless "0".
+bool CacheRepairDefault();
 
 }  // namespace pathfinder::engine
 

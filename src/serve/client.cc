@@ -129,6 +129,34 @@ std::string Client::QueryFrame(std::string_view id, std::string_view query,
   return out;
 }
 
+std::string Client::UpdateFrame(std::string_view id, std::string_view doc,
+                                std::string_view action, uint32_t target,
+                                int32_t position, std::string_view xml,
+                                std::string_view value) {
+  std::string out = R"({"op":"update","id":)";
+  AppendJsonString(&out, id);
+  out += ",\"doc\":";
+  AppendJsonString(&out, doc);
+  out += ",\"action\":";
+  AppendJsonString(&out, action);
+  out += ",\"target\":";
+  out += std::to_string(target);
+  if (position >= 0) {
+    out += ",\"position\":";
+    out += std::to_string(position);
+  }
+  if (!xml.empty()) {
+    out += ",\"xml\":";
+    AppendJsonString(&out, xml);
+  }
+  if (action == "replace") {
+    out += ",\"value\":";
+    AppendJsonString(&out, value);
+  }
+  out += '}';
+  return out;
+}
+
 std::string Client::CancelFrame(std::string_view id) {
   std::string out = R"({"op":"cancel","id":)";
   AppendJsonString(&out, id);

@@ -56,6 +56,13 @@ class Client {
                                    std::string_view xml);
   static std::string QueryFrame(std::string_view id, std::string_view query,
                                 std::string_view doc = {});
+  /// `action` is "insert" | "delete" | "replace"; `xml` rides with
+  /// insert, `value` with replace, `position` < 0 means append.
+  static std::string UpdateFrame(std::string_view id, std::string_view doc,
+                                 std::string_view action, uint32_t target,
+                                 int32_t position = -1,
+                                 std::string_view xml = {},
+                                 std::string_view value = {});
   static std::string CancelFrame(std::string_view id);
   static std::string StatsFrame();
 

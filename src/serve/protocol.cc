@@ -48,6 +48,37 @@ Result<Request> ParseRequest(std::string_view line) {
       }
       req.doc = d->str;
     }
+  } else if (op == "update") {
+    req.verb = Verb::kUpdate;
+    PF_ASSIGN_OR_RETURN(req.id, RequiredString(v, "id"));
+    PF_ASSIGN_OR_RETURN(req.doc, RequiredString(v, "doc"));
+    PF_ASSIGN_OR_RETURN(req.action, RequiredString(v, "action"));
+    if (req.id.empty()) return Malformed("empty update id");
+    if (req.doc.empty()) return Malformed("empty document name");
+    const JsonValue* t = v.Find("target");
+    if (t == nullptr || t->kind != JsonValue::Kind::kNumber ||
+        t->num < 0 || t->num > 4294967295.0) {
+      return Malformed("field 'target' must be a pre rank (uint32)");
+    }
+    req.target = t->AsInt();
+    if (const JsonValue* p = v.Find("position")) {
+      if (p->kind != JsonValue::Kind::kNumber) {
+        return Malformed("field 'position' must be a number");
+      }
+      req.position = p->AsInt();
+    }
+    if (req.action == "insert") {
+      PF_ASSIGN_OR_RETURN(req.xml, RequiredString(v, "xml"));
+    } else if (req.action == "replace") {
+      if (const JsonValue* val = v.Find("value")) {
+        if (val->kind != JsonValue::Kind::kString) {
+          return Malformed("field 'value' must be a string");
+        }
+        req.value = val->str;
+      }
+    } else if (req.action != "delete") {
+      return Malformed("unknown update action '" + req.action + "'");
+    }
   } else if (op == "cancel") {
     req.verb = Verb::kCancel;
     PF_ASSIGN_OR_RETURN(req.id, RequiredString(v, "id"));
@@ -87,6 +118,23 @@ std::string QueryResponse(std::string_view id, std::string_view result,
   std::snprintf(ms, sizeof(ms), "%.3f", info.wall_ms);
   out += ",\"ms\":";
   out += ms;
+  out += '}';
+  return out;
+}
+
+std::string UpdateResponse(std::string_view id, std::string_view doc,
+                           bool structural, uint32_t nodes_before,
+                           uint32_t nodes_after) {
+  std::string out = R"({"ok":true,"op":"update","id":)";
+  AppendJsonString(&out, id);
+  out += ",\"doc\":";
+  AppendJsonString(&out, doc);
+  out += ",\"structural\":";
+  out += structural ? "true" : "false";
+  out += ",\"nodes_before\":";
+  out += std::to_string(nodes_before);
+  out += ",\"nodes_after\":";
+  out += std::to_string(nodes_after);
   out += '}';
   return out;
 }

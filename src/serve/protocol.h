@@ -17,8 +17,19 @@ namespace pathfinder::serve {
 ///   {"op":"ping"}
 ///   {"op":"register","name":"d.xml","xml":"<doc/>"}
 ///   {"op":"query","id":"q1","q":"1+2","doc":"d.xml"}
+///   {"op":"update","id":"u1","doc":"d.xml","action":"insert",
+///    "target":4,"position":0,"xml":"<x/>"}
+///   {"op":"update","id":"u2","doc":"d.xml","action":"replace",
+///    "target":7,"value":"9.5"}
+///   {"op":"update","id":"u3","doc":"d.xml","action":"delete","target":3}
 ///   {"op":"cancel","id":"q1"}
 ///   {"op":"stats"}
+///
+/// Updates go through the same admission queue as queries (so they
+/// honor max_inflight/queue_depth, can be cancelled while queued, and
+/// drain on shutdown); "target" is the node's pre rank in the
+/// document's current snapshot, "position" the child index for inserts
+/// (-1/absent = append). See xml/update.h for the update semantics.
 ///
 /// Error responses are typed: {"ok":false,"id":...,"error":<token>,
 /// "message":...} where <token> is an ErrorClassName ("invalid_query",
@@ -26,15 +37,21 @@ namespace pathfinder::serve {
 /// "internal") or one of the server-level tokens "protocol" (malformed
 /// frame), "busy" (admission queue full) and "shutting_down" (drain in
 /// progress).
-enum class Verb : uint8_t { kPing, kRegister, kQuery, kCancel, kStats };
+enum class Verb : uint8_t { kPing, kRegister, kQuery, kUpdate, kCancel,
+                            kStats };
 
 struct Request {
   Verb verb = Verb::kPing;
-  std::string id;     // query / cancel
+  std::string id;     // query / update / cancel
   std::string name;   // register: document name
-  std::string xml;    // register: document text
+  std::string xml;    // register: document text; update: insert fragment
   std::string query;  // query: XQuery text
-  std::string doc;    // query: context document ("" = none)
+  std::string doc;    // query: context document ("" = none);
+                      // update: target document name
+  std::string action;   // update: "insert" | "delete" | "replace"
+  int64_t target = 0;   // update: pre rank of the target node
+  int64_t position = -1;  // update insert: child index (-1 = append)
+  std::string value;      // update replace: the new content
 };
 
 /// Hard cap on one frame (request or response line, newline excluded).
@@ -65,6 +82,11 @@ struct QueryResponseInfo {
 };
 std::string QueryResponse(std::string_view id, std::string_view result,
                           const QueryResponseInfo& info);
+/// Success response of the update verb: what the update did to the
+/// document (structural vs content-only, node counts around it).
+std::string UpdateResponse(std::string_view id, std::string_view doc,
+                           bool structural, uint32_t nodes_before,
+                           uint32_t nodes_after);
 std::string CancelResponse(std::string_view id, bool found);
 /// `error` is a wire token (WireErrorName or kErr*); `id` may be empty
 /// for frame-level errors that belong to no query.

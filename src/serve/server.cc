@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "xml/update.h"
+
 namespace pathfinder::serve {
 
 namespace {
@@ -83,10 +85,15 @@ struct Server::Session {
 
 struct Server::Job {
   std::shared_ptr<Session> session;
-  std::string id;     // query id (client-chosen)
+  std::string id;     // query/update id (client-chosen)
   std::string query;  // XQuery text
-  std::string doc;    // context document
+  std::string doc;    // context document / update target document
   std::shared_ptr<engine::CancelToken> token;
+  // Update jobs carry the decoded node update instead of a query; they
+  // ride the same queue so admission, cancellation-while-queued and
+  // drain-on-shutdown behave identically.
+  bool is_update = false;
+  xml::NodeUpdate update;
 };
 
 Server::Server(xml::Database* db, Options opts)
@@ -184,6 +191,8 @@ ServerStats Server::Stats() const {
   st.protocol_errors = protocol_errors_.load();
   st.registers = registers_.load();
   st.queries = queries_.load();
+  st.updates = updates_.load();
+  st.updates_applied = updates_applied_.load();
   st.completed = completed_.load();
   st.cancelled = cancelled_.load();
   st.timeouts = timeouts_.load();
@@ -305,6 +314,7 @@ void Server::HandleLine(const std::shared_ptr<Session>& s,
       return;
     }
     case Verb::kQuery:
+    case Verb::kUpdate:
       HandleQuery(s, std::move(req));
       return;
     case Verb::kCancel: {
@@ -338,6 +348,8 @@ void Server::HandleLine(const std::shared_ptr<Session>& s,
       field("protocol_errors", st.protocol_errors);
       field("registers", st.registers);
       field("queries", st.queries);
+      field("updates", st.updates);
+      field("updates_applied", st.updates_applied);
       field("queued", st.queued);
       field("inflight", st.inflight);
       field("completed", st.completed);
@@ -357,7 +369,8 @@ void Server::HandleLine(const std::shared_ptr<Session>& s,
 }
 
 void Server::HandleQuery(const std::shared_ptr<Session>& s, Request req) {
-  queries_.fetch_add(1);
+  const bool is_update = req.verb == Verb::kUpdate;
+  (is_update ? updates_ : queries_).fetch_add(1);
   if (draining_.load()) {
     WriteLine(*s, ErrorResponse(req.id, kErrShuttingDown,
                                 "server is shutting down"));
@@ -369,6 +382,18 @@ void Server::HandleQuery(const std::shared_ptr<Session>& s, Request req) {
   job.query = std::move(req.query);
   job.doc = std::move(req.doc);
   job.token = std::make_shared<engine::CancelToken>();
+  if (is_update) {
+    job.is_update = true;
+    job.update.kind = req.action == "insert"
+                          ? xml::NodeUpdate::Kind::kInsertChild
+                          : req.action == "delete"
+                                ? xml::NodeUpdate::Kind::kDelete
+                                : xml::NodeUpdate::Kind::kReplaceValue;
+    job.update.target = static_cast<xml::Pre>(req.target);
+    job.update.position = static_cast<int32_t>(req.position);
+    job.update.xml = std::move(req.xml);
+    job.update.value = std::move(req.value);
+  }
   {
     std::lock_guard<std::mutex> lock(s->inflight_mu);
     if (!s->inflight.emplace(job.id, job.token).second) {
@@ -439,6 +464,22 @@ std::string Server::RunJob(Job& job, std::string* error_token) {
   std::string result_text;
   if (!pre.ok()) {
     final_status = pre;
+  } else if (job.is_update) {
+    // Updates serialize on the database's update lock; queries on other
+    // workers keep reading the pre-update snapshot and are never
+    // blocked. The shared engine's cache syncs (repairing value-free
+    // entries across content-only updates) at its next BeginQuery.
+    Result<xml::UpdateResult> r = xml::ApplyUpdate(db_, job.doc, job.update);
+    if (r.ok()) {
+      updates_applied_.fetch_add(1);
+      response = UpdateResponse(job.id, job.doc, r.value().structural,
+                                r.value().nodes_before,
+                                r.value().nodes_after);
+      std::lock_guard<std::mutex> lock(job.session->inflight_mu);
+      job.session->inflight.erase(job.id);
+      return response;
+    }
+    final_status = r.status();
   } else {
     QueryOptions qo = opts_.query_options;
     qo.context_doc = job.doc;

@@ -27,6 +27,8 @@ struct ServerStats {
   int64_t protocol_errors = 0;  // malformed/oversized frames
   int64_t registers = 0;        // successful document registrations
   int64_t queries = 0;          // query frames admitted or rejected
+  int64_t updates = 0;          // update frames admitted or rejected
+  int64_t updates_applied = 0;  // updates that produced a new snapshot
   int64_t queued = 0;           // waiting in the admission queue (gauge)
   int64_t inflight = 0;         // executing right now (gauge)
   int64_t completed = 0;        // query responses with ok=true
@@ -113,6 +115,8 @@ class Server {
   void SessionLoop(std::shared_ptr<Session> s);
   void WorkerLoop();
   void HandleLine(const std::shared_ptr<Session>& s, std::string_view line);
+  // Admits a query OR update frame to the shared job queue (both honor
+  // the same inflight-id, busy and drain rules).
   void HandleQuery(const std::shared_ptr<Session>& s, Request req);
   // Executes the query and retires its id; returns the response line to
   // write (the caller writes it after dropping the inflight gauge, so a
@@ -146,10 +150,10 @@ class Server {
 
   // Counters (atomics so stats reads never block the data path).
   std::atomic<int64_t> connections_{0}, live_sessions_{0}, requests_{0},
-      protocol_errors_{0}, registers_{0}, queries_{0}, completed_{0},
-      cancelled_{0}, timeouts_{0}, mem_rejects_{0}, busy_rejects_{0},
-      failed_{0}, disconnects_{0}, plan_cache_hits_{0},
-      subplan_cache_hits_{0};
+      protocol_errors_{0}, registers_{0}, queries_{0}, updates_{0},
+      updates_applied_{0}, completed_{0}, cancelled_{0}, timeouts_{0},
+      mem_rejects_{0}, busy_rejects_{0}, failed_{0}, disconnects_{0},
+      plan_cache_hits_{0}, subplan_cache_hits_{0};
 };
 
 }  // namespace pathfinder::serve

@@ -32,6 +32,22 @@ FragId Database::AddDocument(const std::string& name, Document doc) {
   // immutable document.
   if (doc.summary() == nullptr) doc.set_summary(BuildPathSummary(doc));
   std::lock_guard<std::mutex> lock(mu_);
+  return PublishLocked(name, std::move(doc), /*bump_structure=*/true);
+}
+
+FragId Database::PublishUpdate(const std::string& name, Document doc,
+                               bool structural) {
+  // The updater repaired stats/summary incrementally; compute from
+  // scratch only if it didn't attach them (defensive — never the
+  // ApplyUpdate path).
+  if (doc.stats() == nullptr) doc.set_stats(ComputeDocStats(doc));
+  if (doc.summary() == nullptr) doc.set_summary(BuildPathSummary(doc));
+  std::lock_guard<std::mutex> lock(mu_);
+  return PublishLocked(name, std::move(doc), structural);
+}
+
+FragId Database::PublishLocked(const std::string& name, Document doc,
+                               bool bump_structure) {
   size_t n = count_.load(std::memory_order_relaxed);
   assert(n < kMaxChunks * kChunkSize && "document capacity exceeded");
   size_t ci = n >> kChunkBits;
@@ -46,7 +62,11 @@ FragId Database::AddDocument(const std::string& name, Document doc) {
   FragId id = static_cast<FragId>(n);
   uint64_t gen = generation_.load(std::memory_order_relaxed) + 1;
   by_name_[name] = id;
-  versions_[name] = gen;
+  NameVersion& nv = versions_[name];
+  // A name never seen before always takes a structure bump, whatever
+  // the caller claimed — there is no prior snapshot to repair against.
+  if (bump_structure || nv.structure == 0) nv.structure = gen;
+  nv.content = gen;
   // Publish the slot before the count (readers index by acquire-loaded
   // count) and the count before the generation (a cache that observes
   // the new generation must be able to resolve the new binding).
@@ -86,7 +106,15 @@ Database::DocVersions Database::Versions() const {
   DocVersions v;
   v.generation = generation_.load(std::memory_order_relaxed);
   v.docs.reserve(versions_.size());
-  for (const auto& [name, gen] : versions_) v.docs.emplace_back(name, gen);
+  for (const auto& [name, nv] : versions_) {
+    DocVersion d;
+    d.name = name;
+    d.structure = nv.structure;
+    d.content = nv.content;
+    auto it = by_name_.find(name);
+    d.frag = it == by_name_.end() ? 0 : it->second;
+    v.docs.push_back(std::move(d));
+  }
   return v;
 }
 

@@ -69,22 +69,61 @@ class Database {
     return generation_.load(std::memory_order_acquire);
   }
 
-  /// Per-name registration versions: for every currently bound document
-  /// name, the value `generation()` had right after the registration
-  /// that produced the binding. A name's version changes exactly when
-  /// that name is re-registered, which is what lets caches invalidate
-  /// per document instead of wholesale.
+  /// Per-name versions: for every currently bound document name, the
+  /// value `generation()` had right after the event that last changed
+  /// it, split by what the event could have perturbed:
+  ///  * `structure` moves on (re)registration and on structural updates
+  ///    (inserts/deletes/element replace-value) — anything that can
+  ///    renumber pres or change sizes/levels/kinds/props;
+  ///  * `content` moves on every event that `structure` moves on, plus
+  ///    content-only updates (leaf replace-value), which perturb the
+  ///    value column but keep every pre rank bit-identical.
+  /// Caches evict entries on a structure move but can *repair*
+  /// value-free entries across a pure content move by re-pointing
+  /// cached node items from `frag` to the new snapshot's frag (see
+  /// engine::QueryCache).
+  struct DocVersion {
+    std::string name;
+    uint64_t structure = 0;
+    uint64_t content = 0;
+    FragId frag = 0;  ///< snapshot currently bound to the name
+  };
   struct DocVersions {
     uint64_t generation = 0;
-    std::vector<std::pair<std::string, uint64_t>> docs;
+    std::vector<DocVersion> docs;
   };
   DocVersions Versions() const;
+
+  /// Publish `doc` as the new snapshot of `name` after a node-level
+  /// update (xml/update.h drives this): same append-and-rebind as
+  /// AddDocument, but a content-only update bumps just the name's
+  /// content version so caches can repair instead of evict. Stats and
+  /// summary must already be attached (the updater repairs them
+  /// incrementally); missing ones are computed from scratch.
+  FragId PublishUpdate(const std::string& name, Document doc,
+                       bool structural);
+
+  /// Updaters (xml/update.h ApplyUpdate) hold this lock across their
+  /// whole read-splice-publish cycle so concurrent updates serialize
+  /// instead of splicing off the same base and losing one of them.
+  /// Queries and plain registrations never take it.
+  std::unique_lock<std::mutex> LockForUpdate() {
+    return std::unique_lock<std::mutex>(update_mu_);
+  }
 
  private:
   struct Slot {
     std::unique_ptr<Document> doc;
     std::string name;
   };
+
+  struct NameVersion {
+    uint64_t structure = 0;
+    uint64_t content = 0;
+  };
+
+  FragId PublishLocked(const std::string& name, Document doc,
+                       bool bump_structure);
 
   static constexpr size_t kChunkBits = 8;  // 256 documents per chunk
   static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
@@ -105,8 +144,9 @@ class Database {
   std::atomic<size_t> count_{0};
 
   mutable std::mutex mu_;
-  std::unordered_map<std::string, FragId> by_name_;      // guarded by mu_
-  std::unordered_map<std::string, uint64_t> versions_;   // guarded by mu_
+  std::mutex update_mu_;  // serializes updaters; see LockForUpdate()
+  std::unordered_map<std::string, FragId> by_name_;       // guarded by mu_
+  std::unordered_map<std::string, NameVersion> versions_;  // guarded by mu_
 };
 
 }  // namespace pathfinder::xml

@@ -101,6 +101,7 @@ class Document {
 
  private:
   friend class TreeBuilder;
+  friend class DocumentSplicer;  // node-level updates (xml/update.h)
 
   std::vector<uint32_t> size_;
   std::vector<uint16_t> level_;

@@ -122,6 +122,7 @@ class PathSummary {
 
  private:
   friend PathSummary BuildPathSummary(const Document& doc);
+  friend class DocumentSplicer;  // incremental repair (xml/update.h)
 
   std::vector<PathNode> nodes_;
   std::vector<Pre> part_;

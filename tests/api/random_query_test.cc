@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -7,6 +8,7 @@
 #include "base/rng.h"
 #include "baseline/interp.h"
 #include "xml/database.h"
+#include "xml/update.h"
 
 namespace pathfinder {
 namespace {
@@ -287,10 +289,7 @@ class QueryGen {
   std::vector<std::string> vars_;
 };
 
-xml::Database* ShopDb() {
-  static xml::Database* db = [] {
-    auto* d = new xml::Database();
-    auto r = d->LoadXml("shop.xml", R"(
+constexpr const char* kShopXml = R"(
 <shop>
   <dept name="fruit">
     <item sku="a1" price="3">apple</item>
@@ -301,7 +300,12 @@ xml::Database* ShopDb() {
     <item sku="t2" price="3">nail</item>
   </dept>
   <orders><order ref="a1" qty="2"/><order ref="t2" qty="500"/></orders>
-</shop>)");
+</shop>)";
+
+xml::Database* ShopDb() {
+  static xml::Database* db = [] {
+    auto* d = new xml::Database();
+    auto r = d->LoadXml("shop.xml", kShopXml);
     EXPECT_TRUE(r.ok());
     return d;
   }();
@@ -490,6 +494,117 @@ TEST(ZipfSkew, PartitionImbalanceByteIdentical) {
     }
   }
 }
+
+// ------------------------------------------------------- update churn --
+
+// Interleave random node updates with generated queries on a private
+// database: the incrementally-maintained structures (shred-time stats,
+// path summary partitions, repaired query cache) must stay
+// byte-identical to the navigational baseline, which recomputes from
+// the raw columns on every run. The Pathfinder instance persists
+// across rounds so its plan and subplan caches live through every
+// mutation — a stale entry surviving an epoch bump, or a bad repair of
+// a value-free entry, shows up as a serialization diff.
+class UpdateChurnTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  // Pin the update path on through the test seam, so the suite holds
+  // under an ambient PF_UPDATES=0 CI lane too.
+  void SetUp() override { xml::SetUpdatesEnabledForTest(1); }
+  void TearDown() override { xml::SetUpdatesEnabledForTest(-1); }
+};
+
+TEST_P(UpdateChurnTest, EnginesAgreeAcrossChurn) {
+  xml::Database db;  // private: churn must not leak into other tests
+  ASSERT_TRUE(db.LoadXml("shop.xml", kShopXml).ok());
+  Pathfinder pf(&db);
+  QueryGen gen(GetParam() * 977 + 1);
+  Rng rng(GetParam());
+  const char* kFragments[] = {
+      "<item sku=\"u1\" price=\"5\">thing</item>",
+      "<note>restock</note>",
+      "<order ref=\"a2\" qty=\"4\"/>",
+      "<dept name=\"misc\"><item sku=\"m1\" price=\"2\">bolt</item></dept>",
+  };
+  for (int round = 0; round < 8; ++round) {
+    // One random mutation per round; picks the update layer would
+    // reject (or that would wipe the whole document) are re-rolled.
+    bool applied = false;
+    for (int attempt = 0; attempt < 64 && !applied; ++attempt) {
+      auto frag = db.FindDocument("shop.xml");
+      ASSERT_TRUE(frag.ok());
+      const xml::Document& cur = db.doc(*frag);
+      xml::NodeUpdate u;
+      u.target = static_cast<xml::Pre>(1 + rng.Below(cur.num_nodes() - 1));
+      switch (rng.Below(3)) {
+        case 0:
+          u.kind = xml::NodeUpdate::Kind::kInsertChild;
+          u.position =
+              rng.Chance(0.5) ? -1 : static_cast<int32_t>(rng.Below(4));
+          u.xml = kFragments[rng.Below(std::size(kFragments))];
+          break;
+        case 1:
+          u.kind = xml::NodeUpdate::Kind::kDelete;
+          break;
+        default:
+          u.kind = xml::NodeUpdate::Kind::kReplaceValue;
+          // Numeric, so @price/@qty arithmetic in generated queries
+          // keeps type-checking on both engines.
+          u.value = std::to_string(round + 2);
+          break;
+      }
+      if (u.target == 1 && u.kind != xml::NodeUpdate::Kind::kInsertChild) {
+        continue;  // keep the root element and its content alive
+      }
+      if (u.kind == xml::NodeUpdate::Kind::kInsertChild &&
+          cur.kind(u.target) != xml::NodeKind::kElem) {
+        continue;
+      }
+      auto r = xml::ApplyUpdate(&db, "shop.xml", u);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      applied = true;
+    }
+    ASSERT_TRUE(applied) << "no valid mutation found in round " << round;
+
+    for (int i = 0; i < 3; ++i) {
+      std::string q = gen.Query();
+      SCOPED_TRACE("round " + std::to_string(round) + ": " + q);
+      baseline::Baseline bl(&db);
+      baseline::BaselineOptions bo;
+      bo.context_doc = "shop.xml";
+      auto br = bl.Run(q, bo);
+      ASSERT_TRUE(br.ok()) << br.status().ToString();
+      auto bs = br->Serialize();
+      ASSERT_TRUE(bs.ok());
+      // Mask 0 runs the process defaults. Mask 1 pins both caches on
+      // with repair enabled (content-only churn repairs value-free
+      // entries in place); mask 2 pins repair off, so every churn
+      // falls back to the epoch bump. Mask 3 runs cache-free with two
+      // worker threads.
+      for (int mask = 0; mask < 4; ++mask) {
+        QueryOptions o;
+        o.context_doc = "shop.xml";
+        if (mask == 1 || mask == 2) {
+          o.plan_cache = 1;
+          o.subplan_cache = 1;
+          o.cache_repair = mask == 1 ? 1 : 0;
+        }
+        if (mask == 3) {
+          o.plan_cache = 0;
+          o.subplan_cache = 0;
+          o.num_threads = 2;
+        }
+        auto pr = pf.Run(q, o);
+        ASSERT_TRUE(pr.ok()) << pr.status().ToString() << " mask=" << mask;
+        auto ps = pr->Serialize();
+        ASSERT_TRUE(ps.ok());
+        ASSERT_EQ(*ps, *bs) << "mask=" << mask;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpdateChurnTest,
+                         ::testing::Range<uint64_t>(1, 13));
 
 // Multi-predicate paths must compile to fragments the executor fuses
 // as chains of length >= 3 — the generator rules above exist to hit

@@ -20,6 +20,7 @@
 #include "serve/hooks.h"
 #include "serve/server.h"
 #include "xml/database.h"
+#include "xml/update.h"
 
 namespace pathfinder::serve {
 namespace {
@@ -182,6 +183,20 @@ class FaultServerTest : public ::testing::Test {
       if (std::chrono::steady_clock::now() > deadline) {
         FAIL() << "server never quiesced: inflight=" << st.inflight
                << " queued=" << st.queued;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  // Session teardown cancels that session's in-flight tokens BEFORE the
+  // disconnect counter bumps, so once this returns any job the departed
+  // client left queued is provably doomed to a pre-execution cancel.
+  void WaitDisconnected(int64_t n = 1) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server_->Stats().disconnects < n) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        FAIL() << "disconnect never observed";
       }
       std::this_thread::yield();
     }
@@ -405,6 +420,209 @@ TEST_F(FaultServerTest, GracefulShutdownDrainsInflightQueries) {
   EXPECT_EQ(resp->Find("result")->str, "3");
   shutdown.join();
   EXPECT_EQ(server_->Stats().completed, 1);
+}
+
+// ------------------------------------------------------ update verb --
+
+// kDocXml pre ranks: 0=doc 1=<a> 2=<b> 3=@id 4=text ... 11=<c> 12=text;
+// 13 nodes, 5 elements.
+
+// Pins the update path on for a test's lifetime, so these suites hold
+// under an ambient PF_UPDATES=0 CI lane too (the kill-switch test
+// flips the same seam the other way).
+struct ForceUpdatesOn {
+  ForceUpdatesOn() { xml::SetUpdatesEnabledForTest(1); }
+  ~ForceUpdatesOn() { xml::SetUpdatesEnabledForTest(-1); }
+};
+
+TEST_F(FaultServerTest, UpdateVerbAppliesAndNewQueriesSeeIt) {
+  ForceUpdatesOn enabled;
+  StartServer();
+  Client c;
+  ASSERT_TRUE(c.Connect(server_->port()).ok());
+  auto ins = c.Call(
+      Client::UpdateFrame("u1", "d.xml", "insert", /*target=*/1,
+                          /*position=*/-1, "<d/>"));
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  EXPECT_TRUE(ins->Find("ok")->AsBool());
+  EXPECT_EQ(ins->Find("op")->str, "update");
+  EXPECT_EQ(ins->Find("id")->str, "u1");
+  EXPECT_TRUE(ins->Find("structural")->AsBool());
+  EXPECT_EQ(ins->Find("nodes_before")->AsInt(), 13);
+  EXPECT_EQ(ins->Find("nodes_after")->AsInt(), 14);
+  auto q = c.Call(Client::QueryFrame("q1", "count(//*)", "d.xml"));
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Find("result")->str, "6");
+  // Content-only replace: rewrite the first <b>'s id attribute in place.
+  auto rep = c.Call(Client::UpdateFrame("u2", "d.xml", "replace",
+                                        /*target=*/3, /*position=*/-1,
+                                        /*xml=*/{}, /*value=*/"9"));
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_TRUE(rep->Find("ok")->AsBool());
+  EXPECT_FALSE(rep->Find("structural")->AsBool());
+  EXPECT_EQ(rep->Find("nodes_after")->AsInt(), 14);
+  auto q2 = c.Call(
+      Client::QueryFrame("q2", "count(//b[@id = \"9\"])", "d.xml"));
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->Find("result")->str, "1");
+  // Updates against a name nobody registered are a typed not_found.
+  auto miss = c.Call(Client::UpdateFrame("u3", "ghost.xml", "delete", 1));
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->Find("ok")->AsBool());
+  EXPECT_EQ(miss->Find("error")->str, "not_found");
+  ServerStats st = server_->Stats();
+  EXPECT_EQ(st.updates, 3);
+  EXPECT_EQ(st.updates_applied, 2);
+  // The stats verb carries the new counters on the wire.
+  auto stats = c.Call(Client::StatsFrame());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->Find("updates")->AsInt(), 3);
+  EXPECT_EQ(stats->Find("updates_applied")->AsInt(), 2);
+  ExpectServiceable();
+}
+
+// A query held at its first axis step has already bound its document
+// snapshot (fn:doc resolves inside the kDocRoot operator, which ran
+// before the step's checkpoint fired). An update racing past it must
+// neither block on the reader nor leak into its result.
+TEST_F(FaultServerTest, UpdateRacingQueryReadsItsOwnSnapshot) {
+  ForceUpdatesOn enabled;
+  StartServer();
+  std::mutex mu;
+  std::condition_variable cv;
+  bool armed = true;
+  bool entered = false;
+  probe_ = [&](const algebra::Op& op, engine::CancelToken* token) {
+    std::unique_lock<std::mutex> lock(mu);
+    if (!armed) return;
+    if (op.kind != algebra::OpKind::kStep &&
+        op.kind != algebra::OpKind::kPathScan) {
+      return;  // let kDocRoot (and everything below the step) run
+    }
+    entered = true;
+    cv.notify_all();
+    while (armed && (token == nullptr || !token->fired())) {
+      cv.wait_for(lock, std::chrono::milliseconds(2));
+    }
+  };
+  Client c;
+  ASSERT_TRUE(c.Connect(server_->port()).ok());
+  ASSERT_TRUE(
+      c.SendLine(Client::QueryFrame("q1", "count(//*)", "d.xml")).ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return entered; }))
+        << "query never reached an axis-step operator";
+  }
+  // The update completes while q1 is held — writers never wait for
+  // readers; the old snapshot stays pinned by the running query.
+  Client w;
+  ASSERT_TRUE(w.Connect(server_->port()).ok());
+  auto up = w.Call(Client::UpdateFrame("u1", "d.xml", "insert",
+                                       /*target=*/1, /*position=*/-1,
+                                       "<d/>"));
+  ASSERT_TRUE(up.ok()) << up.status().ToString();
+  EXPECT_TRUE(up->Find("ok")->AsBool());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    armed = false;
+    cv.notify_all();
+  }
+  auto r = c.ReadLine();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto resp = ParseJson(*r);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->Find("ok")->AsBool());
+  EXPECT_EQ(resp->Find("result")->str, "5");  // pre-update element count
+  auto after = w.Call(Client::QueryFrame("q2", "count(//*)", "d.xml"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->Find("result")->str, "6");  // fresh queries see it
+  probe_ = nullptr;
+  ExpectServiceable();
+}
+
+TEST_F(FaultServerTest, DisconnectCancelsQueuedUpdateBeforeItApplies) {
+  ForceUpdatesOn enabled;
+  StartServer(/*max_inflight=*/1, /*queue_depth=*/8);
+  Client blocker;
+  ASSERT_TRUE(blocker.Connect(server_->port()).ok());
+  gate_.Arm();
+  ASSERT_TRUE(
+      blocker.SendLine(Client::QueryFrame("q1", "count(//b)", "d.xml")).ok());
+  gate_.WaitEntered();  // the only worker is provably held
+  Client w;
+  ASSERT_TRUE(w.Connect(server_->port()).ok());
+  ASSERT_TRUE(w.SendLine(Client::UpdateFrame("u1", "d.xml", "insert",
+                                             /*target=*/1, /*position=*/-1,
+                                             "<d/>"))
+                  .ok());
+  w.Close();  // walk away with the update still queued
+  WaitDisconnected();  // u1's token is now fired, before any execution
+  gate_.Release();
+  EXPECT_EQ(tracker_.WaitFor("q1"), "");
+  EXPECT_EQ(tracker_.WaitFor("u1"), "cancelled");
+  ServerStats st = server_->Stats();
+  EXPECT_EQ(st.updates, 1);
+  EXPECT_EQ(st.updates_applied, 0);
+  EXPECT_EQ(st.cancelled, 1);
+  // No snapshot was published: the document is bit-for-bit untouched.
+  Client check;
+  ASSERT_TRUE(check.Connect(server_->port()).ok());
+  auto q = check.Call(Client::QueryFrame("q2", "count(//*)", "d.xml"));
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Find("result")->str, "5");
+  ExpectServiceable();
+}
+
+TEST_F(FaultServerTest, LostUpdateResponseStillPublishesTheSnapshot) {
+  ForceUpdatesOn enabled;
+  StartServer();
+  Client c;
+  ASSERT_TRUE(c.Connect(server_->port()).ok());
+  write_fault_.store(ServeTestHooks::WriteFault::kClose);
+  ASSERT_TRUE(c.SendLine(Client::UpdateFrame("u1", "d.xml", "insert",
+                                             /*target=*/1, /*position=*/-1,
+                                             "<d/>"))
+                  .ok());
+  // The update finished server-side; only its acknowledgement died.
+  EXPECT_EQ(tracker_.WaitFor("u1"), "");
+  EXPECT_EQ(server_->Stats().updates_applied, 1);
+  auto eof = c.ReadLine();
+  EXPECT_FALSE(eof.ok());
+  write_fault_.store(ServeTestHooks::WriteFault::kNone);
+  // The snapshot outlives the lost ack: a fresh client sees it.
+  Client check;
+  ASSERT_TRUE(check.Connect(server_->port()).ok());
+  auto q = check.Call(Client::QueryFrame("q2", "count(//*)", "d.xml"));
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Find("result")->str, "6");
+  ExpectServiceable();
+}
+
+TEST_F(FaultServerTest, UpdatesDisabledAnswerTypedInvalidQuery) {
+  ForceUpdatesOn enabled;  // restores the seam even on early exit
+  StartServer();
+  Client c;
+  ASSERT_TRUE(c.Connect(server_->port()).ok());
+  xml::SetUpdatesEnabledForTest(0);
+  auto r = c.Call(Client::UpdateFrame("u1", "d.xml", "delete",
+                                      /*target=*/11));
+  xml::SetUpdatesEnabledForTest(1);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->Find("ok")->AsBool());
+  EXPECT_EQ(r->Find("error")->str, "invalid_query");
+  ServerStats st = server_->Stats();
+  EXPECT_EQ(st.updates, 1);
+  EXPECT_EQ(st.updates_applied, 0);
+  EXPECT_EQ(st.failed, 1);
+  // The very same frame succeeds once the kill switch lifts.
+  auto ok2 = c.Call(Client::UpdateFrame("u2", "d.xml", "delete",
+                                        /*target=*/11));
+  ASSERT_TRUE(ok2.ok());
+  EXPECT_TRUE(ok2->Find("ok")->AsBool());
+  EXPECT_TRUE(ok2->Find("structural")->AsBool());
+  ExpectServiceable();  // deleting <c> leaves count(//b) at 3
 }
 
 }  // namespace

@@ -92,6 +92,66 @@ TEST(ParseRequestTest, AllVerbs) {
   EXPECT_EQ(s->verb, Verb::kStats);
 }
 
+TEST(ParseRequestTest, UpdateFrames) {
+  auto ins = ParseRequest(
+      R"({"op":"update","id":"u1","doc":"d.xml","action":"insert",)"
+      R"("target":1,"position":2,"xml":"<d/>"})");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  EXPECT_EQ(ins->verb, Verb::kUpdate);
+  EXPECT_EQ(ins->id, "u1");
+  EXPECT_EQ(ins->doc, "d.xml");
+  EXPECT_EQ(ins->action, "insert");
+  EXPECT_EQ(ins->target, 1);
+  EXPECT_EQ(ins->position, 2);
+  EXPECT_EQ(ins->xml, "<d/>");
+
+  // Position is optional and defaults to append.
+  auto del = ParseRequest(
+      R"({"op":"update","id":"u2","doc":"d.xml","action":"delete","target":4})");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->action, "delete");
+  EXPECT_EQ(del->target, 4);
+  EXPECT_EQ(del->position, -1);
+
+  // Replace with an omitted value clears the node's content.
+  auto rep = ParseRequest(
+      R"({"op":"update","id":"u3","doc":"d.xml","action":"replace",)"
+      R"("target":3,"value":"9"})");
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->action, "replace");
+  EXPECT_EQ(rep->value, "9");
+  auto clear = ParseRequest(
+      R"({"op":"update","id":"u4","doc":"d.xml","action":"replace","target":3})");
+  ASSERT_TRUE(clear.ok());
+  EXPECT_TRUE(clear->value.empty());
+}
+
+TEST(ParseRequestTest, RejectsBadUpdateFrames) {
+  const char* bad[] = {
+      // missing target
+      R"({"op":"update","id":"u","doc":"d","action":"delete"})",
+      // negative / overflowing / mistyped target
+      R"({"op":"update","id":"u","doc":"d","action":"delete","target":-1})",
+      R"({"op":"update","id":"u","doc":"d","action":"delete","target":4294967296})",
+      R"({"op":"update","id":"u","doc":"d","action":"delete","target":"1"})",
+      // unknown action
+      R"({"op":"update","id":"u","doc":"d","action":"rename","target":1})",
+      // insert without a fragment
+      R"({"op":"update","id":"u","doc":"d","action":"insert","target":1})",
+      // mistyped replace value / position
+      R"({"op":"update","id":"u","doc":"d","action":"replace","target":1,"value":7})",
+      R"({"op":"update","id":"u","doc":"d","action":"delete","target":1,"position":"x"})",
+      // missing or empty id / doc
+      R"({"op":"update","doc":"d","action":"delete","target":1})",
+      R"({"op":"update","id":"","doc":"d","action":"delete","target":1})",
+      R"({"op":"update","id":"u","action":"delete","target":1})",
+      R"({"op":"update","id":"u","doc":"","action":"delete","target":1})",
+  };
+  for (const char* s : bad) {
+    EXPECT_FALSE(ParseRequest(s).ok()) << "accepted: " << s;
+  }
+}
+
 TEST(ParseRequestTest, RejectsBadFrames) {
   const char* bad[] = {
       "not json at all",
